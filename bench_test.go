@@ -1,0 +1,578 @@
+// Benchmarks regenerating every table and figure of the paper, plus
+// ablations of the design choices called out in DESIGN.md. Each benchmark
+// reports the headline quantities of its experiment as custom metrics, so
+// `go test -bench=. -benchmem` doubles as the experiment record consumed by
+// EXPERIMENTS.md.
+package leakctl
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/control"
+	"repro/internal/dvfs"
+	"repro/internal/experiments"
+	"repro/internal/loadgen"
+	"repro/internal/lut"
+	"repro/internal/reliability"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// --------------------------------------------------------------------------
+// Figure 1: thermal transients
+
+// BenchmarkFig1aTransients regenerates Fig. 1(a): CPU temperature over time
+// at 100% utilization for fan speeds 1800..4200. Reported metrics are the
+// steady temperatures of the slowest and fastest fan settings.
+func BenchmarkFig1aTransients(b *testing.B) {
+	cfg := T3Config()
+	var results []TransientResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		results, err = Fig1a(cfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(results[0].SteadyC, "steadyC@1800rpm")
+	b.ReportMetric(results[len(results)-1].SteadyC, "steadyC@4200rpm")
+	b.ReportMetric(results[0].SettleAt, "settleMin@1800rpm")
+	b.ReportMetric(results[len(results)-1].SettleAt, "settleMin@4200rpm")
+}
+
+// BenchmarkFig1bUtilizationSweep regenerates Fig. 1(b): transients at
+// 1800 RPM for 25/50/75/100% utilization.
+func BenchmarkFig1bUtilizationSweep(b *testing.B) {
+	cfg := T3Config()
+	var results []TransientResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		results, err = Fig1b(cfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(results[0].SteadyC, "steadyC@25pct")
+	b.ReportMetric(results[len(results)-1].SteadyC, "steadyC@100pct")
+}
+
+// --------------------------------------------------------------------------
+// Section IV: leakage model fit
+
+// BenchmarkCharacterizationSweep times the full Section IV telemetry
+// collection campaign (8 utilization levels × 5 fan speeds).
+func BenchmarkCharacterizationSweep(b *testing.B) {
+	cfg := T3Config()
+	sweep := DefaultSweep()
+	var ds *Dataset
+	for i := 0; i < b.N; i++ {
+		var err error
+		ds, err = Characterize(cfg, sweep)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(ds.Points)), "points")
+}
+
+// BenchmarkLeakageFit times the Levenberg–Marquardt fit and reports the
+// recovered constants (paper: k1=0.4452, k2=0.3231, k3=0.04749,
+// RMSE=2.243 W, accuracy 98%).
+func BenchmarkLeakageFit(b *testing.B) {
+	cfg := T3Config()
+	sweep := DefaultSweep()
+	ds, err := Characterize(cfg, sweep)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var fit FitResult
+	for i := 0; i < b.N; i++ {
+		fit, err = FitLeakage(ds)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(fit.K1, "k1")
+	b.ReportMetric(fit.K2*1000, "k2_milli")
+	b.ReportMetric(fit.K3*1000, "k3_milli")
+	b.ReportMetric(fit.RMSE, "rmseW")
+	b.ReportMetric(fit.AccuracyPct, "accuracyPct")
+}
+
+// --------------------------------------------------------------------------
+// Figure 2: leakage/fan tradeoff
+
+// BenchmarkFig2aTradeoff regenerates Fig. 2(a) and reports the optimum
+// (paper: minimum near 70 °C at 2400 RPM).
+func BenchmarkFig2aTradeoff(b *testing.B) {
+	cfg := T3Config()
+	var curve TradeoffCurve
+	for i := 0; i < b.N; i++ {
+		var err error
+		curve, err = Fig2a(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	opt, err := curve.Optimum()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(opt.RPM), "optRPM")
+	b.ReportMetric(float64(opt.Temp), "optTempC")
+	b.ReportMetric(float64(opt.Sum()), "optFanLeakW")
+}
+
+// BenchmarkFig2bAllDutycycles regenerates Fig. 2(b) and reports the hottest
+// optimum temperature across utilization levels (paper: never above 70 °C).
+func BenchmarkFig2bAllDutycycles(b *testing.B) {
+	cfg := T3Config()
+	var curves []TradeoffCurve
+	for i := 0; i < b.N; i++ {
+		var err error
+		curves, err = Fig2b(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	maxOpt := 0.0
+	for _, c := range curves {
+		opt, err := c.Optimum()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if float64(opt.Temp) > maxOpt {
+			maxOpt = float64(opt.Temp)
+		}
+	}
+	b.ReportMetric(maxOpt, "maxOptTempC")
+}
+
+// --------------------------------------------------------------------------
+// Table I: controller comparison
+
+func benchTableITest(b *testing.B, id int) {
+	cfg := T3Config()
+	ec := DefaultEval()
+	ec.SampleEvery = 0 // no traces in the benchmark
+	var row TableIRow
+	for i := 0; i < b.N; i++ {
+		w, err := workload.ByID(id, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		table, err := lut.Build(cfg, lut.DefaultBuild())
+		if err != nil {
+			b.Fatal(err)
+		}
+		row = TableIRow{TestID: id, TestName: w.Name}
+		row.Default, err = experiments.RunControlled(cfg, w.Profile, control.NewDefault(), ec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bb, err := control.NewBangBang(control.DefaultBangBang())
+		if err != nil {
+			b.Fatal(err)
+		}
+		row.BangBang, err = experiments.RunControlled(cfg, w.Profile, bb, ec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lc, err := control.NewLUT(table, control.DefaultLUT())
+		if err != nil {
+			b.Fatal(err)
+		}
+		row.LUT, err = experiments.RunControlled(cfg, w.Profile, lc, ec)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	idle := experiments.IdleEnergyKWh(cfg, workload.TestDuration)
+	denom := row.Default.EnergyKWh - idle
+	b.ReportMetric(row.Default.EnergyKWh*1000, "defaultWh")
+	b.ReportMetric(row.BangBang.EnergyKWh*1000, "bangWh")
+	b.ReportMetric(row.LUT.EnergyKWh*1000, "lutWh")
+	if denom > 0 {
+		b.ReportMetric(100*(row.Default.EnergyKWh-row.LUT.EnergyKWh)/denom, "lutNetSavPct")
+		b.ReportMetric(100*(row.Default.EnergyKWh-row.BangBang.EnergyKWh)/denom, "bangNetSavPct")
+	}
+	b.ReportMetric(row.Default.PeakPowerW-row.LUT.PeakPowerW, "lutPeakCutW")
+	b.ReportMetric(row.LUT.MaxTempC, "lutMaxTempC")
+	b.ReportMetric(float64(row.LUT.FanChanges), "lutFanChanges")
+	b.ReportMetric(row.LUT.AvgRPM, "lutAvgRPM")
+}
+
+// BenchmarkTableITest1 regenerates the Test-1 (ramp) rows of Table I.
+func BenchmarkTableITest1(b *testing.B) { benchTableITest(b, 1) }
+
+// BenchmarkTableITest2 regenerates the Test-2 (periods) rows of Table I.
+func BenchmarkTableITest2(b *testing.B) { benchTableITest(b, 2) }
+
+// BenchmarkTableITest3 regenerates the Test-3 (random steps) rows of Table I.
+func BenchmarkTableITest3(b *testing.B) { benchTableITest(b, 3) }
+
+// BenchmarkTableITest4 regenerates the Test-4 (shell workload) rows of Table I.
+func BenchmarkTableITest4(b *testing.B) { benchTableITest(b, 4) }
+
+// BenchmarkFig3Traces regenerates Figure 3's three Test-3 temperature traces.
+func BenchmarkFig3Traces(b *testing.B) {
+	cfg := T3Config()
+	var series []Series
+	for i := 0; i < b.N; i++ {
+		var err error
+		series, err = Fig3(cfg, 42, DefaultEval())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(series)), "controllers")
+	b.ReportMetric(float64(len(series[0].X)), "samples")
+}
+
+// --------------------------------------------------------------------------
+// Ablations (design choices from DESIGN.md §5)
+
+// BenchmarkAblationHoldoff sweeps the LUT controller's minimum interval
+// between fan changes (paper: 60 s) on the stochastic Test-4 shell
+// workload, whose fast utilization fluctuations make the hold-off bind.
+func BenchmarkAblationHoldoff(b *testing.B) {
+	cfg := T3Config()
+	table, err := lut.Build(cfg, lut.DefaultBuild())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, holdoff := range []float64{0, 30, 60, 180} {
+		b.Run(fmtSeconds(holdoff), func(b *testing.B) {
+			ec := DefaultEval()
+			ec.SampleEvery = 0
+			var res RunResult
+			for i := 0; i < b.N; i++ {
+				w, err := workload.ByID(4, 42)
+				if err != nil {
+					b.Fatal(err)
+				}
+				lcfg := control.DefaultLUT()
+				lcfg.HoldOff = holdoff
+				lc, err := control.NewLUT(table, lcfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err = experiments.RunControlled(cfg, w.Profile, lc, ec)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.EnergyKWh*1000, "Wh")
+			b.ReportMetric(float64(res.FanChanges), "fanChanges")
+			b.ReportMetric(res.MaxTempC, "maxTempC")
+		})
+	}
+}
+
+// BenchmarkAblationLUTResolution compares the paper's 9-level utilization
+// grid against a dense 5%-step table on Test-1's ramp.
+func BenchmarkAblationLUTResolution(b *testing.B) {
+	cfg := T3Config()
+	grids := map[string][]units.Percent{
+		"paper9": lut.DefaultBuild().Utils,
+		"dense21": func() []units.Percent {
+			var g []units.Percent
+			for u := units.Percent(0); u <= 100; u += 5 {
+				g = append(g, u)
+			}
+			return g
+		}(),
+	}
+	for name, grid := range grids {
+		b.Run(name, func(b *testing.B) {
+			bc := lut.DefaultBuild()
+			bc.Utils = grid
+			table, err := lut.Build(cfg, bc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ec := DefaultEval()
+			ec.SampleEvery = 0
+			var res RunResult
+			for i := 0; i < b.N; i++ {
+				w, err := workload.ByID(1, 42)
+				if err != nil {
+					b.Fatal(err)
+				}
+				lc, err := control.NewLUT(table, control.DefaultLUT())
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err = experiments.RunControlled(cfg, w.Profile, lc, ec)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.EnergyKWh*1000, "Wh")
+			b.ReportMetric(float64(res.FanChanges), "fanChanges")
+		})
+	}
+}
+
+// BenchmarkAblationBangBand sweeps the bang-bang dead band (paper: 65-75;
+// narrower bands change fans more, wider bands overshoot more).
+func BenchmarkAblationBangBand(b *testing.B) {
+	cfg := T3Config()
+	bands := []struct {
+		name      string
+		low, high units.Celsius
+	}{
+		{"paper65to75", 65, 75},
+		{"narrow70to75", 70, 75},
+		{"wide60to80", 60, 80},
+	}
+	for _, band := range bands {
+		b.Run(band.name, func(b *testing.B) {
+			ec := DefaultEval()
+			ec.SampleEvery = 0
+			var res RunResult
+			for i := 0; i < b.N; i++ {
+				w, err := workload.ByID(2, 42)
+				if err != nil {
+					b.Fatal(err)
+				}
+				bcfg := control.DefaultBangBang()
+				bcfg.TLow = band.low
+				bcfg.THigh = band.high
+				bcfg.TLowFloor = band.low - 5
+				bcfg.TPanic = band.high + 5
+				bb, err := control.NewBangBang(bcfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err = experiments.RunControlled(cfg, w.Profile, bb, ec)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.EnergyKWh*1000, "Wh")
+			b.ReportMetric(float64(res.FanChanges), "fanChanges")
+			b.ReportMetric(res.MaxTempC, "maxTempC")
+		})
+	}
+}
+
+// BenchmarkAblationTempCap compares the LUT built with the paper's 75 °C
+// reliability cap against an uncapped energy-only table. Run at a 32 °C
+// data-center ambient, where the energy-only optimum is hot enough for the
+// cap to bind (at the paper's 24 °C lab ambient it never does).
+func BenchmarkAblationTempCap(b *testing.B) {
+	cfg := T3Config()
+	cfg.Ambient = 32
+	for _, cap75 := range []bool{true, false} {
+		name := "cap75C"
+		bc := lut.DefaultBuild()
+		if !cap75 {
+			name = "uncapped"
+			bc.MaxTemp = 0
+		}
+		b.Run(name, func(b *testing.B) {
+			table, err := lut.Build(cfg, bc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ec := DefaultEval()
+			ec.SampleEvery = 0
+			var res RunResult
+			for i := 0; i < b.N; i++ {
+				w, err := workload.ByID(2, 42)
+				if err != nil {
+					b.Fatal(err)
+				}
+				lc, err := control.NewLUT(table, control.DefaultLUT())
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err = experiments.RunControlled(cfg, w.Profile, lc, ec)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.EnergyKWh*1000, "Wh")
+			b.ReportMetric(res.MaxTempC, "maxTempC")
+			b.ReportMetric(float64(table.MaxPredictedTemp()), "tableMaxTempC")
+		})
+	}
+}
+
+// BenchmarkAblationAmbient sweeps ambient temperature (the paper notes its
+// lab is colder than a production data center).
+func BenchmarkAblationAmbient(b *testing.B) {
+	for _, amb := range []units.Celsius{18, 24, 30, 35} {
+		b.Run(fmtCelsius(amb), func(b *testing.B) {
+			cfg := T3Config()
+			cfg.Ambient = amb
+			table, err := lut.Build(cfg, lut.DefaultBuild())
+			if err != nil {
+				b.Fatal(err)
+			}
+			ec := DefaultEval()
+			ec.SampleEvery = 0
+			var res RunResult
+			for i := 0; i < b.N; i++ {
+				w, err := workload.ByID(3, 42)
+				if err != nil {
+					b.Fatal(err)
+				}
+				lc, err := control.NewLUT(table, control.DefaultLUT())
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err = experiments.RunControlled(cfg, w.Profile, lc, ec)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.EnergyKWh*1000, "Wh")
+			b.ReportMetric(res.MaxTempC, "maxTempC")
+			b.ReportMetric(res.AvgRPM, "avgRPM")
+		})
+	}
+}
+
+// BenchmarkExtensionDVFS compares the paper's fan-only LUT against the
+// coordinated DVFS+fan extension (DESIGN.md §6) on the Test-4 shell
+// workload, reporting both energies and the coordinated policy's deepest
+// P-state.
+func BenchmarkExtensionDVFS(b *testing.B) {
+	cfg := T3Config()
+	fanTable, err := lut.Build(cfg, lut.DefaultBuild())
+	if err != nil {
+		b.Fatal(err)
+	}
+	coordTable, err := dvfs.Build(cfg, dvfs.DefaultBuild())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ec := DefaultEval()
+	ec.SampleEvery = 0
+	ec.PWM = false
+	var fanOnly RunResult
+	var coord dvfs.RunResult
+	for i := 0; i < b.N; i++ {
+		w, err := workload.ByID(4, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lc, err := control.NewLUT(fanTable, control.DefaultLUT())
+		if err != nil {
+			b.Fatal(err)
+		}
+		fanOnly, err = experiments.RunControlled(cfg, w.Profile, lc, ec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		coord, err = dvfs.Run(cfg, coordTable, w.Profile, dvfs.DefaultRun())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(fanOnly.EnergyKWh*1000, "fanOnlyWh")
+	b.ReportMetric(coord.EnergyKWh*1000, "coordWh")
+	b.ReportMetric(100*(fanOnly.EnergyKWh-coord.EnergyKWh)/fanOnly.EnergyKWh, "extraSavPct")
+	b.ReportMetric(coord.MinFreq, "minFreqScale")
+	b.ReportMetric(coord.MaxTempC, "coordMaxTempC")
+}
+
+// BenchmarkExtensionReliability analyzes the Fig. 3 temperature traces with
+// the Arrhenius + Coffin-Manson reliability models: the LUT's steadier
+// trace should accumulate less cycling damage than bang-bang's.
+func BenchmarkExtensionReliability(b *testing.B) {
+	cfg := T3Config()
+	series, err := Fig3(cfg, 42, DefaultEval())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	reports := map[string]reliability.Report{}
+	for i := 0; i < b.N; i++ {
+		for _, s := range series {
+			rep, err := reliability.Analyze(s.Y)
+			if err != nil {
+				b.Fatal(err)
+			}
+			reports[s.Name] = rep
+		}
+	}
+	b.ReportMetric(reports["LUT"].CyclingDamage, "lutDamage")
+	b.ReportMetric(reports["Bang-bang"].CyclingDamage, "bangDamage")
+	b.ReportMetric(reports["Default"].CyclingDamage, "defaultDamage")
+	b.ReportMetric(reports["LUT"].Acceleration, "lutArrhenius")
+	b.ReportMetric(reports["Bang-bang"].Acceleration, "bangArrhenius")
+}
+
+// --------------------------------------------------------------------------
+// Microbenchmarks of the substrates
+
+// BenchmarkServerStep measures one 1-second simulation step of the full
+// composite server.
+func BenchmarkServerStep(b *testing.B) {
+	srv, err := NewServer(T3Config())
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv.SetLoad(70)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv.Step(1)
+	}
+}
+
+// BenchmarkSteadyTemp measures the analytic steady-state solve.
+func BenchmarkSteadyTemp(b *testing.B) {
+	cfg := T3Config()
+	for i := 0; i < b.N; i++ {
+		if _, err := SteadyTemp(cfg, 75, 2400); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLUTLookup measures one controller table lookup.
+func BenchmarkLUTLookup(b *testing.B) {
+	table, err := lut.Build(T3Config(), lut.DefaultBuild())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := table.Lookup(units.Percent(i % 101)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMMCQueue measures the Test-4 M/M/c queueing simulation.
+func BenchmarkMMCQueue(b *testing.B) {
+	cfg := workload.DefaultShellConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := workload.SimulateMMC(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLoadGenPWM measures LoadGen's duty-cycle evaluation.
+func BenchmarkLoadGenPWM(b *testing.B) {
+	gen, err := loadgen.New(loadgen.Constant{Level: 40}, loadgen.WithPWMPeriod(30))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gen.Load(float64(i) * 0.5)
+	}
+}
+
+func fmtSeconds(s float64) string { return strconv.FormatFloat(s, 'g', -1, 64) + "s" }
+
+func fmtCelsius(c units.Celsius) string {
+	return strconv.FormatFloat(float64(c), 'g', -1, 64) + "C"
+}

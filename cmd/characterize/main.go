@@ -1,0 +1,144 @@
+// Command characterize runs the paper's Section IV characterization
+// experiments against the simulated server and emits the Figure 1 and
+// Figure 2 data as ASCII charts or CSV.
+//
+// Usage:
+//
+//	characterize -fig 1a            # temperature transients per fan speed
+//	characterize -fig 1b            # transients per utilization at 1800 RPM
+//	characterize -fig 2a            # fan/leakage tradeoff at 100% load
+//	characterize -fig 2b            # tradeoff curves per utilization
+//	characterize -fig 1a -csv       # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/plot"
+	"repro/internal/server"
+	"repro/internal/units"
+)
+
+func main() {
+	fig := flag.String("fig", "1a", "figure to regenerate: 1a, 1b, 2a, 2b")
+	csv := flag.Bool("csv", false, "emit CSV instead of an ASCII chart")
+	ambient := flag.Float64("ambient", 24, "ambient temperature, °C")
+	flag.Parse()
+
+	cfg := server.T3Config()
+	cfg.Ambient = units.Celsius(*ambient)
+
+	if err := run(cfg, *fig, *csv); err != nil {
+		fmt.Fprintln(os.Stderr, "characterize:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg server.Config, fig string, csv bool) error {
+	switch fig {
+	case "1a":
+		results, err := experiments.Fig1a(cfg, nil)
+		if err != nil {
+			return err
+		}
+		series := experiments.SeriesFromTransients(results)
+		if csv {
+			return plot.WriteCSV(os.Stdout, series...)
+		}
+		chart := plot.Chart{
+			Title:  "Fig 1(a): Average CPU0 temperature, 100% utilization",
+			XLabel: "time (min)",
+			YLabel: "temperature (°C)",
+			Series: series,
+		}
+		if err := chart.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println("\nsteady-state summary:")
+		for _, r := range results {
+			fmt.Printf("  %-9s steady %.1f°C, settles %.1f min into the loaded phase\n",
+				r.Label, r.SteadyC, r.SettleAt)
+		}
+		return nil
+
+	case "1b":
+		results, err := experiments.Fig1b(cfg, nil)
+		if err != nil {
+			return err
+		}
+		series := experiments.SeriesFromTransients(results)
+		if csv {
+			return plot.WriteCSV(os.Stdout, series...)
+		}
+		chart := plot.Chart{
+			Title:  "Fig 1(b): Average CPU0 temperature at 1800 RPM",
+			XLabel: "time (min)",
+			YLabel: "temperature (°C)",
+			Series: series,
+		}
+		return chart.Render(os.Stdout)
+
+	case "2a":
+		curve, err := experiments.Fig2a(cfg)
+		if err != nil {
+			return err
+		}
+		series := experiments.SeriesFromTradeoff(curve)
+		if csv {
+			return plot.WriteCSV(os.Stdout, series...)
+		}
+		chart := plot.Chart{
+			Title:  "Fig 2(a): Leakage and fan power vs avg CPU temp, 100% utilization",
+			XLabel: "temperature (°C)",
+			YLabel: "power (W)",
+			Series: series,
+		}
+		if err := chart.Render(os.Stdout); err != nil {
+			return err
+		}
+		opt, err := curve.Optimum()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\noptimum: %.0f RPM at %.1f°C, fan+leak %.1f W (paper: 2400 RPM near 70°C)\n",
+			float64(opt.RPM), float64(opt.Temp), float64(opt.Sum()))
+		return nil
+
+	case "2b":
+		curves, err := experiments.Fig2b(cfg)
+		if err != nil {
+			return err
+		}
+		var series []plot.Series
+		for _, c := range curves {
+			s := experiments.SeriesFromTradeoff(c)
+			series = append(series, s[2]) // the fan+leakage sum per util
+		}
+		if csv {
+			return plot.WriteCSV(os.Stdout, series...)
+		}
+		chart := plot.Chart{
+			Title:  "Fig 2(b): Fan + leakage power vs avg CPU temperature, all dutycycles",
+			XLabel: "temperature (°C)",
+			YLabel: "power (W)",
+			Series: series,
+		}
+		if err := chart.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println("\noptima:")
+		for _, c := range curves {
+			opt, err := c.Optimum()
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  U=%3.0f%%: %.0f RPM at %.1f°C (%.1f W)\n",
+				float64(c.Util), float64(opt.RPM), float64(opt.Temp), float64(opt.Sum()))
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown figure %q (want 1a, 1b, 2a, 2b)", fig)
+}

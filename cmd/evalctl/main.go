@@ -1,0 +1,89 @@
+// Command evalctl reproduces the paper's Section V evaluation: Table I
+// (four 80-minute test workloads under the Default, bang-bang and LUT
+// controllers) and the Figure 3 temperature traces.
+//
+// Usage:
+//
+//	evalctl                 # Table I
+//	evalctl -fig3           # Figure 3 traces for Test-3
+//	evalctl -test 2         # a single test's rows
+//	evalctl -seed 7         # different stochastic workload seed
+//	evalctl -csv            # Fig 3 traces as CSV
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/plot"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+func main() {
+	fig3 := flag.Bool("fig3", false, "emit Figure 3 temperature traces for Test-3")
+	testID := flag.Int("test", 0, "run a single test id 1-4 (0 = all)")
+	seed := flag.Int64("seed", 42, "seed for the stochastic workloads")
+	csv := flag.Bool("csv", false, "CSV output for -fig3")
+	flag.Parse()
+
+	cfg := server.T3Config()
+	ec := experiments.DefaultEval()
+
+	if *fig3 {
+		series, err := experiments.Fig3(cfg, *seed, ec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "evalctl:", err)
+			os.Exit(1)
+		}
+		if *csv {
+			if err := plot.WriteCSV(os.Stdout, series...); err != nil {
+				fmt.Fprintln(os.Stderr, "evalctl:", err)
+				os.Exit(1)
+			}
+			return
+		}
+		chart := plot.Chart{
+			Title:  "Fig 3: Temperature in Test-3 for the three controllers",
+			XLabel: "time (min)",
+			YLabel: "temperature (°C)",
+			Series: series,
+		}
+		if err := chart.Render(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "evalctl:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	rows, err := experiments.TableI(cfg, *seed, ec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "evalctl:", err)
+		os.Exit(1)
+	}
+	if *testID != 0 {
+		var filtered []experiments.TableIRow
+		for _, r := range rows {
+			if r.TestID == *testID {
+				filtered = append(filtered, r)
+			}
+		}
+		if len(filtered) == 0 {
+			fmt.Fprintf(os.Stderr, "evalctl: unknown test %d\n", *testID)
+			os.Exit(1)
+		}
+		rows = filtered
+	}
+
+	fmt.Println("Table I: controller comparison (paper layout)")
+	fmt.Printf("idle reference energy: %.4f kWh over %.0f min\n\n",
+		experiments.IdleEnergyKWh(cfg, workload.TestDuration), workload.TestDuration/60)
+	if err := experiments.FormatTableI(os.Stdout, rows); err != nil {
+		fmt.Fprintln(os.Stderr, "evalctl:", err)
+		os.Exit(1)
+	}
+	fmt.Println("\npaper reference (Table I): LUT net savings 3.9-8.7%, bang-bang 0.05-6.8%,")
+	fmt.Println("default max temp 60-62°C, LUT 69-75°C, bang ≤77°C, controller avg ~1900-2200 RPM")
+}

@@ -1,0 +1,78 @@
+// Command genlut builds the controller's lookup table. By default it runs
+// the full pipeline the way the paper does — characterize the server, fit
+// the leakage model, and generate the table from the *fitted* model — and
+// writes the result as JSON.
+//
+// Usage:
+//
+//	genlut                     # pipeline: characterize → fit → build
+//	genlut -truth              # build from the ground-truth model instead
+//	genlut -o table.json       # write JSON to a file
+//	genlut -maxtemp 70         # tighter reliability cap
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/lut"
+	"repro/internal/server"
+	"repro/internal/units"
+)
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	truth := flag.Bool("truth", false, "build from the ground-truth model, skipping the fit")
+	maxTemp := flag.Float64("maxtemp", 75, "reliability temperature cap, °C (0 disables)")
+	quick := flag.Bool("quick", false, "reduced characterization grid")
+	flag.Parse()
+
+	build := lut.DefaultBuild()
+	build.MaxTemp = units.Celsius(*maxTemp)
+
+	var table *lut.Table
+	var err error
+	if *truth {
+		table, err = lut.Build(server.T3Config(), build)
+	} else {
+		cfg := core.DefaultPipeline()
+		cfg.Build = build
+		if *quick {
+			cfg.Sweep.Utils = []units.Percent{10, 40, 75, 100}
+			cfg.Sweep.RPMs = []units.RPM{1800, 3000, 4200}
+			cfg.Sweep.Warmup = 15 * 60
+			cfg.Sweep.Measure = 5 * 60
+		}
+		var res *core.PipelineResult
+		res, err = core.Run(cfg)
+		if err == nil {
+			table = res.Table
+			fmt.Fprintf(os.Stderr, "fitted model: k1=%.4f C=%.2f k2=%.4f k3=%.5f (rmse %.2f W)\n",
+				res.Fit.K1, res.Fit.C, res.Fit.K2, res.Fit.K3, res.Fit.RMSE)
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "genlut:", err)
+		os.Exit(1)
+	}
+
+	fmt.Fprintln(os.Stderr, table.String())
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "genlut:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := table.WriteJSON(w); err != nil {
+		fmt.Fprintln(os.Stderr, "genlut:", err)
+		os.Exit(1)
+	}
+}

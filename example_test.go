@@ -1,0 +1,67 @@
+package leakctl_test
+
+import (
+	"fmt"
+
+	leakctl "repro"
+)
+
+// Example demonstrates the central result of the paper: the lookup table
+// of optimal fan speeds per utilization level, with the Fig. 2(a) optimum
+// of 2400 RPM at 100% load.
+func Example() {
+	table, err := leakctl.BuildLUT(leakctl.T3Config(), leakctl.DefaultLUTBuild())
+	if err != nil {
+		panic(err)
+	}
+	idle, _ := table.Lookup(0)
+	full, _ := table.Lookup(100)
+	fmt.Printf("idle: %v, full load: %v\n", idle, full)
+	// Output:
+	// idle: 1800RPM, full load: 2400RPM
+}
+
+// ExampleSteadyTemp shows the calibrated Fig. 1(a) anchor: at 1800 RPM and
+// 100% utilization the server settles near 85 °C.
+func ExampleSteadyTemp() {
+	temp, err := leakctl.SteadyTemp(leakctl.T3Config(), 100, 1800)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("steady state within Fig 1(a) band: %v\n", temp > 80 && temp < 90)
+	// Output:
+	// steady state within Fig 1(a) band: true
+}
+
+// ExampleFig2a reproduces the convex fan+leakage tradeoff and its optimum.
+func ExampleFig2a() {
+	curve, err := leakctl.Fig2a(leakctl.T3Config())
+	if err != nil {
+		panic(err)
+	}
+	opt, err := curve.Optimum()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("optimum fan speed: %v\n", opt.RPM)
+	// Output:
+	// optimum fan speed: 2400RPM
+}
+
+// ExampleNewLUTController shows a single proactive control decision: a
+// utilization spike immediately selects the table's fan speed, before any
+// temperature rises.
+func ExampleNewLUTController() {
+	table, err := leakctl.BuildLUT(leakctl.T3Config(), leakctl.DefaultLUTBuild())
+	if err != nil {
+		panic(err)
+	}
+	ctrl, err := leakctl.NewLUTController(table, leakctl.DefaultLUT())
+	if err != nil {
+		panic(err)
+	}
+	dec := ctrl.Tick(leakctl.Observation{Now: 0, Utilization: 95, CurrentRPM: 3300})
+	fmt.Printf("changed=%v target=%v\n", dec.Changed, dec.Target)
+	// Output:
+	// changed=true target=2400RPM
+}

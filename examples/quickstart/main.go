@@ -1,0 +1,64 @@
+// Quickstart: build the simulated server, generate the lookup table, and
+// run the paper's LUT fan controller against a load step — the minimal
+// end-to-end use of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	leakctl "repro"
+)
+
+func main() {
+	cfg := leakctl.T3Config()
+
+	// 1. Build the utilization → optimal-fan-speed table (Section IV/V).
+	table, err := leakctl.BuildLUT(cfg, leakctl.DefaultLUTBuild())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("lookup table (optimal fan speed per utilization):")
+	fmt.Println(table)
+
+	// 2. Deploy the LUT controller on a simulated server.
+	ctrl, err := leakctl.NewLUTController(table, leakctl.DefaultLUT())
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := leakctl.NewServer(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Drive a load step: idle → 100% at t=5min → idle at t=25min.
+	fmt.Println("running a 40-minute load step under the LUT controller...")
+	srv.ResetAccounting()
+	for now := 0.0; now < 40*60; now++ {
+		switch {
+		case now < 5*60:
+			srv.SetLoad(0)
+		case now < 25*60:
+			srv.SetLoad(100)
+		default:
+			srv.SetLoad(0)
+		}
+		dec := ctrl.Tick(leakctl.Observation{
+			Now:         srv.Now(),
+			Utilization: srv.Utilization(),
+			CurrentRPM:  srv.Fans().Target(),
+		})
+		if dec.Changed {
+			srv.Fans().SetAll(dec.Target)
+			fmt.Printf("  t=%5.1f min: fan → %v (utilization %v)\n",
+				now/60, dec.Target, srv.Utilization())
+		}
+		srv.Step(1)
+	}
+
+	// 4. Report.
+	fmt.Printf("\nenergy consumed:   %.4f kWh\n", srv.Energy().KWh())
+	fmt.Printf("fan energy:        %.4f kWh\n", srv.FanEnergy().KWh())
+	fmt.Printf("peak power:        %v\n", srv.PeakPower())
+	fmt.Printf("final CPU temp:    %v (reliability target 75°C)\n", srv.MaxCPUTemp())
+}

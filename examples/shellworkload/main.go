@@ -1,0 +1,81 @@
+// Shell workload: the paper's Test-4 — a stochastic utilization trace from
+// an M/M/c queue with Poisson arrivals and exponential service times —
+// evaluated under all three controllers. This is the workload the paper's
+// introduction motivates: real machines do not run constant loads.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	leakctl "repro"
+)
+
+func main() {
+	cfg := leakctl.T3Config()
+	ec := leakctl.DefaultEval()
+
+	tests, err := leakctl.TestWorkloads(2026)
+	if err != nil {
+		log.Fatal(err)
+	}
+	shell := tests[3] // Test-4
+	fmt.Printf("workload: %s (80 minutes)\n\n", shell.Name)
+
+	table, err := leakctl.BuildLUT(cfg, leakctl.DefaultLUTBuild())
+	if err != nil {
+		log.Fatal(err)
+	}
+	bang, err := leakctl.NewBangBangController(leakctl.DefaultBangBang())
+	if err != nil {
+		log.Fatal(err)
+	}
+	lutCtrl, err := leakctl.NewLUTController(table, leakctl.DefaultLUT())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	controllers := []leakctl.Controller{
+		leakctl.NewDefaultController(),
+		bang,
+		lutCtrl,
+	}
+
+	var results []leakctl.RunResult
+	for _, ctrl := range controllers {
+		res, err := leakctl.RunControlled(cfg, shell.Profile, ctrl, ec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		results = append(results, res)
+	}
+
+	base := results[0].EnergyKWh
+	fmt.Printf("%-10s %-12s %-10s %-9s %-8s %-7s\n",
+		"control", "energy(kWh)", "vs default", "peak(W)", "maxT(°C)", "avgRPM")
+	for _, res := range results {
+		fmt.Printf("%-10s %-12.4f %+9.2f%%  %-9.0f %-8.1f %-7.0f\n",
+			res.Controller, res.EnergyKWh,
+			100*(res.EnergyKWh-base)/base,
+			res.PeakPowerW, res.MaxTempC, res.AvgRPM)
+	}
+
+	// Render the utilization and temperature of the LUT run so the
+	// stochastic shape is visible.
+	lut := results[2]
+	fmt.Println()
+	c := leakctl.Chart{
+		Title:  "LUT controller on the shell workload",
+		XLabel: "time (min)",
+		YLabel: "°C / %util",
+		Height: 16,
+		Series: []leakctl.Series{
+			{Name: "CPU temperature (°C)", X: lut.TimeMin, Y: lut.TempC},
+			{Name: "utilization (%)", X: lut.TimeMin, Y: lut.UtilPct},
+		},
+	}
+	if err := c.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

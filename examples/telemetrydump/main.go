@@ -1,0 +1,72 @@
+// Telemetry dump: attach the CSTH-style harness to a simulated server,
+// run a short load pattern under the LUT controller, and export the full
+// sensor history (4 CPU temps, 32 DIMM temps, 64 per-core V/I channels,
+// system and fan power) as CSV — the raw material of the paper's
+// Section IV analysis.
+//
+// Usage: go run repro/examples/telemetrydump > telemetry.csv
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	leakctl "repro"
+
+	"repro/internal/telemetry"
+)
+
+func main() {
+	cfg := leakctl.T3Config()
+	srv, err := leakctl.NewServer(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The paper's CSTH polls every 10 seconds.
+	harness, err := telemetry.NewHarness(10, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := srv.AttachTelemetry(harness); err != nil {
+		log.Fatal(err)
+	}
+
+	table, err := leakctl.BuildLUT(cfg, leakctl.DefaultLUTBuild())
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctrl, err := leakctl.NewLUTController(table, leakctl.DefaultLUT())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 30 minutes: 10 idle, 15 at 90%, 5 idle.
+	for now := 0.0; now < 30*60; now++ {
+		switch {
+		case now < 10*60:
+			srv.SetLoad(0)
+		case now < 25*60:
+			srv.SetLoad(90)
+		default:
+			srv.SetLoad(0)
+		}
+		dec := ctrl.Tick(leakctl.Observation{
+			Now:         srv.Now(),
+			Utilization: srv.Utilization(),
+			CurrentRPM:  srv.Fans().Target(),
+		})
+		if dec.Changed {
+			srv.Fans().SetAll(dec.Target)
+		}
+		srv.Step(1)
+		harness.Advance(srv.Now())
+	}
+
+	if err := harness.WriteCSV(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "dumped %d channels × %d polls\n",
+		len(harness.Names()), 30*60/10+1)
+}

@@ -1,0 +1,112 @@
+package leakctl
+
+import (
+	"testing"
+)
+
+func TestFacadeDVFSTable(t *testing.T) {
+	cfg := T3Config()
+	table, err := BuildDVFSTable(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Entries) == 0 {
+		t.Fatal("empty coordinated table")
+	}
+	// The coordinated table is at least as good as the fan-only table at
+	// every utilization: the (P0, fan) choice is always in its search
+	// space, so CPUFanPower ≤ fan-only leak+fan + active at P0.
+	fanTable, err := BuildLUT(cfg, DefaultLUTBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range table.Entries {
+		f := fanTable.Entries[i]
+		if e.Util != f.Util {
+			t.Fatalf("grid mismatch at %d", i)
+		}
+		fanOnlyTotal := float64(f.FanLeakPower) + float64(cfg.Power.Active.Power(f.Util))
+		if float64(e.CPUFanPower) > fanOnlyTotal+1e-9 {
+			t.Fatalf("U=%v: coordinated %.2f W worse than fan-only %.2f W",
+				e.Util, float64(e.CPUFanPower), fanOnlyTotal)
+		}
+	}
+}
+
+func TestFacadeRunCoordinated(t *testing.T) {
+	cfg := T3Config()
+	table, err := BuildDVFSTable(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests, err := TestWorkloads(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunCoordinated(cfg, table, tests[0].Profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EnergyKWh <= 0 || res.Throttled {
+		t.Fatalf("coordinated run: %+v", res)
+	}
+	// Test-1 ramps to 100%: the policy must return to P0 for the peak.
+	if res.MaxTempC > 76 {
+		t.Fatalf("coordinated max temp %g", res.MaxTempC)
+	}
+}
+
+func TestFacadeReliability(t *testing.T) {
+	// Oscillating trace accumulates more damage than a steady one.
+	steady := make([]float64, 200)
+	osc := make([]float64, 200)
+	for i := range steady {
+		steady[i] = 65
+		if i%20 < 10 {
+			osc[i] = 55
+		} else {
+			osc[i] = 75
+		}
+	}
+	sRep, err := AnalyzeReliability(steady)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oRep, err := AnalyzeReliability(osc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oRep.CyclingDamage <= sRep.CyclingDamage {
+		t.Fatalf("oscillating damage %g should exceed steady %g",
+			oRep.CyclingDamage, sRep.CyclingDamage)
+	}
+}
+
+func TestFig3ReliabilityOrdering(t *testing.T) {
+	// The quantified version of the paper's reliability argument: the
+	// bang-bang controller's thermal cycles cost more fatigue damage than
+	// the LUT's steady operation.
+	series, err := Fig3(T3Config(), 42, DefaultEval())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports := map[string]ReliabilityReport{}
+	for _, s := range series {
+		rep, err := AnalyzeReliability(s.Y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports[s.Name] = rep
+	}
+	if reports["Bang-bang"].CyclingDamage <= reports["LUT"].CyclingDamage {
+		t.Fatalf("bang damage %g should exceed LUT %g",
+			reports["Bang-bang"].CyclingDamage, reports["LUT"].CyclingDamage)
+	}
+	// All policies stay below the 55 °C-reference Arrhenius unity on the
+	// cool Test-3 profile.
+	for name, rep := range reports {
+		if rep.Acceleration > 1.5 {
+			t.Fatalf("%s acceleration %g implausibly high", name, rep.Acceleration)
+		}
+	}
+}

@@ -1,0 +1,283 @@
+// Package control implements the paper's three fan-control policies:
+//
+//   - Default: the stock server behaviour, fans pinned near 3300 RPM
+//     regardless of load — the over-cooling baseline of Table I.
+//   - BangBang: temperature-threshold control with five actions on the
+//     60/65/75/80 °C thresholds (Section V), reacting *after* thermal
+//     events.
+//   - LUT: the paper's contribution — utilization-indexed optimal fan
+//     speed, polled every second, proactive, with a 60 s minimum interval
+//     between fan speed changes for stability and fan reliability.
+//
+// Controllers are pure decision functions driven by Observations; a Runner
+// in internal/experiments wires them to the simulated server. This keeps
+// every policy unit-testable without a server.
+package control
+
+import (
+	"fmt"
+
+	"repro/internal/lut"
+	"repro/internal/units"
+)
+
+// Observation is what a controller may see at a decision instant. The LUT
+// controller uses only Utilization (it is proactive); the bang-bang
+// controller uses only MaxCPUTemp (it is reactive); Default uses nothing.
+type Observation struct {
+	Now         float64 // simulation seconds
+	Utilization units.Percent
+	MaxCPUTemp  units.Celsius
+	CurrentRPM  units.RPM // currently commanded speed
+}
+
+// Decision is a controller's output for one tick.
+type Decision struct {
+	Target  units.RPM
+	Changed bool // true when the controller wants a new speed
+}
+
+// Controller decides fan speeds from observations. Tick is called on every
+// simulation step; controllers implement their own polling cadence
+// internally (1 s for LUT, 10 s CSTH period for bang-bang).
+type Controller interface {
+	Name() string
+	Tick(obs Observation) Decision
+	// Reset clears internal state so a controller can be reused across runs.
+	Reset()
+}
+
+// ---------------------------------------------------------------------------
+// Default controller
+
+// Default pins the fans at a fixed speed, mimicking the server's stock
+// behaviour ("the baseline setting keeps the fans rotating close to a fixed
+// speed of 3300 RPM").
+type Default struct {
+	RPM units.RPM
+	set bool
+}
+
+// NewDefault returns the stock policy at the paper's 3300 RPM.
+func NewDefault() *Default { return &Default{RPM: 3300} }
+
+// Name implements Controller.
+func (d *Default) Name() string { return "Default" }
+
+// Reset implements Controller.
+func (d *Default) Reset() { d.set = false }
+
+// Tick implements Controller: one initial command, then nothing.
+func (d *Default) Tick(obs Observation) Decision {
+	if !d.set {
+		d.set = true
+		if obs.CurrentRPM == d.RPM {
+			return Decision{Target: d.RPM, Changed: false}
+		}
+		return Decision{Target: d.RPM, Changed: true}
+	}
+	return Decision{Target: d.RPM, Changed: false}
+}
+
+// ---------------------------------------------------------------------------
+// Bang-bang controller
+
+// BangBangConfig holds the five-action thresholds of Section V.
+type BangBangConfig struct {
+	Period    float64       // decision period; paper: the 10 s CSTH cadence
+	TLowFloor units.Celsius // below this → minimum speed (paper: 60)
+	TLow      units.Celsius // below this → step down (paper: 65)
+	THigh     units.Celsius // above this → step up (paper: 75)
+	TPanic    units.Celsius // above this → maximum speed (paper: 80)
+	StepRPM   units.RPM     // step size (paper: 600)
+	MinRPM    units.RPM
+	MaxRPM    units.RPM
+}
+
+// DefaultBangBang returns the paper's thresholds.
+func DefaultBangBang() BangBangConfig {
+	return BangBangConfig{
+		Period:    10,
+		TLowFloor: 60,
+		TLow:      65,
+		THigh:     75,
+		TPanic:    80,
+		StepRPM:   600,
+		MinRPM:    1800,
+		MaxRPM:    4200,
+	}
+}
+
+// Validate reports configuration errors.
+func (c BangBangConfig) Validate() error {
+	if c.Period <= 0 {
+		return fmt.Errorf("control: bang-bang period must be positive")
+	}
+	if !(c.TLowFloor < c.TLow && c.TLow < c.THigh && c.THigh < c.TPanic) {
+		return fmt.Errorf("control: bang-bang thresholds must be ordered: %v < %v < %v < %v",
+			c.TLowFloor, c.TLow, c.THigh, c.TPanic)
+	}
+	if c.StepRPM <= 0 || c.MinRPM <= 0 || c.MaxRPM <= c.MinRPM {
+		return fmt.Errorf("control: bad bang-bang RPM parameters")
+	}
+	return nil
+}
+
+// BangBang is the reactive thermal controller.
+type BangBang struct {
+	cfg     BangBangConfig
+	nextDue float64
+	started bool
+}
+
+// NewBangBang builds the controller, validating cfg.
+func NewBangBang(cfg BangBangConfig) (*BangBang, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &BangBang{cfg: cfg}, nil
+}
+
+// Name implements Controller.
+func (b *BangBang) Name() string { return "Bang-bang" }
+
+// Reset implements Controller.
+func (b *BangBang) Reset() { b.nextDue = 0; b.started = false }
+
+// Tick implements the five actions of Section V:
+//  1. Tmax < 60 °C → lowest speed;
+//  2. 60–65 °C → lower by 600 RPM;
+//  3. 65–75 °C → no action;
+//  4. >75 °C → raise by 600 RPM;
+//  5. >80 °C → maximum speed.
+func (b *BangBang) Tick(obs Observation) Decision {
+	if !b.started {
+		b.started = true
+		b.nextDue = obs.Now
+	}
+	if obs.Now < b.nextDue {
+		return Decision{Target: obs.CurrentRPM}
+	}
+	b.nextDue = obs.Now + b.cfg.Period
+
+	cur := obs.CurrentRPM
+	target := cur
+	switch {
+	case obs.MaxCPUTemp > b.cfg.TPanic:
+		target = b.cfg.MaxRPM
+	case obs.MaxCPUTemp > b.cfg.THigh:
+		target = cur + b.cfg.StepRPM
+	case obs.MaxCPUTemp < b.cfg.TLowFloor:
+		target = b.cfg.MinRPM
+	case obs.MaxCPUTemp < b.cfg.TLow:
+		target = cur - b.cfg.StepRPM
+	}
+	target = units.ClampRPM(target, b.cfg.MinRPM, b.cfg.MaxRPM)
+	return Decision{Target: target, Changed: target != cur}
+}
+
+// ---------------------------------------------------------------------------
+// LUT controller
+
+// LUTConfig parameterizes the paper's proactive controller.
+type LUTConfig struct {
+	PollPeriod float64 // utilization polling period (paper: 1 s)
+	HoldOff    float64 // minimum seconds between RPM changes (paper: 60 s)
+	// Hysteresis, if positive, requires the utilization to move by at least
+	// this many percentage points from the value that chose the current
+	// speed before a new lookup can change it. An extension beyond the
+	// paper (ablated in the benchmarks); 0 reproduces the paper.
+	Hysteresis units.Percent
+}
+
+// DefaultLUT returns the paper's 1 s polling / 60 s hold-off.
+func DefaultLUT() LUTConfig {
+	return LUTConfig{PollPeriod: 1, HoldOff: 60}
+}
+
+// Validate reports configuration errors.
+func (c LUTConfig) Validate() error {
+	if c.PollPeriod <= 0 {
+		return fmt.Errorf("control: LUT poll period must be positive")
+	}
+	if c.HoldOff < 0 {
+		return fmt.Errorf("control: LUT hold-off must be non-negative")
+	}
+	if c.Hysteresis < 0 {
+		return fmt.Errorf("control: LUT hysteresis must be non-negative")
+	}
+	return nil
+}
+
+// LUT is the utilization-driven proactive controller.
+type LUT struct {
+	cfg      LUTConfig
+	table    *lut.Table
+	nextPoll float64
+	holdTill float64
+	lastUtil units.Percent
+	haveLast bool
+	started  bool
+}
+
+// NewLUT builds the controller around a prepared table.
+func NewLUT(table *lut.Table, cfg LUTConfig) (*LUT, error) {
+	if table == nil || len(table.Entries) == 0 {
+		return nil, fmt.Errorf("control: LUT controller needs a non-empty table")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &LUT{cfg: cfg, table: table}, nil
+}
+
+// Name implements Controller.
+func (l *LUT) Name() string { return "LUT" }
+
+// Reset implements Controller.
+func (l *LUT) Reset() {
+	l.nextPoll = 0
+	l.holdTill = 0
+	l.haveLast = false
+	l.started = false
+}
+
+// Tick implements the paper's policy: poll utilization every second, look
+// up the optimal speed, and apply it immediately — but after any change,
+// refuse further changes for HoldOff seconds ("we do not allow RPM changes
+// for 1 minute after each RPM update").
+func (l *LUT) Tick(obs Observation) Decision {
+	if !l.started {
+		l.started = true
+		l.nextPoll = obs.Now
+		l.holdTill = obs.Now
+	}
+	if obs.Now < l.nextPoll {
+		return Decision{Target: obs.CurrentRPM}
+	}
+	l.nextPoll = obs.Now + l.cfg.PollPeriod
+
+	if obs.Now < l.holdTill {
+		return Decision{Target: obs.CurrentRPM}
+	}
+	if l.cfg.Hysteresis > 0 && l.haveLast {
+		d := obs.Utilization - l.lastUtil
+		if d < 0 {
+			d = -d
+		}
+		if d < l.cfg.Hysteresis {
+			return Decision{Target: obs.CurrentRPM}
+		}
+	}
+	target, err := l.table.Lookup(obs.Utilization)
+	if err != nil || target == obs.CurrentRPM {
+		return Decision{Target: obs.CurrentRPM}
+	}
+	l.holdTill = obs.Now + l.cfg.HoldOff
+	l.lastUtil = obs.Utilization
+	l.haveLast = true
+	return Decision{Target: target, Changed: true}
+}
+
+// Table exposes the controller's table (for reports).
+func (l *LUT) Table() *lut.Table { return l.table }

@@ -1,0 +1,90 @@
+// Package core composes the paper's end-to-end methodology into a single
+// pipeline — the system a data-center operator would actually deploy:
+//
+//  1. Characterize: run the Section IV utilization × fan-speed sweep on the
+//     (simulated) server and collect steady-state telemetry.
+//  2. Fit: recover the empirical leakage model Pcpu = k1·U + C + k2·e^(k3·T)
+//     from that telemetry.
+//  3. Build: generate the lookup table of per-utilization optimal fan
+//     speeds under the 75 °C reliability cap, using the *fitted* model.
+//  4. Deploy: construct the LUT controller that runs against live
+//     utilization readings.
+//
+// Each stage is also available separately (internal/fitting, internal/lut,
+// internal/control); core guarantees they compose the way the paper runs
+// them.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/control"
+	"repro/internal/fitting"
+	"repro/internal/lut"
+	"repro/internal/power"
+	"repro/internal/server"
+)
+
+// PipelineConfig bundles the stage configurations.
+type PipelineConfig struct {
+	Server server.Config
+	Sweep  fitting.SweepConfig
+	Build  lut.BuildConfig
+	LUT    control.LUTConfig
+}
+
+// DefaultPipeline returns the paper's configuration end to end.
+func DefaultPipeline() PipelineConfig {
+	return PipelineConfig{
+		Server: server.T3Config(),
+		Sweep:  fitting.DefaultSweep(),
+		Build:  lut.DefaultBuild(),
+		LUT:    control.DefaultLUT(),
+	}
+}
+
+// PipelineResult carries every artifact the pipeline produces.
+type PipelineResult struct {
+	Dataset    *fitting.Dataset
+	Fit        fitting.FitResult
+	Table      *lut.Table
+	Controller *control.LUT
+	// FittedConfig is the server config with the recovered power model
+	// substituted — what the controller believes about the machine.
+	FittedConfig server.Config
+}
+
+// Run executes the full pipeline against simulated servers built from
+// cfg.Server.
+func Run(cfg PipelineConfig) (*PipelineResult, error) {
+	newSrv := func() (*server.Server, error) { return server.New(cfg.Server) }
+
+	ds, err := fitting.Collect(newSrv, cfg.Sweep)
+	if err != nil {
+		return nil, fmt.Errorf("core: characterize: %w", err)
+	}
+	fit, err := fitting.FitLeakage(ds)
+	if err != nil {
+		return nil, fmt.Errorf("core: fit: %w", err)
+	}
+
+	fittedCfg := cfg.Server
+	fittedCfg.Power.Active = power.ActiveModel{K1: fit.K1}
+	fittedCfg.Power.Leakage = power.LeakageModel{C: fit.C, K2: fit.K2, K3: fit.K3}
+
+	table, err := lut.Build(fittedCfg, cfg.Build)
+	if err != nil {
+		return nil, fmt.Errorf("core: build LUT: %w", err)
+	}
+	ctrl, err := control.NewLUT(table, cfg.LUT)
+	if err != nil {
+		return nil, fmt.Errorf("core: controller: %w", err)
+	}
+	return &PipelineResult{
+		Dataset:      ds,
+		Fit:          fit,
+		Table:        table,
+		Controller:   ctrl,
+		FittedConfig: fittedCfg,
+	}, nil
+}

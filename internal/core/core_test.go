@@ -1,0 +1,79 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/units"
+)
+
+// reducedPipeline shrinks the sweep so the test runs quickly while still
+// exercising every stage.
+func reducedPipeline() PipelineConfig {
+	cfg := DefaultPipeline()
+	cfg.Sweep.Utils = []units.Percent{10, 40, 75, 100}
+	cfg.Sweep.RPMs = []units.RPM{1800, 3000, 4200}
+	cfg.Sweep.Warmup = 15 * 60
+	cfg.Sweep.Measure = 5 * 60
+	cfg.Sweep.PerPoll = false
+	return cfg
+}
+
+func TestPipelineEndToEnd(t *testing.T) {
+	res, err := Run(reducedPipeline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Dataset.Points) != 12 {
+		t.Fatalf("dataset points = %d", len(res.Dataset.Points))
+	}
+	// The fit recovers the ground truth within sensor-noise tolerance.
+	if math.Abs(res.Fit.K1-0.4452) > 0.08 {
+		t.Errorf("fitted k1 = %g", res.Fit.K1)
+	}
+	if res.Fit.RMSE > 4 {
+		t.Errorf("fit RMSE = %g W", res.Fit.RMSE)
+	}
+	// The table built from the fitted model reproduces the paper's key
+	// entries: 2400 RPM at 100% utilization, 1800 at idle.
+	top, err := res.Table.Lookup(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top != 2400 {
+		t.Errorf("fitted-model LUT at 100%% = %v, want 2400", top)
+	}
+	bottom, err := res.Table.Lookup(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bottom != 1800 {
+		t.Errorf("fitted-model LUT at 0%% = %v, want 1800", bottom)
+	}
+	// The controller is usable.
+	if res.Controller == nil || res.Controller.Name() != "LUT" {
+		t.Fatal("controller missing")
+	}
+	// FittedConfig carries the recovered constants.
+	if res.FittedConfig.Power.Active.K1 != res.Fit.K1 {
+		t.Fatal("fitted config not patched")
+	}
+}
+
+func TestPipelinePropagatesErrors(t *testing.T) {
+	cfg := reducedPipeline()
+	cfg.Sweep.Utils = nil
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("invalid sweep should fail the pipeline")
+	}
+	cfg = reducedPipeline()
+	cfg.Build.Levels = nil
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("invalid build should fail the pipeline")
+	}
+	cfg = reducedPipeline()
+	cfg.LUT.PollPeriod = -1
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("invalid controller config should fail the pipeline")
+	}
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/control"
+	"repro/internal/experiments"
+	"repro/internal/lut"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+// TestFittedControllerMatchesGroundTruth is the full closed loop: run the
+// characterization campaign, fit the model, build the controller from the
+// *fitted* model, and verify it performs indistinguishably from a
+// controller built with perfect knowledge — the property that makes the
+// paper's methodology deployable on machines whose constants are unknown.
+func TestFittedControllerMatchesGroundTruth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline + controller evaluation")
+	}
+	res, err := Run(reducedPipeline())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	truthCfg := server.T3Config()
+	w, err := workload.ByID(2, 42) // the spiky periodic test
+	if err != nil {
+		t.Fatal(err)
+	}
+	ec := experiments.DefaultEval()
+	ec.SampleEvery = 0
+
+	// Controller from the fitted model, evaluated on the TRUE server.
+	fittedRun, err := experiments.RunControlled(truthCfg, w.Profile, res.Controller, ec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Controller with perfect knowledge of the ground-truth model.
+	truthTable, err := lut.Build(truthCfg, lut.DefaultBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	truthCtrl, err := control.NewLUT(truthTable, control.DefaultLUT())
+	if err != nil {
+		t.Fatal(err)
+	}
+	truthRun, err := experiments.RunControlled(truthCfg, w.Profile, truthCtrl, ec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Energy within 0.5 Wh, same temperature envelope.
+	if diff := math.Abs(fittedRun.EnergyKWh - truthRun.EnergyKWh); diff > 0.0005 {
+		t.Fatalf("fitted-model controller energy %.4f vs truth %.4f (Δ %.4f kWh)",
+			fittedRun.EnergyKWh, truthRun.EnergyKWh, diff)
+	}
+	if fittedRun.MaxTempC > 77 {
+		t.Fatalf("fitted-model controller max temp %.1f violates the envelope", fittedRun.MaxTempC)
+	}
+}

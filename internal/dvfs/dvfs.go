@@ -1,0 +1,190 @@
+// Package dvfs implements the coordinated DVFS + fan-speed extension the
+// paper's conclusion points toward (and its related work, Shin et al.
+// ICCAD'09, explores): instead of choosing only a fan speed per
+// utilization level, choose a (P-state, fan speed) pair that minimizes
+// total power subject to
+//
+//   - no throughput loss: the demanded load must fit within the scaled
+//     capacity with headroom, and
+//   - the paper's 75 °C reliability cap at the predicted steady state.
+//
+// Dynamic CPU power scales as f·V², leakage as V (both relative to the top
+// P-state), and the demanded utilization inflates as 1/f on the slower
+// clock.
+package dvfs
+
+import (
+	"fmt"
+
+	"repro/internal/mathx"
+	"repro/internal/mem"
+	"repro/internal/server"
+	"repro/internal/units"
+)
+
+// PState is one operating point of the voltage/frequency ladder.
+type PState struct {
+	Name      string
+	FreqScale float64 // f/fmax in (0, 1]
+	VoltScale float64 // V/Vmax in (0, 1]
+}
+
+// DynScale is the dynamic-power multiplier f·V².
+func (p PState) DynScale() float64 { return p.FreqScale * p.VoltScale * p.VoltScale }
+
+// Validate reports malformed states.
+func (p PState) Validate() error {
+	if p.FreqScale <= 0 || p.FreqScale > 1 || p.VoltScale <= 0 || p.VoltScale > 1 {
+		return fmt.Errorf("dvfs: state %q scales out of (0,1]: f=%g v=%g", p.Name, p.FreqScale, p.VoltScale)
+	}
+	return nil
+}
+
+// DefaultLadder returns a four-state ladder typical of server parts.
+func DefaultLadder() []PState {
+	return []PState{
+		{Name: "P0", FreqScale: 1.00, VoltScale: 1.00},
+		{Name: "P1", FreqScale: 0.85, VoltScale: 0.93},
+		{Name: "P2", FreqScale: 0.70, VoltScale: 0.86},
+		{Name: "P3", FreqScale: 0.55, VoltScale: 0.80},
+	}
+}
+
+// SteadyTemp predicts the equilibrium die temperature at a demanded
+// utilization under a P-state and fan speed, mirroring server.SteadyTemp
+// with the DVFS power scaling applied.
+func SteadyTemp(cfg server.Config, p PState, demanded units.Percent, r units.RPM) (units.Celsius, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	effU := float64(demanded) / p.FreqScale
+	if effU > 100 {
+		return 0, fmt.Errorf("dvfs: demanded %v exceeds capacity of %s", demanded, p.Name)
+	}
+	memBank, err := mem.NewBank(cfg.Mem, cfg.Ambient)
+	if err != nil {
+		return 0, err
+	}
+	preheat := float64(memBank.InletPreheat(demanded, r))
+	rth := cfg.RthServer(r)
+	active := float64(cfg.Power.Active.Power(units.Percent(effU))) * p.DynScale()
+	f := func(t float64) float64 {
+		leak := float64(cfg.Power.Leakage.Power(units.Celsius(t))) * p.VoltScale
+		return float64(cfg.Ambient) + preheat + rth*(active+leak)
+	}
+	t, err := mathx.FixedPoint(f, float64(cfg.Ambient)+30, 1e-6, 500)
+	if err != nil {
+		return units.Celsius(t), fmt.Errorf("dvfs: unstable point %s U=%v RPM=%v: %w", p.Name, demanded, r, err)
+	}
+	if cfg.Power.Leakage.Slope(units.Celsius(t))*rth*p.VoltScale >= 1 {
+		return units.Celsius(t), fmt.Errorf("dvfs: thermal runaway at %s U=%v RPM=%v", p.Name, demanded, r)
+	}
+	return units.Celsius(t), nil
+}
+
+// Entry is one row of the coordinated 2-D table.
+type Entry struct {
+	Util          units.Percent
+	State         PState
+	RPM           units.RPM
+	PredictedTemp units.Celsius
+	CPUFanPower   units.Watts // active + leakage + fan at steady state
+}
+
+// Table maps demanded utilization to the optimal (P-state, fan) pair.
+type Table struct {
+	Entries []Entry
+}
+
+// BuildConfig controls coordinated table generation.
+type BuildConfig struct {
+	Utils    []units.Percent
+	Levels   []units.RPM
+	Ladder   []PState
+	MaxTemp  units.Celsius // reliability cap (0 disables)
+	Headroom float64       // required capacity slack: effU ≤ 100·(1−Headroom)
+}
+
+// DefaultBuild mirrors the paper's grid with the default ladder and a 5%
+// capacity headroom.
+func DefaultBuild() BuildConfig {
+	return BuildConfig{
+		Utils:    []units.Percent{0, 10, 25, 40, 50, 60, 75, 90, 100},
+		Levels:   []units.RPM{1800, 2400, 3000, 3600, 4200},
+		Ladder:   DefaultLadder(),
+		MaxTemp:  75,
+		Headroom: 0.05,
+	}
+}
+
+// Build generates the coordinated table: for each utilization, the
+// feasible (state, fan) pair minimizing active+leakage+fan power.
+func Build(cfg server.Config, b BuildConfig) (*Table, error) {
+	if len(b.Utils) == 0 || len(b.Levels) == 0 || len(b.Ladder) == 0 {
+		return nil, fmt.Errorf("dvfs: build needs utils, fan levels and a ladder")
+	}
+	for _, p := range b.Ladder {
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	capU := 100 * (1 - b.Headroom)
+	t := &Table{}
+	for _, u := range b.Utils {
+		best := Entry{Util: u}
+		found := false
+		for _, p := range b.Ladder {
+			// The top state never loses throughput by definition; deeper
+			// states must leave Headroom of scaled capacity spare.
+			if p.FreqScale < 1 && float64(u)/p.FreqScale > capU {
+				continue // would throttle
+			}
+			for _, r := range b.Levels {
+				temp, err := SteadyTemp(cfg, p, u, r)
+				if err != nil {
+					continue
+				}
+				if b.MaxTemp > 0 && temp > b.MaxTemp {
+					continue
+				}
+				effU := units.Percent(float64(u) / p.FreqScale)
+				obj := units.Watts(float64(cfg.Power.Active.Power(effU))*p.DynScale()) +
+					units.Watts(float64(cfg.Power.Leakage.Power(temp))*p.VoltScale) +
+					cfg.Power.Fans.Power(r)
+				if !found || obj < best.CPUFanPower {
+					best = Entry{Util: u, State: p, RPM: r, PredictedTemp: temp, CPUFanPower: obj}
+					found = true
+				}
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("dvfs: no feasible operating point at U=%v", u)
+		}
+		t.Entries = append(t.Entries, best)
+	}
+	return t, nil
+}
+
+// Lookup returns the coordinated setting for a demanded utilization,
+// rounding up to the next grid entry like the fan-only LUT.
+func (t *Table) Lookup(u units.Percent) (Entry, error) {
+	if len(t.Entries) == 0 {
+		return Entry{}, fmt.Errorf("dvfs: empty table")
+	}
+	u = u.Clamp()
+	for _, e := range t.Entries {
+		if u <= e.Util {
+			return e, nil
+		}
+	}
+	return t.Entries[len(t.Entries)-1], nil
+}
+
+func (t *Table) String() string {
+	s := "util%  state  rpm   Tss(°C)  cpu+fan(W)\n"
+	for _, e := range t.Entries {
+		s += fmt.Sprintf("%5.0f  %-5s  %4.0f  %6.1f  %9.2f\n",
+			float64(e.Util), e.State.Name, float64(e.RPM), float64(e.PredictedTemp), float64(e.CPUFanPower))
+	}
+	return s
+}

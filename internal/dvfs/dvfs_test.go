@@ -1,0 +1,224 @@
+package dvfs
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/control"
+	"repro/internal/experiments"
+	"repro/internal/lut"
+	"repro/internal/server"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func TestPStateValidate(t *testing.T) {
+	for _, p := range DefaultLadder() {
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bad := []PState{
+		{Name: "x", FreqScale: 0, VoltScale: 1},
+		{Name: "x", FreqScale: 1.2, VoltScale: 1},
+		{Name: "x", FreqScale: 1, VoltScale: 0},
+		{Name: "x", FreqScale: 1, VoltScale: 1.5},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("state %+v should be invalid", p)
+		}
+	}
+}
+
+func TestDynScale(t *testing.T) {
+	p := PState{FreqScale: 0.5, VoltScale: 0.8}
+	if got := p.DynScale(); math.Abs(got-0.32) > 1e-12 {
+		t.Fatalf("dyn scale = %g, want 0.32", got)
+	}
+	top := PState{FreqScale: 1, VoltScale: 1}
+	if top.DynScale() != 1 {
+		t.Fatal("top state scale must be 1")
+	}
+}
+
+func TestSteadyTempMatchesServerAtP0(t *testing.T) {
+	cfg := server.T3Config()
+	p0 := DefaultLadder()[0]
+	for _, u := range []units.Percent{25, 75, 100} {
+		dv, err := SteadyTemp(cfg, p0, u, 2400)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := server.SteadyTemp(cfg, u, 2400)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(float64(dv-base)) > 1e-6 {
+			t.Fatalf("P0 steady %v != server steady %v at U=%v", dv, base, u)
+		}
+	}
+}
+
+func TestSteadyTempLowerAtLowerPState(t *testing.T) {
+	cfg := server.T3Config()
+	ladder := DefaultLadder()
+	// 50% demanded fits in every state (P3: 50/0.55 = 91% < 100).
+	prev := units.Celsius(200)
+	for _, p := range ladder {
+		temp, err := SteadyTemp(cfg, p, 50, 2400)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if temp >= prev {
+			t.Fatalf("state %s temp %v not below previous %v", p.Name, temp, prev)
+		}
+		prev = temp
+	}
+}
+
+func TestSteadyTempRejectsThrottling(t *testing.T) {
+	cfg := server.T3Config()
+	p3 := DefaultLadder()[3] // 0.55 capacity
+	if _, err := SteadyTemp(cfg, p3, 80, 2400); err == nil {
+		t.Fatal("80% demanded must not fit in P3")
+	}
+}
+
+func TestBuildCoordinatedTable(t *testing.T) {
+	cfg := server.T3Config()
+	table, err := Build(cfg, DefaultBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Entries) != 9 {
+		t.Fatalf("entries = %d", len(table.Entries))
+	}
+	// Low utilization picks a deep P-state; 100% must stay at P0.
+	first := table.Entries[0]
+	if first.State.FreqScale >= 1 {
+		t.Fatalf("idle entry uses %s; expected a deep P-state", first.State.Name)
+	}
+	last := table.Entries[len(table.Entries)-1]
+	if last.Util != 100 || last.State.Name != "P0" {
+		t.Fatalf("100%% entry = %+v, want P0", last)
+	}
+	// Every entry honors the temperature cap; deeper states honor the
+	// capacity headroom (the top state is always throughput-neutral).
+	for _, e := range table.Entries {
+		if e.PredictedTemp > 75 {
+			t.Fatalf("entry U=%v predicted %v > 75°C", e.Util, e.PredictedTemp)
+		}
+		if e.State.FreqScale < 1 && float64(e.Util)/e.State.FreqScale > 95.0001 {
+			t.Fatalf("entry U=%v violates headroom in %s", e.Util, e.State.Name)
+		}
+	}
+	if !strings.Contains(table.String(), "P0") {
+		t.Fatal("table string missing states")
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	cfg := server.T3Config()
+	b := DefaultBuild()
+	b.Utils = nil
+	if _, err := Build(cfg, b); err == nil {
+		t.Error("no utils should fail")
+	}
+	b = DefaultBuild()
+	b.Ladder = []PState{{Name: "bad", FreqScale: 2, VoltScale: 1}}
+	if _, err := Build(cfg, b); err == nil {
+		t.Error("bad ladder should fail")
+	}
+}
+
+func TestLookup(t *testing.T) {
+	cfg := server.T3Config()
+	table, err := Build(cfg, DefaultBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := table.Lookup(65)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Util != 75 {
+		t.Fatalf("Lookup(65) rounded to %v, want 75", e.Util)
+	}
+	if _, err := (&Table{}).Lookup(10); err == nil {
+		t.Error("empty table should error")
+	}
+}
+
+func TestCoordinatedBeatsFanOnlyOnMidLoad(t *testing.T) {
+	// The extension's claim: at partial load, dropping the P-state saves
+	// dynamic power the fan-only LUT cannot touch.
+	cfg := server.T3Config()
+	w, err := workload.ByID(4, 42) // shell workload, ~40% mean
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fanTable, err := lut.Build(cfg, lut.DefaultBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc, err := control.NewLUT(fanTable, control.DefaultLUT())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ec := experiments.DefaultEval()
+	ec.SampleEvery = 0
+	ec.PWM = false
+	fanOnly, err := experiments.RunControlled(cfg, w.Profile, lc, ec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	coordTable, err := Build(cfg, DefaultBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := Run(cfg, coordTable, w.Profile, DefaultRun())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if coord.Throttled {
+		t.Fatal("coordinated policy must not throttle")
+	}
+	if coord.EnergyKWh >= fanOnly.EnergyKWh {
+		t.Fatalf("coordinated %.4f kWh should beat fan-only %.4f kWh",
+			coord.EnergyKWh, fanOnly.EnergyKWh)
+	}
+	if coord.MaxTempC > 76 {
+		t.Fatalf("coordinated max temp %.1f violates the cap", coord.MaxTempC)
+	}
+	if coord.MinFreq >= 1 {
+		t.Fatal("coordinated run never used a deeper P-state")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	cfg := server.T3Config()
+	table, err := Build(cfg, DefaultBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := workload.ByID(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(cfg, nil, w.Profile, DefaultRun()); err == nil {
+		t.Error("nil table should error")
+	}
+	if _, err := Run(cfg, table, nil, DefaultRun()); err == nil {
+		t.Error("nil profile should error")
+	}
+	bad := DefaultRun()
+	bad.Dt = 0
+	if _, err := Run(cfg, table, w.Profile, bad); err == nil {
+		t.Error("zero dt should error")
+	}
+}

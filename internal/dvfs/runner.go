@@ -1,0 +1,156 @@
+package dvfs
+
+import (
+	"fmt"
+
+	"repro/internal/loadgen"
+	"repro/internal/server"
+	"repro/internal/units"
+)
+
+// RunConfig controls a coordinated-controller evaluation run.
+type RunConfig struct {
+	Dt         float64 // simulation step
+	Stabilize  float64 // idle seconds before the measured window
+	HoldOff    float64 // minimum seconds between setting changes
+	PollPeriod float64 // utilization polling period
+	UtilWindow float64 // sar-style averaging window
+}
+
+// DefaultRun mirrors the paper's evaluation protocol.
+func DefaultRun() RunConfig {
+	return RunConfig{Dt: 1, Stabilize: 5 * 60, HoldOff: 60, PollPeriod: 1, UtilWindow: 30}
+}
+
+// RunResult reports the coordinated run's metrics.
+type RunResult struct {
+	EnergyKWh  float64
+	PeakPowerW float64
+	MaxTempC   float64
+	Changes    int // fan or P-state changes
+	AvgRPM     float64
+	Throttled  bool    // any throughput loss observed
+	MinFreq    float64 // lowest frequency scale used
+}
+
+// Run evaluates the coordinated table on a workload profile. The runner
+// owns the loop because, unlike the fan-only controllers, this policy
+// actuates two knobs (P-state and fan speed).
+func Run(cfg server.Config, table *Table, prof loadgen.Profile, rc RunConfig) (RunResult, error) {
+	if table == nil || len(table.Entries) == 0 {
+		return RunResult{}, fmt.Errorf("dvfs: nil or empty table")
+	}
+	if prof == nil {
+		return RunResult{}, fmt.Errorf("dvfs: nil profile")
+	}
+	if rc.Dt <= 0 {
+		return RunResult{}, fmt.Errorf("dvfs: non-positive dt")
+	}
+	srv, err := server.New(cfg)
+	if err != nil {
+		return RunResult{}, err
+	}
+	gen, err := loadgen.New(prof, loadgen.WithoutPWM())
+	if err != nil {
+		return RunResult{}, err
+	}
+
+	window := int(rc.UtilWindow / rc.Dt)
+	if window < 1 {
+		window = 1
+	}
+	samples := make([]float64, 0, window)
+	meanUtil := func() units.Percent {
+		if len(samples) == 0 {
+			return 0
+		}
+		var s float64
+		for _, v := range samples {
+			s += v
+		}
+		return units.Percent(s / float64(len(samples)))
+	}
+	addUtil := func(v float64) {
+		if len(samples) == window {
+			copy(samples, samples[1:])
+			samples = samples[:window-1]
+		}
+		samples = append(samples, v)
+	}
+
+	res := RunResult{MinFreq: 1}
+	fanHoldTill := 0.0
+	nextPoll := 0.0
+	var curState PState
+	var curRPM units.RPM
+	haveCur := false
+
+	tick := func() {
+		now := srv.Now()
+		if now < nextPoll {
+			return
+		}
+		nextPoll = now + rc.PollPeriod
+
+		// P-state selection is conservative: react to the *instantaneous*
+		// utilization when it exceeds the windowed mean, so demand spikes
+		// never throttle while waiting for the window to catch up.
+		u := meanUtil()
+		if inst := srv.Utilization(); inst > u {
+			u = inst
+		}
+		e, err := table.Lookup(u)
+		if err != nil {
+			return
+		}
+
+		// P-states switch in microseconds on real parts: apply
+		// immediately, outside the fan hold-off.
+		if !haveCur || e.State != curState {
+			if err := srv.SetDVFS(e.State.FreqScale, e.State.VoltScale); err == nil {
+				curState = e.State
+				res.Changes++
+				if e.State.FreqScale < res.MinFreq {
+					res.MinFreq = e.State.FreqScale
+				}
+			}
+		}
+		// Fans respect the paper's minimum interval between changes.
+		if now >= fanHoldTill && (!haveCur || e.RPM != curRPM) {
+			srv.Fans().SetAll(e.RPM)
+			curRPM = e.RPM
+			fanHoldTill = now + rc.HoldOff
+			res.Changes++
+		}
+		haveCur = true
+	}
+
+	for now := 0.0; now < rc.Stabilize; now += rc.Dt {
+		srv.SetLoad(0)
+		addUtil(0)
+		tick()
+		srv.Step(rc.Dt)
+	}
+	res.Changes = 0
+	srv.ResetAccounting()
+	dur := prof.Duration()
+	var rpmSum, maxTemp float64
+	steps := 0
+	for elapsed := 0.0; elapsed < dur; elapsed += rc.Dt {
+		srv.SetLoad(gen.Load(elapsed))
+		addUtil(float64(srv.Utilization()))
+		tick()
+		srv.Step(rc.Dt)
+		steps++
+		rpmSum += float64(srv.Fans().MeanRPM())
+		if t := float64(srv.MaxCPUTemp()); t > maxTemp {
+			maxTemp = t
+		}
+	}
+	res.EnergyKWh = srv.Energy().KWh()
+	res.PeakPowerW = float64(srv.PeakPower())
+	res.MaxTempC = maxTemp
+	res.AvgRPM = rpmSum / float64(steps)
+	res.Throttled = srv.Throttled()
+	return res, nil
+}

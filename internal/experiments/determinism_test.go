@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/control"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+// TestRunsAreDeterministic guards the reproducibility claim: identical
+// seeds must give bit-identical energies, temperatures and fan activity,
+// because every stochastic element (workloads, sensor noise) is explicitly
+// seeded.
+func TestRunsAreDeterministic(t *testing.T) {
+	cfg := server.T3Config()
+	ec := DefaultEval()
+	ec.SampleEvery = 0
+	run := func() RunResult {
+		w, err := workload.ByID(4, 123) // the most stochastic workload
+		if err != nil {
+			t.Fatal(err)
+		}
+		bb, err := control.NewBangBang(control.DefaultBangBang())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunControlled(cfg, w.Profile, bb, ec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a := run()
+	b := run()
+	if a.EnergyKWh != b.EnergyKWh {
+		t.Fatalf("energies differ: %v vs %v", a.EnergyKWh, b.EnergyKWh)
+	}
+	if a.MaxTempC != b.MaxTempC || a.PeakPowerW != b.PeakPowerW {
+		t.Fatalf("metrics differ: %+v vs %+v", a, b)
+	}
+	if a.FanChanges != b.FanChanges || a.AvgRPM != b.AvgRPM {
+		t.Fatalf("fan activity differs: %d/%g vs %d/%g",
+			a.FanChanges, a.AvgRPM, b.FanChanges, b.AvgRPM)
+	}
+}
+
+// TestSeedChangesStochasticTests confirms the seed is actually load-bearing
+// for the stochastic workloads (Tests 3 and 4).
+func TestSeedChangesStochasticTests(t *testing.T) {
+	cfg := server.T3Config()
+	ec := DefaultEval()
+	ec.SampleEvery = 0
+	energy := func(seed int64) float64 {
+		w, err := workload.ByID(3, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunControlled(cfg, w.Profile, control.NewDefault(), ec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.EnergyKWh
+	}
+	if energy(1) == energy(2) {
+		t.Fatal("different seeds gave identical Test-3 energies")
+	}
+}

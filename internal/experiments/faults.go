@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/control"
+	"repro/internal/loadgen"
+	"repro/internal/server"
+	"repro/internal/units"
+)
+
+// FaultConfig describes a stuck-fan injection experiment: run a controller
+// at a constant load, freeze one fan partway through, and measure the
+// thermal consequence and the controller's compensation.
+type FaultConfig struct {
+	Util      units.Percent // constant load
+	FanIndex  int           // which fan sticks
+	InjectAt  float64       // seconds into the measured window
+	Duration  float64       // total measured window, seconds
+	Stabilize float64       // pre-window stabilization
+	Dt        float64
+}
+
+// DefaultFault sticks fan 0 twenty minutes into an 80%-load hour.
+func DefaultFault() FaultConfig {
+	return FaultConfig{
+		Util:      80,
+		FanIndex:  0,
+		InjectAt:  20 * 60,
+		Duration:  60 * 60,
+		Stabilize: 5 * 60,
+		Dt:        1,
+	}
+}
+
+// FaultResult reports the experiment outcome.
+type FaultResult struct {
+	Controller    string
+	PreFaultMaxC  float64 // max die temp before injection
+	PostFaultMaxC float64 // max die temp after injection
+	DeltaC        float64 // thermal penalty of the fault
+	FanChanges    int     // controller activity after the fault
+	Tripped       bool
+}
+
+// RunFault executes the stuck-fan experiment for one controller.
+func RunFault(cfg server.Config, ctrl control.Controller, fc FaultConfig) (FaultResult, error) {
+	if fc.Dt <= 0 || fc.Duration <= 0 || fc.InjectAt < 0 || fc.InjectAt >= fc.Duration {
+		return FaultResult{}, fmt.Errorf("experiments: bad fault timing %+v", fc)
+	}
+	srv, err := server.New(cfg)
+	if err != nil {
+		return FaultResult{}, err
+	}
+	if fc.FanIndex < 0 || fc.FanIndex >= srv.Fans().NumFans() {
+		return FaultResult{}, fmt.Errorf("experiments: fan index %d out of range", fc.FanIndex)
+	}
+	ctrl.Reset()
+	gen, err := loadgen.New(loadgen.Constant{Level: fc.Util, Dur: fc.Duration}, loadgen.WithoutPWM())
+	if err != nil {
+		return FaultResult{}, err
+	}
+
+	res := FaultResult{Controller: ctrl.Name()}
+	changes := 0
+	tick := func() {
+		obs := control.Observation{
+			Now:         srv.Now(),
+			Utilization: srv.Utilization(),
+			MaxCPUTemp:  maxC(srv.CPUTempSensors()),
+			CurrentRPM:  srv.Fans().Target(),
+		}
+		dec := ctrl.Tick(obs)
+		if dec.Changed {
+			srv.Fans().SetAll(dec.Target)
+			changes++
+		}
+	}
+
+	for now := 0.0; now < fc.Stabilize; now += fc.Dt {
+		srv.SetLoad(0)
+		tick()
+		srv.Step(fc.Dt)
+	}
+
+	injected := false
+	for elapsed := 0.0; elapsed < fc.Duration; elapsed += fc.Dt {
+		if !injected && elapsed >= fc.InjectAt {
+			if err := srv.Fans().StickFan(fc.FanIndex); err != nil {
+				return FaultResult{}, err
+			}
+			injected = true
+			changes = 0
+		}
+		srv.SetLoad(gen.Load(elapsed))
+		tick()
+		srv.Step(fc.Dt)
+		t := float64(srv.MaxCPUTemp())
+		if injected {
+			if t > res.PostFaultMaxC {
+				res.PostFaultMaxC = t
+			}
+		} else if t > res.PreFaultMaxC {
+			res.PreFaultMaxC = t
+		}
+	}
+	res.DeltaC = res.PostFaultMaxC - res.PreFaultMaxC
+	res.FanChanges = changes
+	res.Tripped = srv.Tripped()
+	return res, nil
+}

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/control"
+	"repro/internal/lut"
+	"repro/internal/server"
+)
+
+func TestRunFaultValidation(t *testing.T) {
+	cfg := server.T3Config()
+	fc := DefaultFault()
+	fc.Dt = 0
+	if _, err := RunFault(cfg, control.NewDefault(), fc); err == nil {
+		t.Error("zero dt should error")
+	}
+	fc = DefaultFault()
+	fc.InjectAt = fc.Duration + 1
+	if _, err := RunFault(cfg, control.NewDefault(), fc); err == nil {
+		t.Error("injection after the window should error")
+	}
+	fc = DefaultFault()
+	fc.FanIndex = 99
+	if _, err := RunFault(cfg, control.NewDefault(), fc); err == nil {
+		t.Error("bad fan index should error")
+	}
+}
+
+func TestStuckFanRaisesTemperature(t *testing.T) {
+	cfg := server.T3Config()
+	fc := DefaultFault()
+	fc.Duration = 40 * 60
+	fc.InjectAt = 15 * 60
+
+	// Default controller at 3300: a fan stuck at 3300 while commanded to
+	// 3300 changes nothing — use a LUT controller so the healthy fans run
+	// slow and the stuck one (frozen at a slow speed after the controller
+	// settles) matters when load rises.
+	table, err := lut.Build(cfg, lut.DefaultBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc, err := control.NewLUT(table, control.DefaultLUT())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunFault(cfg, lc, fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Controller != "LUT" {
+		t.Fatal("controller name")
+	}
+	if res.PreFaultMaxC <= 0 || res.PostFaultMaxC <= 0 {
+		t.Fatalf("temps missing: %+v", res)
+	}
+	// The machine must not trip thermal protection at 80% load with five
+	// healthy fans.
+	if res.Tripped {
+		t.Fatal("stuck fan tripped thermal protection")
+	}
+	// At constant load before/after the fault, the post-fault max should
+	// not be dramatically below the pre-fault max (physics sanity).
+	if res.PostFaultMaxC < res.PreFaultMaxC-3 {
+		t.Fatalf("post-fault max %g unexpectedly below pre-fault %g",
+			res.PostFaultMaxC, res.PreFaultMaxC)
+	}
+}
+
+func TestBangBangCompensatesForStuckFan(t *testing.T) {
+	// Stick a fan at a LOW speed while the load is high: the bang-bang
+	// controller (temperature feedback) raises the remaining fans if the
+	// temperature leaves its band, whereas the temperature-blind LUT
+	// cannot react. Inject early so the machine heats up with the fault.
+	cfg := server.T3Config()
+	fc := DefaultFault()
+	fc.Util = 100
+	fc.Duration = 40 * 60
+	fc.InjectAt = 60 // one minute in: fans still near their idle setting
+
+	bb, err := control.NewBangBang(control.DefaultBangBang())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunFault(cfg, bb, fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The controller must have acted after injection.
+	if res.FanChanges == 0 {
+		t.Fatal("bang-bang made no changes after the fault")
+	}
+	// And kept the machine out of thermal protection.
+	if res.Tripped {
+		t.Fatal("bang-bang failed to prevent a trip")
+	}
+	if res.PostFaultMaxC >= 88 {
+		t.Fatalf("post-fault max %g dangerously near the 90°C trip", res.PostFaultMaxC)
+	}
+}

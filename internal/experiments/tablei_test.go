@@ -1,0 +1,220 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/server"
+)
+
+// tableIRows runs the full Table I once per test binary invocation.
+var tableICache []TableIRow
+
+func tableIRows(t *testing.T) []TableIRow {
+	t.Helper()
+	if tableICache != nil {
+		return tableICache
+	}
+	rows, err := TableI(server.T3Config(), 42, DefaultEval())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tableICache = rows
+	return rows
+}
+
+func TestTableIStructure(t *testing.T) {
+	rows := tableIRows(t)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4 tests", len(rows))
+	}
+	for _, r := range rows {
+		if r.Default.Controller != "Default" || r.BangBang.Controller != "Bang-bang" || r.LUT.Controller != "LUT" {
+			t.Fatalf("controller names wrong in test %d", r.TestID)
+		}
+		if r.Default.Tripped || r.BangBang.Tripped || r.LUT.Tripped {
+			t.Fatalf("test %d tripped thermal protection", r.TestID)
+		}
+	}
+}
+
+func TestTableIEnergyMagnitudes(t *testing.T) {
+	// Paper energies are 0.61–0.69 kWh per 80-minute test.
+	for _, r := range tableIRows(t) {
+		for _, res := range []RunResult{r.Default, r.BangBang, r.LUT} {
+			if res.EnergyKWh < 0.50 || res.EnergyKWh > 0.80 {
+				t.Errorf("test %d %s energy %.4f kWh outside the paper's band",
+					r.TestID, res.Controller, res.EnergyKWh)
+			}
+		}
+	}
+}
+
+func TestTableILUTWinsEveryTest(t *testing.T) {
+	// The paper's headline: the LUT controller has the lowest energy on
+	// every test, bang-bang in between. In our calibration the LUT/bang
+	// comparison is a statistical near-tie on some tests (the late-reaction
+	// leakage penalty almost exactly cancels the fan savings at the slow
+	// calibrated thermal constants — see EXPERIMENTS.md), so we require
+	// LUT ≤ bang within a 1 Wh tolerance, and both strictly below default.
+	const tieTolKWh = 0.001
+	for _, r := range tableIRows(t) {
+		if r.LUT.EnergyKWh >= r.Default.EnergyKWh {
+			t.Errorf("test %d: LUT %.4f not below default %.4f",
+				r.TestID, r.LUT.EnergyKWh, r.Default.EnergyKWh)
+		}
+		if r.LUT.EnergyKWh > r.BangBang.EnergyKWh+tieTolKWh {
+			t.Errorf("test %d: LUT %.4f worse than bang-bang %.4f beyond tie tolerance",
+				r.TestID, r.LUT.EnergyKWh, r.BangBang.EnergyKWh)
+		}
+		if r.BangBang.EnergyKWh >= r.Default.EnergyKWh {
+			t.Errorf("test %d: bang-bang %.4f not below default %.4f",
+				r.TestID, r.BangBang.EnergyKWh, r.Default.EnergyKWh)
+		}
+	}
+}
+
+func TestTableINetSavingsBand(t *testing.T) {
+	// Paper: LUT saves 3.9–8.7% net; abstract says "up to 9%".
+	for _, r := range tableIRows(t) {
+		if r.LUT.NetSavingsPct < 2 || r.LUT.NetSavingsPct > 20 {
+			t.Errorf("test %d: LUT net savings %.1f%% far from the paper's 3.9-8.7%%",
+				r.TestID, r.LUT.NetSavingsPct)
+		}
+		// Allow the documented near-tie: bang may not beat LUT by more
+		// than half a percentage point.
+		if r.BangBang.NetSavingsPct > r.LUT.NetSavingsPct+0.5 {
+			t.Errorf("test %d: bang-bang savings %.1f%% exceed LUT's %.1f%%",
+				r.TestID, r.BangBang.NetSavingsPct, r.LUT.NetSavingsPct)
+		}
+	}
+}
+
+func TestTableITemperatures(t *testing.T) {
+	for _, r := range tableIRows(t) {
+		// Default overcools: max temp around 60 °C.
+		if r.Default.MaxTempC < 45 || r.Default.MaxTempC > 67 {
+			t.Errorf("test %d: default max temp %.0f, paper ~60-62", r.TestID, r.Default.MaxTempC)
+		}
+		// LUT runs warm but within the 75 °C reliability envelope
+		// (paper: 69-75; small sensor-noise margin).
+		if r.LUT.MaxTempC > 77 {
+			t.Errorf("test %d: LUT max temp %.0f exceeds target", r.TestID, r.LUT.MaxTempC)
+		}
+		if r.LUT.MaxTempC <= r.Default.MaxTempC {
+			t.Errorf("test %d: LUT max %.0f not above default %.0f",
+				r.TestID, r.LUT.MaxTempC, r.Default.MaxTempC)
+		}
+		// Bang-bang allows the hottest excursions (paper: 75-77).
+		if r.BangBang.MaxTempC > 83 {
+			t.Errorf("test %d: bang-bang max temp %.0f too hot", r.TestID, r.BangBang.MaxTempC)
+		}
+	}
+}
+
+func TestTableIFanBehaviour(t *testing.T) {
+	for _, r := range tableIRows(t) {
+		// Default: fixed speed, no changes, ~3300 RPM.
+		if r.Default.FanChanges != 0 {
+			t.Errorf("test %d: default changed fans %d times", r.TestID, r.Default.FanChanges)
+		}
+		if r.Default.AvgRPM < 3250 || r.Default.AvgRPM > 3350 {
+			t.Errorf("test %d: default avg RPM %.0f", r.TestID, r.Default.AvgRPM)
+		}
+		// Controllers run much slower fans on average (paper: ~1900-2200).
+		for _, res := range []RunResult{r.BangBang, r.LUT} {
+			if res.AvgRPM < 1800 || res.AvgRPM > 2900 {
+				t.Errorf("test %d: %s avg RPM %.0f outside the paper's ~1900-2200 band",
+					r.TestID, res.Controller, res.AvgRPM)
+			}
+		}
+		// A modest number of fan changes (paper: 6-14), and never absurd.
+		// The LUT controller reacts on every test; bang-bang may sit still
+		// on workloads whose temperatures never leave its dead band
+		// (Test-4's gentle shell load in our calibration).
+		if r.LUT.FanChanges < 1 || r.LUT.FanChanges > 40 {
+			t.Errorf("test %d: LUT fan changes = %d", r.TestID, r.LUT.FanChanges)
+		}
+		if r.BangBang.FanChanges > 40 {
+			t.Errorf("test %d: bang-bang fan changes = %d", r.TestID, r.BangBang.FanChanges)
+		}
+	}
+	// Across the whole table the bang-bang controller must actually act.
+	total := 0
+	for _, r := range tableIRows(t) {
+		total += r.BangBang.FanChanges
+	}
+	if total < 3 {
+		t.Errorf("bang-bang made only %d changes across all tests", total)
+	}
+}
+
+func TestTableIPeakPowerOrdering(t *testing.T) {
+	// Paper: LUT reduces peak power below default; bang-bang is at or
+	// slightly above default.
+	for _, r := range tableIRows(t) {
+		if r.LUT.PeakPowerW >= r.Default.PeakPowerW {
+			t.Errorf("test %d: LUT peak %.0f W not below default %.0f W",
+				r.TestID, r.LUT.PeakPowerW, r.Default.PeakPowerW)
+		}
+	}
+}
+
+func TestFormatTableI(t *testing.T) {
+	rows := tableIRows(t)
+	var sb strings.Builder
+	if err := FormatTableI(&sb, rows); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Default", "Bang-bang", "LUT", "Energy(kWh)", "AvgRPM"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 14 { // header + separator + 12 result rows
+		t.Fatalf("table rows = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestFig3Traces(t *testing.T) {
+	series, err := Fig3(server.T3Config(), 42, DefaultEval())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 3 {
+		t.Fatalf("series = %d", len(series))
+	}
+	names := map[string]bool{}
+	for _, s := range series {
+		names[s.Name] = true
+		if len(s.X) < 100 {
+			t.Fatalf("series %s too short: %d samples", s.Name, len(s.X))
+		}
+	}
+	if !names["Default"] || !names["Bang-bang"] || !names["LUT"] {
+		t.Fatalf("series names = %v", names)
+	}
+	// Default trace is the coldest on average; LUT is warmer and steadier
+	// than bang-bang's excursions.
+	mean := func(xs []float64) float64 {
+		var s float64
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	}
+	var defMean, lutMean float64
+	for _, s := range series {
+		switch s.Name {
+		case "Default":
+			defMean = mean(s.Y)
+		case "LUT":
+			lutMean = mean(s.Y)
+		}
+	}
+	if lutMean <= defMean {
+		t.Fatalf("LUT mean temp %.1f should exceed default %.1f", lutMean, defMean)
+	}
+}

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/server"
+	"repro/internal/units"
+)
+
+// TradeoffPoint is one steady operating point of Fig. 2: at a fan speed,
+// the equilibrium temperature and the fan/leakage power split.
+type TradeoffPoint struct {
+	RPM      units.RPM
+	Temp     units.Celsius
+	FanPower units.Watts
+	Leakage  units.Watts
+}
+
+// Sum returns fan + leakage power, the quantity Fig. 2(a) shows is convex.
+func (p TradeoffPoint) Sum() units.Watts { return p.FanPower + p.Leakage }
+
+// TradeoffCurve is a Fig. 2 series for one utilization level.
+type TradeoffCurve struct {
+	Util   units.Percent
+	Points []TradeoffPoint // sorted by temperature (i.e. descending RPM)
+}
+
+// Optimum returns the point minimizing fan+leakage power.
+func (c TradeoffCurve) Optimum() (TradeoffPoint, error) {
+	if len(c.Points) == 0 {
+		return TradeoffPoint{}, fmt.Errorf("experiments: empty tradeoff curve")
+	}
+	best := c.Points[0]
+	for _, p := range c.Points[1:] {
+		if p.Sum() < best.Sum() {
+			best = p
+		}
+	}
+	return best, nil
+}
+
+// IsConvexish reports whether the sum decreases to a single minimum and
+// then increases along the temperature axis — the qualitative claim of
+// Fig. 2(a).
+func (c TradeoffCurve) IsConvexish() bool {
+	if len(c.Points) < 3 {
+		return false
+	}
+	sums := make([]float64, len(c.Points))
+	for i, p := range c.Points {
+		sums[i] = float64(p.Sum())
+	}
+	minIdx := 0
+	for i, s := range sums {
+		if s < sums[minIdx] {
+			minIdx = i
+		}
+	}
+	for i := 1; i <= minIdx; i++ {
+		if sums[i] > sums[i-1]+1e-9 {
+			return false
+		}
+	}
+	for i := minIdx + 1; i < len(sums); i++ {
+		if sums[i] < sums[i-1]-1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+// Tradeoff computes the steady-state fan/leakage tradeoff curve at one
+// utilization across a set of fan speeds, using the analytic steady-state
+// solver. Unstable (runaway) points are skipped.
+func Tradeoff(cfg server.Config, util units.Percent, rpms []units.RPM) (TradeoffCurve, error) {
+	if len(rpms) == 0 {
+		rpms = denseRPMGrid()
+	}
+	curve := TradeoffCurve{Util: util}
+	for _, r := range rpms {
+		temp, err := server.SteadyTemp(cfg, util, r)
+		if err != nil {
+			continue
+		}
+		curve.Points = append(curve.Points, TradeoffPoint{
+			RPM:      r,
+			Temp:     temp,
+			FanPower: cfg.Power.Fans.Power(r),
+			Leakage:  cfg.Power.Leakage.Power(temp),
+		})
+	}
+	if len(curve.Points) == 0 {
+		return curve, fmt.Errorf("experiments: no stable operating points at U=%v", util)
+	}
+	sort.Slice(curve.Points, func(i, j int) bool { return curve.Points[i].Temp < curve.Points[j].Temp })
+	return curve, nil
+}
+
+// Fig2a reproduces Figure 2(a): the tradeoff at 100% utilization over a
+// dense RPM grid.
+func Fig2a(cfg server.Config) (TradeoffCurve, error) {
+	return Tradeoff(cfg, 100, denseRPMGrid())
+}
+
+// Fig2b reproduces Figure 2(b): fan+leakage curves for the paper's
+// utilization levels.
+func Fig2b(cfg server.Config) ([]TradeoffCurve, error) {
+	utils := []units.Percent{25, 50, 60, 75, 90, 100}
+	out := make([]TradeoffCurve, 0, len(utils))
+	for _, u := range utils {
+		c, err := Tradeoff(cfg, u, denseRPMGrid())
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig2b U=%v: %w", u, err)
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// denseRPMGrid spans the fan range at 100 RPM resolution for smooth curves.
+func denseRPMGrid() []units.RPM {
+	var out []units.RPM
+	for r := units.RPM(1800); r <= 4200; r += 100 {
+		out = append(out, r)
+	}
+	return out
+}

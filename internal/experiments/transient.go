@@ -1,0 +1,191 @@
+// Package experiments reproduces the paper's evaluation: the Fig. 1
+// thermal transients, the Fig. 2 leakage/fan tradeoff curves, Table I's
+// controller comparison, and the Fig. 3 temperature traces.
+//
+// Every experiment follows the paper's protocol (Section IV): the machine
+// starts from a cold state forced by idle execution at 3600 RPM, the fan
+// speed is set at t=0 and the machine idles for 5 minutes to stabilize,
+// the workload runs, and the last 10 minutes are idle so temperatures
+// return to a steady state.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/loadgen"
+	"repro/internal/server"
+	"repro/internal/units"
+)
+
+// TransientConfig describes one Fig. 1 style run.
+type TransientConfig struct {
+	FanRPM      units.RPM
+	Util        units.Percent
+	PWM         bool    // duty-cycle the load as LoadGen does
+	PWMPeriod   float64 // seconds (visible oscillation in Fig. 1b)
+	Stabilize   float64 // idle seconds after setting the fan (paper: 5 min)
+	LoadFor     float64 // loaded seconds (paper: 30 min)
+	IdleTail    float64 // trailing idle seconds (paper: 10 min)
+	Dt          float64
+	SampleEvery float64 // temperature sampling period (paper: 10 s)
+}
+
+// DefaultTransient returns the paper's Section IV run shape.
+func DefaultTransient(rpm units.RPM, util units.Percent) TransientConfig {
+	return TransientConfig{
+		FanRPM:      rpm,
+		Util:        util,
+		PWM:         true,
+		PWMPeriod:   30,
+		Stabilize:   5 * 60,
+		LoadFor:     30 * 60,
+		IdleTail:    10 * 60,
+		Dt:          1,
+		SampleEvery: 10,
+	}
+}
+
+// TransientResult is a sampled temperature trajectory.
+type TransientResult struct {
+	Label    string
+	TimeMin  []float64 // minutes since t=0 (fan set, idle stabilization)
+	TempC    []float64 // average CPU temperature (sensor readings)
+	UtilPct  []float64
+	SteadyC  float64 // temperature at the end of the loaded phase
+	SettleAt float64 // minutes into the loaded phase when within 1 °C of steady
+}
+
+// RunTransient executes one characterization run against a fresh server.
+func RunTransient(cfg server.Config, tc TransientConfig) (TransientResult, error) {
+	if tc.Dt <= 0 || tc.SampleEvery <= 0 {
+		return TransientResult{}, fmt.Errorf("experiments: non-positive timing in transient config")
+	}
+	srv, err := server.New(cfg)
+	if err != nil {
+		return TransientResult{}, err
+	}
+	srv.Fans().SetAll(tc.FanRPM)
+
+	opts := []loadgen.Option{loadgen.WithPWMPeriod(tc.PWMPeriod)}
+	if !tc.PWM {
+		opts = []loadgen.Option{loadgen.WithoutPWM()}
+	}
+	gen, err := loadgen.New(loadgen.Constant{Level: tc.Util, Dur: tc.LoadFor}, opts...)
+	if err != nil {
+		return TransientResult{}, err
+	}
+
+	res := TransientResult{Label: fmt.Sprintf("%.0fRPM/%.0f%%", float64(tc.FanRPM), float64(tc.Util))}
+	nextSample := 0.0
+	loadStart := tc.Stabilize
+	loadEnd := tc.Stabilize + tc.LoadFor
+	total := loadEnd + tc.IdleTail
+
+	for now := 0.0; now < total; now += tc.Dt {
+		switch {
+		case now < loadStart:
+			srv.SetLoad(0)
+		case now < loadEnd:
+			srv.SetLoad(gen.Load(now - loadStart))
+		default:
+			srv.SetLoad(0)
+		}
+		srv.Step(tc.Dt)
+		if srv.Now() >= nextSample {
+			res.TimeMin = append(res.TimeMin, srv.Now()/60)
+			res.TempC = append(res.TempC, avgC(srv.CPUTempSensors()))
+			res.UtilPct = append(res.UtilPct, float64(srv.Utilization()))
+			nextSample += tc.SampleEvery
+		}
+	}
+
+	// Steady temperature: average of the last minute of the loaded phase.
+	var steadySum float64
+	steadyN := 0
+	for i, tm := range res.TimeMin {
+		sec := tm * 60
+		if sec >= loadEnd-60 && sec < loadEnd {
+			steadySum += res.TempC[i]
+			steadyN++
+		}
+	}
+	if steadyN > 0 {
+		res.SteadyC = steadySum / float64(steadyN)
+	}
+	// Settling time within the loaded phase.
+	res.SettleAt = -1
+	for i, tm := range res.TimeMin {
+		sec := tm * 60
+		if sec < loadStart || sec >= loadEnd {
+			continue
+		}
+		if res.SteadyC != 0 && absf(res.TempC[i]-res.SteadyC) < 1 {
+			res.SettleAt = (sec - loadStart) / 60
+			break
+		}
+	}
+	return res, nil
+}
+
+// Fig1a runs the paper's Figure 1(a): temperature transients at 100%
+// utilization for each fan speed.
+func Fig1a(cfg server.Config, rpms []units.RPM) ([]TransientResult, error) {
+	if len(rpms) == 0 {
+		rpms = []units.RPM{1800, 2400, 3000, 3600, 4200}
+	}
+	out := make([]TransientResult, 0, len(rpms))
+	for _, r := range rpms {
+		tc := DefaultTransient(r, 100)
+		res, err := RunTransient(cfg, tc)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig1a %v: %w", r, err)
+		}
+		res.Label = fmt.Sprintf("%.0f RPM", float64(r))
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// Fig1b runs the paper's Figure 1(b): transients at 1800 RPM for each
+// utilization level, PWM oscillations included.
+func Fig1b(cfg server.Config, utils []units.Percent) ([]TransientResult, error) {
+	if len(utils) == 0 {
+		utils = []units.Percent{25, 50, 75, 100}
+	}
+	out := make([]TransientResult, 0, len(utils))
+	for _, u := range utils {
+		tc := DefaultTransient(1800, u)
+		res, err := RunTransient(cfg, tc)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig1b %v: %w", u, err)
+		}
+		res.Label = fmt.Sprintf("%.0f%%", float64(u))
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+func avgC(readings []units.Celsius) float64 {
+	var s float64
+	for _, r := range readings {
+		s += float64(r)
+	}
+	return s / float64(len(readings))
+}
+
+func maxC(readings []units.Celsius) units.Celsius {
+	m := units.Celsius(-1e9)
+	for _, r := range readings {
+		if r > m {
+			m = r
+		}
+	}
+	return m
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,283 @@
+// Package fans models the cooling subsystem of the simulated server: six
+// fans arranged in three rows of two, each pair driven by its own external
+// power supply, exactly as in the paper's experimental setup (Section III).
+//
+// The physical fans cannot jump between speeds instantaneously; a slew-rate
+// limit models spin-up/spin-down. Each fan exposes a tachometer whose
+// reading carries a small deterministic ripple, standing in for the paper's
+// vibration-sensor speed verification. A fan can be forced into a "stuck"
+// fault state for failure-injection experiments (an extension beyond the
+// paper).
+package fans
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/power"
+	"repro/internal/units"
+)
+
+// Fan models a single fan unit.
+type Fan struct {
+	name     string
+	actual   units.RPM // current physical speed
+	target   units.RPM
+	minRPM   units.RPM
+	maxRPM   units.RPM
+	slewRate float64 // RPM per second toward the target
+	law      power.FanLaw
+	stuck    bool
+	phase    float64 // tach ripple phase
+}
+
+// Config describes the fan population of a server.
+type Config struct {
+	Pairs      int       // number of fan pairs (paper: 3)
+	MinRPM     units.RPM // lowest commanded speed (paper: 1800)
+	MaxRPM     units.RPM // highest commanded speed (paper: 4200)
+	InitialRPM units.RPM // speed at power-on (paper protocol: 3600)
+	SlewRate   float64   // RPM/s a fan can change (default 600)
+	BankCoeff  float64   // cubic coefficient for the WHOLE bank, W/RPM³
+	TachRipple float64   // relative tach reading ripple amplitude (e.g. 0.005)
+}
+
+// DefaultConfig returns the paper's fan arrangement with the calibrated
+// cubic coefficient.
+func DefaultConfig() Config {
+	return Config{
+		Pairs:      3,
+		MinRPM:     1800,
+		MaxRPM:     4200,
+		InitialRPM: 3600,
+		SlewRate:   600,
+		BankCoeff:  3.5e-10,
+		TachRipple: 0.005,
+	}
+}
+
+// Bank is the set of fan pairs plus their supplies.
+type Bank struct {
+	fans   []*Fan
+	cfg    Config
+	perFan power.FanLaw
+}
+
+// NewBank constructs a bank from cfg. It validates the configuration.
+func NewBank(cfg Config) (*Bank, error) {
+	if cfg.Pairs <= 0 {
+		return nil, fmt.Errorf("fans: need at least one pair, got %d", cfg.Pairs)
+	}
+	if cfg.MinRPM <= 0 || cfg.MaxRPM <= cfg.MinRPM {
+		return nil, fmt.Errorf("fans: bad RPM range [%v, %v]", cfg.MinRPM, cfg.MaxRPM)
+	}
+	if cfg.SlewRate <= 0 {
+		cfg.SlewRate = 600
+	}
+	init := units.ClampRPM(cfg.InitialRPM, cfg.MinRPM, cfg.MaxRPM)
+	n := cfg.Pairs * 2
+	b := &Bank{
+		cfg:    cfg,
+		perFan: power.FanLaw{Coeff: cfg.BankCoeff / float64(n)},
+	}
+	for i := 0; i < n; i++ {
+		b.fans = append(b.fans, &Fan{
+			name:     fmt.Sprintf("FM%d-%c", i/2, 'A'+rune(i%2)),
+			actual:   init,
+			target:   init,
+			minRPM:   cfg.MinRPM,
+			maxRPM:   cfg.MaxRPM,
+			slewRate: cfg.SlewRate,
+			law:      b.perFan,
+			phase:    float64(i) * 1.7,
+		})
+	}
+	return b, nil
+}
+
+// NumFans returns the number of individual fans.
+func (b *Bank) NumFans() int { return len(b.fans) }
+
+// SetAll commands every pair to the same speed, the mode the paper's
+// experiments use ("we set the same fan speed for all three pairs").
+// The command is clamped to the legal range.
+func (b *Bank) SetAll(r units.RPM) {
+	for i := range b.fans {
+		b.setFan(i, r)
+	}
+}
+
+// SetPair commands one pair (0-based) to a speed. Out-of-range pair indices
+// are reported as errors.
+func (b *Bank) SetPair(pair int, r units.RPM) error {
+	if pair < 0 || pair >= b.cfg.Pairs {
+		return fmt.Errorf("fans: pair %d out of range [0,%d)", pair, b.cfg.Pairs)
+	}
+	b.setFan(pair*2, r)
+	b.setFan(pair*2+1, r)
+	return nil
+}
+
+func (b *Bank) setFan(i int, r units.RPM) {
+	f := b.fans[i]
+	if f.stuck {
+		return
+	}
+	f.target = units.ClampRPM(r, f.minRPM, f.maxRPM)
+}
+
+// Step advances fan physics by dt seconds: each fan slews toward its target.
+func (b *Bank) Step(dt float64) {
+	if dt <= 0 {
+		return
+	}
+	for _, f := range b.fans {
+		if f.stuck {
+			continue
+		}
+		delta := float64(f.target - f.actual)
+		maxMove := f.slewRate * dt
+		switch {
+		case math.Abs(delta) <= maxMove:
+			f.actual = f.target
+		case delta > 0:
+			f.actual += units.RPM(maxMove)
+		default:
+			f.actual -= units.RPM(maxMove)
+		}
+	}
+}
+
+// Power returns the electrical power drawn by the whole bank right now.
+// This is the quantity the paper's external supplies make separately
+// measurable.
+func (b *Bank) Power() units.Watts {
+	var total units.Watts
+	for _, f := range b.fans {
+		total += f.law.Power(f.actual)
+	}
+	return total
+}
+
+// MeanRPM returns the average actual speed across fans.
+func (b *Bank) MeanRPM() units.RPM {
+	if len(b.fans) == 0 {
+		return 0
+	}
+	var s float64
+	for _, f := range b.fans {
+		s += float64(f.actual)
+	}
+	return units.RPM(s / float64(len(b.fans)))
+}
+
+// Target returns the commanded speed of the first healthy fan (the bank is
+// normally commanded uniformly).
+func (b *Bank) Target() units.RPM {
+	for _, f := range b.fans {
+		if !f.stuck {
+			return f.target
+		}
+	}
+	if len(b.fans) > 0 {
+		return b.fans[0].target
+	}
+	return 0
+}
+
+// Tach returns the tachometer reading of fan i at simulation time t seconds.
+// The reading carries a small sinusoidal ripple, standing in for vibration
+// sensing noise; use MeanRPM for the true value.
+func (b *Bank) Tach(i int, t float64) (units.RPM, error) {
+	if i < 0 || i >= len(b.fans) {
+		return 0, fmt.Errorf("fans: fan %d out of range", i)
+	}
+	f := b.fans[i]
+	ripple := 1 + b.cfg.TachRipple*math.Sin(0.9*t+f.phase)
+	return units.RPM(float64(f.actual) * ripple), nil
+}
+
+// StickFan freezes fan i at its current speed (fault injection). Commands to
+// a stuck fan are ignored until UnstickFan.
+func (b *Bank) StickFan(i int) error {
+	if i < 0 || i >= len(b.fans) {
+		return fmt.Errorf("fans: fan %d out of range", i)
+	}
+	b.fans[i].stuck = true
+	return nil
+}
+
+// UnstickFan clears the fault on fan i.
+func (b *Bank) UnstickFan(i int) error {
+	if i < 0 || i >= len(b.fans) {
+		return fmt.Errorf("fans: fan %d out of range", i)
+	}
+	b.fans[i].stuck = false
+	return nil
+}
+
+// Range returns the legal command range.
+func (b *Bank) Range() (lo, hi units.RPM) { return b.cfg.MinRPM, b.cfg.MaxRPM }
+
+// Levels returns the discrete speed settings the paper's controllers use:
+// MinRPM to MaxRPM in steps of `step` RPM.
+func (b *Bank) Levels(step units.RPM) []units.RPM {
+	if step <= 0 {
+		step = 600
+	}
+	var out []units.RPM
+	for r := b.cfg.MinRPM; r <= b.cfg.MaxRPM; r += step {
+		out = append(out, r)
+	}
+	return out
+}
+
+// Supply models one channel of the external lab power supply driving a fan
+// pair (the paper uses Agilent E3644A units over RS-232). The supply maps a
+// commanded current to a fan speed through a calibrated linear relation,
+// mirroring how the paper's DLC-PC "sets the fan speed ... by increasing or
+// decreasing the current of the power supplies".
+type Supply struct {
+	// RPMPerAmp and OffsetRPM define the current→speed calibration.
+	RPMPerAmp float64
+	OffsetRPM float64
+	MaxAmps   float64
+	amps      float64
+}
+
+// NewSupply returns a supply calibrated so that 0.5 A ≈ 1800 RPM and
+// 2.0 A ≈ 4200 RPM, a plausible span for the paper's fans.
+func NewSupply() *Supply {
+	return &Supply{RPMPerAmp: 1600, OffsetRPM: 1000, MaxAmps: 2.5}
+}
+
+// SetCurrent commands a supply current in Amps, clamped to [0, MaxAmps].
+func (s *Supply) SetCurrent(a float64) {
+	if a < 0 {
+		a = 0
+	}
+	if a > s.MaxAmps {
+		a = s.MaxAmps
+	}
+	s.amps = a
+}
+
+// Current returns the present current setting.
+func (s *Supply) Current() float64 { return s.amps }
+
+// RPM returns the fan speed this current produces.
+func (s *Supply) RPM() units.RPM {
+	return units.RPM(s.OffsetRPM + s.RPMPerAmp*s.amps)
+}
+
+// CurrentFor returns the current needed for a target speed.
+func (s *Supply) CurrentFor(r units.RPM) float64 {
+	a := (float64(r) - s.OffsetRPM) / s.RPMPerAmp
+	if a < 0 {
+		a = 0
+	}
+	if a > s.MaxAmps {
+		a = s.MaxAmps
+	}
+	return a
+}

@@ -1,0 +1,231 @@
+package fans
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func newBank(t *testing.T) *Bank {
+	t.Helper()
+	b, err := NewBank(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestNewBankValidation(t *testing.T) {
+	bad := DefaultConfig()
+	bad.Pairs = 0
+	if _, err := NewBank(bad); err == nil {
+		t.Error("zero pairs should error")
+	}
+	bad = DefaultConfig()
+	bad.MinRPM = 0
+	if _, err := NewBank(bad); err == nil {
+		t.Error("zero MinRPM should error")
+	}
+	bad = DefaultConfig()
+	bad.MaxRPM = bad.MinRPM
+	if _, err := NewBank(bad); err == nil {
+		t.Error("empty RPM range should error")
+	}
+}
+
+func TestBankShape(t *testing.T) {
+	b := newBank(t)
+	if b.NumFans() != 6 {
+		t.Fatalf("fan count = %d, want 6 (3 pairs)", b.NumFans())
+	}
+	lo, hi := b.Range()
+	if lo != 1800 || hi != 4200 {
+		t.Fatalf("range = [%v, %v]", lo, hi)
+	}
+}
+
+func TestLevels(t *testing.T) {
+	b := newBank(t)
+	levels := b.Levels(600)
+	want := []units.RPM{1800, 2400, 3000, 3600, 4200}
+	if len(levels) != len(want) {
+		t.Fatalf("levels = %v", levels)
+	}
+	for i := range want {
+		if levels[i] != want[i] {
+			t.Fatalf("levels = %v, want %v", levels, want)
+		}
+	}
+	if got := b.Levels(0); len(got) != 5 {
+		t.Fatalf("default step levels = %v", got)
+	}
+}
+
+func TestSetAllClampsAndSlews(t *testing.T) {
+	b := newBank(t)
+	b.SetAll(99999)
+	if b.Target() != 4200 {
+		t.Fatalf("target = %v, want clamp to 4200", b.Target())
+	}
+	b.SetAll(0)
+	if b.Target() != 1800 {
+		t.Fatalf("target = %v, want clamp to 1800", b.Target())
+	}
+	// Starting at 3600 going to 1800: at 600 RPM/s it takes 3 s.
+	b.Step(1)
+	if got := b.MeanRPM(); math.Abs(float64(got)-3000) > 1e-9 {
+		t.Fatalf("after 1s: %v, want 3000", got)
+	}
+	b.Step(1)
+	b.Step(1)
+	if got := b.MeanRPM(); got != 1800 {
+		t.Fatalf("after 3s: %v, want 1800", got)
+	}
+	// Overshoot must not occur.
+	b.Step(10)
+	if got := b.MeanRPM(); got != 1800 {
+		t.Fatalf("overshoot: %v", got)
+	}
+}
+
+func TestStepIgnoresNonPositiveDt(t *testing.T) {
+	b := newBank(t)
+	b.SetAll(1800)
+	before := b.MeanRPM()
+	b.Step(0)
+	b.Step(-1)
+	if b.MeanRPM() != before {
+		t.Fatal("non-positive dt moved fans")
+	}
+}
+
+func TestPowerIsCubicInSpeed(t *testing.T) {
+	b := newBank(t)
+	b.SetAll(1800)
+	b.Step(60)
+	p1 := float64(b.Power())
+	b.SetAll(3600)
+	b.Step(60)
+	p2 := float64(b.Power())
+	if math.Abs(p2/p1-8) > 1e-6 {
+		t.Fatalf("bank power ratio %g, want 8 (cubic)", p2/p1)
+	}
+	// Calibrated magnitude: whole bank at 3300 RPM ≈ 12.6 W.
+	b.SetAll(3300)
+	b.Step(60)
+	if p := float64(b.Power()); math.Abs(p-12.58) > 0.3 {
+		t.Fatalf("Pbank(3300) = %g", p)
+	}
+}
+
+func TestSetPair(t *testing.T) {
+	b := newBank(t)
+	if err := b.SetPair(5, 2000); err == nil {
+		t.Error("out-of-range pair should error")
+	}
+	if err := b.SetPair(-1, 2000); err == nil {
+		t.Error("negative pair should error")
+	}
+	if err := b.SetPair(1, 2400); err != nil {
+		t.Fatal(err)
+	}
+	b.Step(60)
+	// Pair 1 at 2400, pairs 0 and 2 still at 3600.
+	want := (2*2400.0 + 4*3600.0) / 6
+	if got := float64(b.MeanRPM()); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("mean = %g, want %g", got, want)
+	}
+}
+
+func TestTachRipple(t *testing.T) {
+	b := newBank(t)
+	b.Step(60)
+	r0, err := b.Tach(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ripple is bounded by the configured amplitude.
+	if math.Abs(float64(r0)-3600)/3600 > 0.006 {
+		t.Fatalf("tach ripple too large: %v", r0)
+	}
+	if _, err := b.Tach(99, 0); err == nil {
+		t.Error("bad index should error")
+	}
+	// Readings vary over time (it is a ripple, not a constant offset).
+	r1, _ := b.Tach(0, 1)
+	r2, _ := b.Tach(0, 2)
+	if r0 == r1 && r1 == r2 {
+		t.Fatal("tach reading never changes")
+	}
+}
+
+func TestStuckFanIgnoresCommands(t *testing.T) {
+	b := newBank(t)
+	if err := b.StickFan(0); err != nil {
+		t.Fatal(err)
+	}
+	b.SetAll(1800)
+	b.Step(10)
+	// Fan 0 stuck at 3600; the other five at 1800.
+	r, _ := b.Tach(0, 0)
+	if math.Abs(float64(r)-3600) > 30 {
+		t.Fatalf("stuck fan moved: %v", r)
+	}
+	want := (3600.0 + 5*1800.0) / 6
+	if got := float64(b.MeanRPM()); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("mean with stuck fan = %g, want %g", got, want)
+	}
+	// Target reports a healthy fan's command.
+	if b.Target() != 1800 {
+		t.Fatalf("Target = %v, want healthy fan's 1800", b.Target())
+	}
+	if err := b.UnstickFan(0); err != nil {
+		t.Fatal(err)
+	}
+	b.SetAll(1800)
+	b.Step(10)
+	if b.MeanRPM() != 1800 {
+		t.Fatal("unstuck fan did not recover")
+	}
+	if err := b.StickFan(-1); err == nil {
+		t.Error("bad index should error")
+	}
+	if err := b.UnstickFan(99); err == nil {
+		t.Error("bad index should error")
+	}
+}
+
+func TestSupplyCalibration(t *testing.T) {
+	s := NewSupply()
+	s.SetCurrent(0.5)
+	if got := float64(s.RPM()); math.Abs(got-1800) > 1 {
+		t.Fatalf("0.5A → %gRPM, want 1800", got)
+	}
+	s.SetCurrent(2.0)
+	if got := float64(s.RPM()); math.Abs(got-4200) > 1 {
+		t.Fatalf("2.0A → %gRPM, want 4200", got)
+	}
+	// Round trip.
+	for _, r := range []units.RPM{1800, 2400, 3000, 3600, 4200} {
+		s.SetCurrent(s.CurrentFor(r))
+		if got := s.RPM(); math.Abs(float64(got-r)) > 1 {
+			t.Fatalf("round trip %v → %v", r, got)
+		}
+	}
+	// Clamping.
+	s.SetCurrent(-3)
+	if s.Current() != 0 {
+		t.Fatal("negative current not clamped")
+	}
+	s.SetCurrent(99)
+	if s.Current() != s.MaxAmps {
+		t.Fatal("over-current not clamped")
+	}
+	if a := s.CurrentFor(100); a != 0 {
+		t.Fatalf("CurrentFor low speed = %g", a)
+	}
+	if a := s.CurrentFor(100000); a != s.MaxAmps {
+		t.Fatalf("CurrentFor huge speed = %g", a)
+	}
+}

@@ -1,0 +1,96 @@
+package mathx
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Interpolator performs piecewise-linear interpolation over a strictly
+// increasing set of x values.
+type Interpolator struct {
+	xs, ys []float64
+}
+
+// NewInterpolator builds a linear interpolator from parallel slices. The xs
+// must be strictly increasing and at least two points long.
+func NewInterpolator(xs, ys []float64) (*Interpolator, error) {
+	if len(xs) != len(ys) {
+		return nil, fmt.Errorf("mathx: interpolator length mismatch %d vs %d", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return nil, fmt.Errorf("mathx: interpolator needs >=2 points, got %d", len(xs))
+	}
+	for i := 1; i < len(xs); i++ {
+		if xs[i] <= xs[i-1] {
+			return nil, fmt.Errorf("mathx: interpolator xs not strictly increasing at %d (%g <= %g)", i, xs[i], xs[i-1])
+		}
+	}
+	return &Interpolator{
+		xs: append([]float64(nil), xs...),
+		ys: append([]float64(nil), ys...),
+	}, nil
+}
+
+// At evaluates the interpolant, clamping outside the domain to the endpoint
+// values (flat extrapolation).
+func (in *Interpolator) At(x float64) float64 {
+	n := len(in.xs)
+	if x <= in.xs[0] {
+		return in.ys[0]
+	}
+	if x >= in.xs[n-1] {
+		return in.ys[n-1]
+	}
+	i := sort.SearchFloat64s(in.xs, x)
+	// xs[i-1] < x <= xs[i]
+	x0, x1 := in.xs[i-1], in.xs[i]
+	y0, y1 := in.ys[i-1], in.ys[i]
+	t := (x - x0) / (x1 - x0)
+	return y0 + t*(y1-y0)
+}
+
+// Domain returns the x range covered by the interpolator.
+func (in *Interpolator) Domain() (lo, hi float64) { return in.xs[0], in.xs[len(in.xs)-1] }
+
+// Bisect finds a root of f within [lo, hi] assuming f(lo) and f(hi) bracket
+// zero. It returns the midpoint after converging to tol or 200 iterations.
+func Bisect(f func(float64) float64, lo, hi, tol float64) (float64, error) {
+	flo, fhi := f(lo), f(hi)
+	if flo == 0 {
+		return lo, nil
+	}
+	if fhi == 0 {
+		return hi, nil
+	}
+	if flo*fhi > 0 {
+		return 0, fmt.Errorf("mathx: bisect endpoints do not bracket a root: f(%g)=%g f(%g)=%g", lo, flo, hi, fhi)
+	}
+	for i := 0; i < 200 && hi-lo > tol; i++ {
+		mid := 0.5 * (lo + hi)
+		fm := f(mid)
+		if fm == 0 {
+			return mid, nil
+		}
+		if flo*fm < 0 {
+			hi = mid
+		} else {
+			lo, flo = mid, fm
+		}
+	}
+	return 0.5 * (lo + hi), nil
+}
+
+// FixedPoint iterates x ← f(x) until |Δx| < tol, returning the fixed point.
+// It gives up after maxIter iterations and reports the last value with an
+// error, which matters for detecting thermal runaway in steady-state solves.
+func FixedPoint(f func(float64) float64, x0, tol float64, maxIter int) (float64, error) {
+	x := x0
+	for i := 0; i < maxIter; i++ {
+		next := f(x)
+		if diff := next - x; diff < tol && diff > -tol {
+			return next, nil
+		}
+		x = next
+	}
+	return x, fmt.Errorf("mathx: fixed point did not converge after %d iterations (last=%g)", maxIter, x)
+}

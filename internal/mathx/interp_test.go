@@ -1,0 +1,108 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestInterpolatorBasics(t *testing.T) {
+	in, err := NewInterpolator([]float64{0, 10}, []float64{0, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ x, want float64 }{
+		{-1, 0}, {0, 0}, {5, 50}, {10, 100}, {11, 100},
+	}
+	for _, c := range cases {
+		if got := in.At(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("At(%g) = %g, want %g", c.x, got, c.want)
+		}
+	}
+}
+
+func TestInterpolatorMultiSegment(t *testing.T) {
+	in, err := NewInterpolator([]float64{0, 1, 2, 4}, []float64{0, 10, 10, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := in.At(0.5); got != 5 {
+		t.Errorf("At(0.5) = %g", got)
+	}
+	if got := in.At(1.5); got != 10 {
+		t.Errorf("At(1.5) = %g", got)
+	}
+	if got := in.At(3); got != 5 {
+		t.Errorf("At(3) = %g", got)
+	}
+}
+
+func TestInterpolatorErrors(t *testing.T) {
+	if _, err := NewInterpolator([]float64{0}, []float64{0}); err == nil {
+		t.Error("single point should error")
+	}
+	if _, err := NewInterpolator([]float64{0, 0}, []float64{1, 2}); err == nil {
+		t.Error("non-increasing xs should error")
+	}
+	if _, err := NewInterpolator([]float64{0, 1}, []float64{1}); err == nil {
+		t.Error("length mismatch should error")
+	}
+}
+
+func TestInterpolatorWithinHullProperty(t *testing.T) {
+	in, err := NewInterpolator([]float64{0, 1, 2, 3}, []float64{5, -3, 7, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		y := in.At(x)
+		return y >= -3 && y <= 7
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBisect(t *testing.T) {
+	root, err := Bisect(func(x float64) float64 { return x*x - 2 }, 0, 2, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(root-math.Sqrt2) > 1e-10 {
+		t.Fatalf("root = %g", root)
+	}
+}
+
+func TestBisectEndpointRoot(t *testing.T) {
+	root, err := Bisect(func(x float64) float64 { return x }, 0, 1, 1e-12)
+	if err != nil || root != 0 {
+		t.Fatalf("root = %g err = %v", root, err)
+	}
+}
+
+func TestBisectNoBracket(t *testing.T) {
+	if _, err := Bisect(func(x float64) float64 { return 1 + x*x }, -1, 1, 1e-9); err == nil {
+		t.Fatal("expected bracket error")
+	}
+}
+
+func TestFixedPoint(t *testing.T) {
+	// x = cos(x) has fixed point ~0.739085.
+	x, err := FixedPoint(math.Cos, 0, 1e-12, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x-0.7390851332151607) > 1e-9 {
+		t.Fatalf("fixed point = %g", x)
+	}
+}
+
+func TestFixedPointDiverges(t *testing.T) {
+	_, err := FixedPoint(func(x float64) float64 { return 2*x + 1 }, 1, 1e-9, 50)
+	if err == nil {
+		t.Fatal("divergent map should report non-convergence")
+	}
+}

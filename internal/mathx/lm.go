@@ -1,0 +1,163 @@
+package mathx
+
+import (
+	"errors"
+	"math"
+)
+
+// Residualer computes the residual vector r(p) for a parameter vector p.
+// The fit minimizes sum(r_i^2).
+type Residualer func(params []float64, out []float64)
+
+// LMOptions tunes the Levenberg–Marquardt solver.
+type LMOptions struct {
+	MaxIter   int     // maximum outer iterations (default 200)
+	Tol       float64 // convergence threshold on relative cost change (default 1e-10)
+	Lambda0   float64 // initial damping (default 1e-3)
+	JacobianH float64 // finite-difference step (default 1e-6 relative)
+}
+
+func (o LMOptions) withDefaults() LMOptions {
+	if o.MaxIter <= 0 {
+		o.MaxIter = 200
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-10
+	}
+	if o.Lambda0 <= 0 {
+		o.Lambda0 = 1e-3
+	}
+	if o.JacobianH <= 0 {
+		o.JacobianH = 1e-6
+	}
+	return o
+}
+
+// LMResult reports the outcome of a Levenberg–Marquardt fit.
+type LMResult struct {
+	Params     []float64 // fitted parameters
+	Cost       float64   // final sum of squared residuals
+	RMSE       float64   // sqrt(Cost/n)
+	Iterations int
+	Converged  bool
+}
+
+// ErrLMFailed is returned when the solver cannot make progress at all.
+var ErrLMFailed = errors.New("mathx: levenberg-marquardt failed to reduce cost")
+
+// LevenbergMarquardt minimizes the sum of squared residuals produced by fn
+// starting from p0, using a finite-difference Jacobian. nResiduals is the
+// length of the residual vector fn fills in.
+func LevenbergMarquardt(fn Residualer, p0 []float64, nResiduals int, opts LMOptions) (LMResult, error) {
+	opts = opts.withDefaults()
+	np := len(p0)
+	p := append([]float64(nil), p0...)
+
+	r := make([]float64, nResiduals)
+	rTrial := make([]float64, nResiduals)
+	fn(p, r)
+	cost := Dot(r, r)
+
+	jac := make([][]float64, nResiduals) // nResiduals × np
+	for i := range jac {
+		jac[i] = make([]float64, np)
+	}
+	pPerturbed := make([]float64, np)
+	rPerturbed := make([]float64, nResiduals)
+
+	lambda := opts.Lambda0
+	res := LMResult{Params: p, Cost: cost}
+	improvedEver := false
+
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		res.Iterations = iter + 1
+
+		// Finite-difference Jacobian.
+		for j := 0; j < np; j++ {
+			copy(pPerturbed, p)
+			h := opts.JacobianH * math.Max(1e-8, math.Abs(p[j]))
+			pPerturbed[j] += h
+			fn(pPerturbed, rPerturbed)
+			for i := 0; i < nResiduals; i++ {
+				jac[i][j] = (rPerturbed[i] - r[i]) / h
+			}
+		}
+
+		// Normal equations: (JᵀJ + λ·diag(JᵀJ))·δ = -Jᵀr
+		jtj := make([][]float64, np)
+		jtr := make([]float64, np)
+		for a := 0; a < np; a++ {
+			jtj[a] = make([]float64, np)
+			for b := 0; b < np; b++ {
+				s := 0.0
+				for i := 0; i < nResiduals; i++ {
+					s += jac[i][a] * jac[i][b]
+				}
+				jtj[a][b] = s
+			}
+			s := 0.0
+			for i := 0; i < nResiduals; i++ {
+				s += jac[i][a] * r[i]
+			}
+			jtr[a] = -s
+		}
+
+		accepted := false
+		for attempt := 0; attempt < 30; attempt++ {
+			damped := make([][]float64, np)
+			for a := 0; a < np; a++ {
+				damped[a] = append([]float64(nil), jtj[a]...)
+				d := jtj[a][a]
+				if d == 0 {
+					d = 1e-12
+				}
+				damped[a][a] += lambda * d
+			}
+			delta, err := SolveLinear(damped, jtr)
+			if err != nil {
+				lambda *= 10
+				continue
+			}
+			trial := make([]float64, np)
+			for a := range trial {
+				trial[a] = p[a] + delta[a]
+			}
+			fn(trial, rTrial)
+			trialCost := Dot(rTrial, rTrial)
+			if trialCost < cost && !math.IsNaN(trialCost) {
+				p = trial
+				copy(r, rTrial)
+				relDrop := (cost - trialCost) / math.Max(cost, 1e-300)
+				cost = trialCost
+				lambda = math.Max(lambda/3, 1e-12)
+				accepted = true
+				improvedEver = true
+				if relDrop < opts.Tol {
+					res.Converged = true
+				}
+				break
+			}
+			lambda *= 10
+			if lambda > 1e12 {
+				break
+			}
+		}
+
+		res.Params = p
+		res.Cost = cost
+		if res.Converged {
+			break
+		}
+		if !accepted {
+			// Cannot improve further: either converged at p0 or stuck.
+			res.Converged = improvedEver || cost < 1e-20
+			break
+		}
+	}
+
+	res.RMSE = math.Sqrt(res.Cost / float64(nResiduals))
+	if !improvedEver && !res.Converged {
+		return res, ErrLMFailed
+	}
+	return res, nil
+}

@@ -1,0 +1,108 @@
+package mathx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestLMLinearFit(t *testing.T) {
+	// Fit y = a·x + b to exact data.
+	xs := []float64{0, 1, 2, 3, 4, 5}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 2.5*x - 1.25
+	}
+	fn := func(p, out []float64) {
+		for i, x := range xs {
+			out[i] = p[0]*x + p[1] - ys[i]
+		}
+	}
+	res, err := LevenbergMarquardt(fn, []float64{0, 0}, len(xs), LMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Params[0]-2.5) > 1e-6 || math.Abs(res.Params[1]+1.25) > 1e-6 {
+		t.Fatalf("params = %v, want [2.5 -1.25]", res.Params)
+	}
+	if res.RMSE > 1e-6 {
+		t.Fatalf("RMSE = %g on exact data", res.RMSE)
+	}
+}
+
+func TestLMExponentialFit(t *testing.T) {
+	// The fit that matters for the paper: y = c + k2·e^(k3·T).
+	const c, k2, k3 = 10.0, 0.3231, 0.04749
+	temps := []float64{45, 50, 55, 60, 65, 70, 75, 80, 85}
+	ys := make([]float64, len(temps))
+	for i, T := range temps {
+		ys[i] = c + k2*math.Exp(k3*T)
+	}
+	fn := func(p, out []float64) {
+		for i, T := range temps {
+			out[i] = p[0] + p[1]*math.Exp(p[2]*T) - ys[i]
+		}
+	}
+	res, err := LevenbergMarquardt(fn, []float64{5, 1, 0.03}, len(temps), LMOptions{MaxIter: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Params[0]-c) > 0.05 || math.Abs(res.Params[1]-k2) > 0.02 || math.Abs(res.Params[2]-k3) > 0.002 {
+		t.Fatalf("params = %v, want [%g %g %g] (rmse %g)", res.Params, c, k2, k3, res.RMSE)
+	}
+}
+
+func TestLMNoisyFitIsClose(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const a, b = 3.0, -2.0
+	n := 200
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(i) / 10
+		ys[i] = a*xs[i] + b + rng.NormFloat64()*0.1
+	}
+	fn := func(p, out []float64) {
+		for i := range xs {
+			out[i] = p[0]*xs[i] + p[1] - ys[i]
+		}
+	}
+	res, err := LevenbergMarquardt(fn, []float64{1, 1}, n, LMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Params[0]-a) > 0.02 || math.Abs(res.Params[1]-b) > 0.05 {
+		t.Fatalf("noisy params = %v", res.Params)
+	}
+	if res.RMSE > 0.2 {
+		t.Fatalf("noisy RMSE = %g", res.RMSE)
+	}
+}
+
+func TestLMAlreadyConverged(t *testing.T) {
+	fn := func(p, out []float64) {
+		out[0] = p[0] - 4
+	}
+	res, err := LevenbergMarquardt(fn, []float64{4}, 1, LMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("should report converged when starting at the optimum")
+	}
+}
+
+func TestLMReducesCostMonotonically(t *testing.T) {
+	// Rosenbrock-style residuals: hard but solvable.
+	fn := func(p, out []float64) {
+		out[0] = 10 * (p[1] - p[0]*p[0])
+		out[1] = 1 - p[0]
+	}
+	res, err := LevenbergMarquardt(fn, []float64{-1.2, 1}, 2, LMOptions{MaxIter: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Params[0]-1) > 1e-3 || math.Abs(res.Params[1]-1) > 1e-3 {
+		t.Fatalf("rosenbrock solution = %v, want [1 1]", res.Params)
+	}
+}

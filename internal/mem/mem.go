@@ -1,0 +1,172 @@
+// Package mem models the 32-DIMM memory subsystem of the simulated server.
+//
+// The paper's airflow path matters: cold air crosses the DIMMs before it
+// reaches the CPUs, so memory power both heats the DIMMs and preheats the
+// CPU inlet air. Each DIMM temperature follows a first-order lag toward an
+// airflow-dependent equilibrium; the bank also reports the inlet-air
+// preheat the server model applies to the CPU boundary.
+package mem
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/units"
+)
+
+// Config parameterizes the DIMM bank.
+type Config struct {
+	NumDIMMs   int     // paper: 32 × 8 GB
+	IdlePower  float64 // W for the whole bank at zero utilization
+	DynPerUtil float64 // W per percentage point of utilization (whole bank)
+	// RBase and RFlow define the per-DIMM thermal resistance
+	// R(RPM) = RBase + RFlow/RPM (°C/W).
+	RBase, RFlow float64
+	TimeConstant float64 // s, first-order DIMM lag
+	// SpreadFactor staggers equilibrium temps along the airflow direction:
+	// downstream DIMMs sit in slightly warmer air.
+	SpreadFactor float64
+	// CouplingFrac is the fraction of DIMM heat that ends up preheating the
+	// CPU inlet air.
+	CouplingFrac float64
+	// AirflowPerRPM converts fan speed to air mass flow (g/s per RPM).
+	AirflowPerRPM float64
+	AirCp         float64 // J/(g·°C), specific heat of air
+}
+
+// DefaultConfig returns the calibrated 32-DIMM bank.
+func DefaultConfig() Config {
+	return Config{
+		NumDIMMs:     32,
+		IdlePower:    40,
+		DynPerUtil:   0.86,
+		RBase:        2.0,
+		RFlow:        6000,
+		TimeConstant: 60,
+		SpreadFactor: 0.15,
+		// 0.4 of DIMM heat preheats the CPU inlet: calibrated so the
+		// 1800 RPM / 100% utilization operating point settles at ~85 °C
+		// (Fig. 1a anchor) instead of running away.
+		CouplingFrac:  0.4,
+		AirflowPerRPM: 0.012,
+		AirCp:         1.005,
+	}
+}
+
+// Bank is the runtime DIMM state.
+type Bank struct {
+	cfg   Config
+	temps []float64
+}
+
+// NewBank builds a bank in equilibrium with the given ambient temperature.
+func NewBank(cfg Config, ambient units.Celsius) (*Bank, error) {
+	if cfg.NumDIMMs <= 0 {
+		return nil, fmt.Errorf("mem: need at least one DIMM, got %d", cfg.NumDIMMs)
+	}
+	if cfg.TimeConstant <= 0 {
+		return nil, fmt.Errorf("mem: time constant must be positive, got %g", cfg.TimeConstant)
+	}
+	if cfg.AirflowPerRPM <= 0 || cfg.AirCp <= 0 {
+		return nil, fmt.Errorf("mem: airflow parameters must be positive")
+	}
+	b := &Bank{cfg: cfg, temps: make([]float64, cfg.NumDIMMs)}
+	for i := range b.temps {
+		b.temps[i] = float64(ambient)
+	}
+	return b, nil
+}
+
+// Power returns the whole-bank memory power at utilization u.
+func (b *Bank) Power(u units.Percent) units.Watts {
+	return units.Watts(b.cfg.IdlePower + b.cfg.DynPerUtil*float64(u.Clamp()))
+}
+
+// Airflow returns the air mass flow at the given fan speed.
+func (b *Bank) Airflow(r units.RPM) units.GramsPerSecond {
+	v := float64(r)
+	if v < 0 {
+		v = 0
+	}
+	return units.GramsPerSecond(b.cfg.AirflowPerRPM * v)
+}
+
+// InletPreheat returns the temperature rise of the CPU inlet air caused by
+// the DIMM bank heat at utilization u and fan speed r.
+func (b *Bank) InletPreheat(u units.Percent, r units.RPM) units.Celsius {
+	flow := float64(b.Airflow(r))
+	if flow <= 0 {
+		// No airflow: cap the preheat at a large but finite value.
+		return 15
+	}
+	dt := b.cfg.CouplingFrac * float64(b.Power(u)) / (b.cfg.AirCp * flow)
+	if dt > 15 {
+		dt = 15
+	}
+	return units.Celsius(dt)
+}
+
+// equilibrium returns the steady temperature of DIMM i.
+func (b *Bank) equilibrium(i int, ambient units.Celsius, u units.Percent, r units.RPM) float64 {
+	perDIMM := float64(b.Power(u)) / float64(b.cfg.NumDIMMs)
+	rpm := float64(r)
+	if rpm < 1 {
+		rpm = 1
+	}
+	rth := b.cfg.RBase + b.cfg.RFlow/rpm
+	// Downstream DIMMs (higher index) see warmer air.
+	row := float64(i) / float64(b.cfg.NumDIMMs-1+1)
+	preheat := float64(b.InletPreheat(u, r)) * b.cfg.SpreadFactor * row * 2
+	return float64(ambient) + preheat + rth*perDIMM
+}
+
+// Step advances DIMM temperatures by dt seconds with first-order lag toward
+// the current equilibrium for the given conditions.
+func (b *Bank) Step(dt float64, ambient units.Celsius, u units.Percent, r units.RPM) {
+	if dt <= 0 {
+		return
+	}
+	alpha := 1 - math.Exp(-dt/b.cfg.TimeConstant)
+	for i := range b.temps {
+		eq := b.equilibrium(i, ambient, u, r)
+		b.temps[i] += alpha * (eq - b.temps[i])
+	}
+}
+
+// Temp returns DIMM i's temperature.
+func (b *Bank) Temp(i int) (units.Celsius, error) {
+	if i < 0 || i >= len(b.temps) {
+		return 0, fmt.Errorf("mem: DIMM %d out of range [0,%d)", i, len(b.temps))
+	}
+	return units.Celsius(b.temps[i]), nil
+}
+
+// Temps returns a copy of all DIMM temperatures.
+func (b *Bank) Temps() []units.Celsius {
+	out := make([]units.Celsius, len(b.temps))
+	for i, v := range b.temps {
+		out[i] = units.Celsius(v)
+	}
+	return out
+}
+
+// MaxTemp returns the hottest DIMM.
+func (b *Bank) MaxTemp() units.Celsius {
+	m := math.Inf(-1)
+	for _, v := range b.temps {
+		if v > m {
+			m = v
+		}
+	}
+	return units.Celsius(m)
+}
+
+// NumDIMMs returns the DIMM count.
+func (b *Bank) NumDIMMs() int { return len(b.temps) }
+
+// Settle snaps all DIMMs to equilibrium for the given conditions.
+func (b *Bank) Settle(ambient units.Celsius, u units.Percent, r units.RPM) {
+	for i := range b.temps {
+		b.temps[i] = b.equilibrium(i, ambient, u, r)
+	}
+}

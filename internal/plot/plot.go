@@ -1,0 +1,178 @@
+// Package plot renders experiment results as ASCII line charts and CSV
+// series — the reproduction's stand-in for the paper's MATLAB figures.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named line on a chart.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Validate reports malformed series.
+func (s Series) Validate() error {
+	if len(s.X) != len(s.Y) {
+		return fmt.Errorf("plot: series %q has %d x vs %d y", s.Name, len(s.X), len(s.Y))
+	}
+	if len(s.X) == 0 {
+		return fmt.Errorf("plot: series %q empty", s.Name)
+	}
+	return nil
+}
+
+// Chart is a multi-series ASCII chart.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // plot columns (default 72)
+	Height int // plot rows (default 20)
+	Series []Series
+}
+
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Render draws the chart to w.
+func (c Chart) Render(w io.Writer) error {
+	if len(c.Series) == 0 {
+		return fmt.Errorf("plot: chart %q has no series", c.Title)
+	}
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 72
+	}
+	if height <= 0 {
+		height = 20
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		if err := s.Validate(); err != nil {
+			return err
+		}
+		for i := range s.X {
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	// Pad the y range slightly for readability.
+	pad := (ymax - ymin) * 0.05
+	ymin -= pad
+	ymax += pad
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range c.Series {
+		m := markers[si%len(markers)]
+		for i := range s.X {
+			col := int((s.X[i] - xmin) / (xmax - xmin) * float64(width-1))
+			row := int((ymax - s.Y[i]) / (ymax - ymin) * float64(height-1))
+			if col >= 0 && col < width && row >= 0 && row < height {
+				grid[row][col] = m
+			}
+		}
+	}
+
+	var sb strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", c.Title)
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(&sb, "%s\n", c.YLabel)
+	}
+	for r, line := range grid {
+		yVal := ymax - (ymax-ymin)*float64(r)/float64(height-1)
+		fmt.Fprintf(&sb, "%8.1f |%s\n", yVal, string(line))
+	}
+	fmt.Fprintf(&sb, "%8s +%s\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&sb, "%8s  %-*.6g%*.6g\n", "", width/2, xmin, width-width/2, xmax)
+	if c.XLabel != "" {
+		fmt.Fprintf(&sb, "%8s  %s\n", "", c.XLabel)
+	}
+	for si, s := range c.Series {
+		fmt.Fprintf(&sb, "  [%c] %s\n", markers[si%len(markers)], s.Name)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// WriteCSV writes the series in long form: series,x,y.
+func WriteCSV(w io.Writer, series ...Series) error {
+	if _, err := io.WriteString(w, "series,x,y\n"); err != nil {
+		return err
+	}
+	for _, s := range series {
+		if err := s.Validate(); err != nil {
+			return err
+		}
+		for i := range s.X {
+			if _, err := fmt.Fprintf(w, "%s,%g,%g\n", s.Name, s.X[i], s.Y[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Table renders a fixed-width text table. Rows must all have len(headers)
+// cells.
+func Table(w io.Writer, headers []string, rows [][]string) error {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		if len(row) != len(headers) {
+			return fmt.Errorf("plot: row has %d cells, want %d", len(row), len(headers))
+		}
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) error {
+		var sb strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteString("\n")
+		_, err := io.WriteString(w, sb.String())
+		return err
+	}
+	if err := writeRow(headers); err != nil {
+		return err
+	}
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	if _, err := io.WriteString(w, strings.Repeat("-", total)+"\n"); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}

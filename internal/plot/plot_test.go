@@ -1,0 +1,130 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSeriesValidate(t *testing.T) {
+	if err := (Series{Name: "a", X: []float64{1}, Y: []float64{1}}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Series{Name: "a", X: []float64{1}, Y: nil}).Validate(); err == nil {
+		t.Error("mismatch should error")
+	}
+	if err := (Series{Name: "a"}).Validate(); err == nil {
+		t.Error("empty should error")
+	}
+}
+
+func TestChartRender(t *testing.T) {
+	c := Chart{
+		Title:  "Processor Temperature",
+		XLabel: "time (min)",
+		YLabel: "°C",
+		Width:  40,
+		Height: 10,
+		Series: []Series{
+			{Name: "1800 RPM", X: []float64{0, 1, 2, 3}, Y: []float64{40, 60, 75, 85}},
+			{Name: "4200 RPM", X: []float64{0, 1, 2, 3}, Y: []float64{40, 48, 50, 52}},
+		},
+	}
+	var sb strings.Builder
+	if err := c.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Processor Temperature", "1800 RPM", "4200 RPM", "time (min)", "[*]", "[o]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in chart:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 14 {
+		t.Fatalf("chart too short: %d lines", len(lines))
+	}
+}
+
+func TestChartRenderErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := (Chart{}).Render(&sb); err == nil {
+		t.Error("no series should error")
+	}
+	bad := Chart{Series: []Series{{Name: "x", X: []float64{1}, Y: []float64{}}}}
+	if err := bad.Render(&sb); err == nil {
+		t.Error("invalid series should error")
+	}
+}
+
+func TestChartDegenerateRanges(t *testing.T) {
+	// Constant series must not divide by zero.
+	c := Chart{
+		Width: 10, Height: 4,
+		Series: []Series{{Name: "flat", X: []float64{1, 1, 1}, Y: []float64{5, 5, 5}}},
+	}
+	var sb strings.Builder
+	if err := c.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "flat") {
+		t.Fatal("legend missing")
+	}
+}
+
+func TestChartDefaults(t *testing.T) {
+	c := Chart{Series: []Series{{Name: "d", X: []float64{0, 1}, Y: []float64{0, 1}}}}
+	var sb strings.Builder
+	if err := c.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if len(sb.String()) < 100 {
+		t.Fatal("default-size chart too small")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var sb strings.Builder
+	err := WriteCSV(&sb,
+		Series{Name: "temp", X: []float64{0, 10}, Y: []float64{40, 50}},
+		Series{Name: "power", X: []float64{0}, Y: []float64{500}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %v", lines)
+	}
+	if lines[0] != "series,x,y" || lines[1] != "temp,0,40" || lines[3] != "power,0,500" {
+		t.Fatalf("csv = %v", lines)
+	}
+	if err := WriteCSV(&sb, Series{Name: "bad"}); err == nil {
+		t.Error("invalid series should error")
+	}
+}
+
+func TestTable(t *testing.T) {
+	var sb strings.Builder
+	err := Table(&sb,
+		[]string{"Test", "Control", "Energy"},
+		[][]string{
+			{"1", "Default", "0.6695"},
+			{"1", "LUT", "0.6556"},
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Default") || !strings.Contains(out, "0.6556") {
+		t.Fatalf("table:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines = %d", len(lines))
+	}
+	// Mismatched row length errors.
+	if err := Table(&sb, []string{"a"}, [][]string{{"1", "2"}}); err == nil {
+		t.Error("bad row should error")
+	}
+}

@@ -1,0 +1,168 @@
+// Package power contains the power model components of the simulated server.
+//
+// The decomposition follows Eqn. (1) of the paper:
+//
+//	Ptotal = Pactive + Pleak + Pfan
+//
+// with Pactive = k1·U and Pleak = C + k2·e^(k3·T) (Eqn. 2). These models are
+// the simulator's ground truth; the fitting pipeline in internal/fitting
+// must recover the constants from telemetry alone, which closes the loop on
+// the paper's Section IV.
+//
+// Two additional components the paper folds into its "idle energy" are
+// modelled explicitly so Table I energy magnitudes land in the right range:
+// a constant non-CPU idle floor and a utilization-proportional memory/IO
+// component (both are excluded from the leakage analysis, exactly as the
+// paper excludes idle energy from its net-savings computation).
+package power
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/units"
+)
+
+// ActiveModel is the dynamic CPU power model Pactive = K1·U with U in
+// percent. K1 is in Watts per percentage point.
+type ActiveModel struct {
+	K1 float64
+}
+
+// Power returns the active power at utilization u.
+func (m ActiveModel) Power(u units.Percent) units.Watts {
+	return units.Watts(m.K1 * float64(u.Clamp()))
+}
+
+// LeakageModel is the temperature-dependent leakage model
+// Pleak = C + K2·e^(K3·T).
+type LeakageModel struct {
+	C, K2, K3 float64
+}
+
+// Power returns the leakage power at die temperature t.
+func (m LeakageModel) Power(t units.Celsius) units.Watts {
+	return units.Watts(m.C + m.K2*math.Exp(m.K3*float64(t)))
+}
+
+// Slope returns dPleak/dT at temperature t, used by the steady-state solver
+// to detect thermal-runaway operating points.
+func (m LeakageModel) Slope(t units.Celsius) float64 {
+	return m.K2 * m.K3 * math.Exp(m.K3*float64(t))
+}
+
+// FanLaw is the cubic fan power law Pfan = Coeff·RPM³ for a whole fan bank.
+// The paper: "fan power is a cubic function of fan speed".
+type FanLaw struct {
+	Coeff float64 // W / RPM³
+}
+
+// Power returns the bank power at speed r.
+func (f FanLaw) Power(r units.RPM) units.Watts {
+	v := float64(r)
+	if v < 0 {
+		v = 0
+	}
+	return units.Watts(f.Coeff * v * v * v)
+}
+
+// MemoryModel is the non-CPU dynamic power (DIMMs, IO) proportional to
+// utilization: Pmem = Idle + KU·U.
+type MemoryModel struct {
+	Idle float64 // W at zero utilization
+	KU   float64 // W per percentage point
+}
+
+// Power returns the memory subsystem power at utilization u.
+func (m MemoryModel) Power(u units.Percent) units.Watts {
+	return units.Watts(m.Idle + m.KU*float64(u.Clamp()))
+}
+
+// PSUModel converts DC load power to AC wall power through a load-dependent
+// efficiency curve (efficiency sags at very low load). Efficiency is modelled
+// as Eta0 - Droop/(1+load/Knee) which rises from (Eta0-Droop) at zero load
+// toward Eta0 at high load.
+type PSUModel struct {
+	Eta0  float64 // asymptotic efficiency, e.g. 0.94
+	Droop float64 // efficiency loss at zero load, e.g. 0.10
+	Knee  float64 // load (W) where half of the droop is recovered
+}
+
+// Wall returns the AC input power needed to deliver dc Watts.
+func (p PSUModel) Wall(dc units.Watts) units.Watts {
+	if dc <= 0 {
+		return 0
+	}
+	eta := p.Efficiency(dc)
+	return units.Watts(float64(dc) / eta)
+}
+
+// Efficiency returns the conversion efficiency at the given DC load.
+func (p PSUModel) Efficiency(dc units.Watts) float64 {
+	load := float64(dc)
+	if load < 0 {
+		load = 0
+	}
+	knee := p.Knee
+	if knee <= 0 {
+		knee = 1
+	}
+	eta := p.Eta0 - p.Droop/(1+load/knee)
+	if eta < 0.05 {
+		eta = 0.05
+	}
+	return eta
+}
+
+// Breakdown attributes one instant of server power to its components, in
+// Watts. Total is the sum of the parts.
+type Breakdown struct {
+	Idle    units.Watts
+	Active  units.Watts
+	Leakage units.Watts
+	Memory  units.Watts
+	Fan     units.Watts
+}
+
+// Total sums all components.
+func (b Breakdown) Total() units.Watts {
+	return b.Idle + b.Active + b.Leakage + b.Memory + b.Fan
+}
+
+// AboveIdle is the controllable part the paper's net-savings metric uses:
+// everything except the constant idle floor.
+func (b Breakdown) AboveIdle() units.Watts { return b.Total() - b.Idle }
+
+func (b Breakdown) String() string {
+	return fmt.Sprintf("total=%.1fW (idle=%.1f active=%.1f leak=%.1f mem=%.1f fan=%.1f)",
+		float64(b.Total()), float64(b.Idle), float64(b.Active), float64(b.Leakage), float64(b.Memory), float64(b.Fan))
+}
+
+// ServerModel bundles all component models into the server's power budget.
+type ServerModel struct {
+	IdleFloor units.Watts // constant non-CPU baseline
+	Active    ActiveModel
+	Leakage   LeakageModel
+	Fans      FanLaw
+	Memory    MemoryModel
+}
+
+// At evaluates the budget at utilization u, CPU temperature t and fan speed r.
+func (s ServerModel) At(u units.Percent, t units.Celsius, r units.RPM) Breakdown {
+	return Breakdown{
+		Idle:    s.IdleFloor,
+		Active:  s.Active.Power(u),
+		Leakage: s.Leakage.Power(t),
+		Memory:  s.Memory.Power(u),
+		Fan:     s.Fans.Power(r),
+	}
+}
+
+// CPUHeat returns the power dissipated inside the CPU package (active +
+// leakage), the quantity injected into the thermal model. Memory power heats
+// the DIMMs; fan and idle-floor power is dissipated outside the airflow path
+// relevant to the CPU dies (PSUs and disks sit beside the airflow in the
+// paper's server).
+func (s ServerModel) CPUHeat(u units.Percent, t units.Celsius) units.Watts {
+	return s.Active.Power(u) + s.Leakage.Power(t)
+}

@@ -1,0 +1,202 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+// The paper's fitted constants.
+const (
+	k1 = 0.4452
+	c0 = 10.0
+	k2 = 0.3231
+	k3 = 0.04749
+)
+
+func paperModel() ServerModel {
+	return ServerModel{
+		IdleFloor: 365,
+		Active:    ActiveModel{K1: k1},
+		Leakage:   LeakageModel{C: c0, K2: k2, K3: k3},
+		Fans:      FanLaw{Coeff: 3.5e-10},
+		Memory:    MemoryModel{Idle: 40, KU: 0.86},
+	}
+}
+
+func TestActiveLinear(t *testing.T) {
+	m := ActiveModel{K1: k1}
+	if got := m.Power(0); got != 0 {
+		t.Fatalf("P(0) = %v", got)
+	}
+	if got := m.Power(100); math.Abs(float64(got)-44.52) > 1e-9 {
+		t.Fatalf("P(100) = %v, want 44.52W", got)
+	}
+	if got := m.Power(50); math.Abs(float64(got)-22.26) > 1e-9 {
+		t.Fatalf("P(50) = %v", got)
+	}
+	// Clamped outside range.
+	if m.Power(-10) != m.Power(0) || m.Power(200) != m.Power(100) {
+		t.Fatal("utilization not clamped")
+	}
+}
+
+func TestLeakageExponential(t *testing.T) {
+	m := LeakageModel{C: c0, K2: k2, K3: k3}
+	// At 70°C the paper's curve gives ~10 + 0.3231·e^3.3243 ≈ 19.0 W.
+	got := float64(m.Power(70))
+	if math.Abs(got-19.0) > 0.3 {
+		t.Fatalf("Pleak(70) = %g, want ≈19.0", got)
+	}
+	// Strictly increasing in T.
+	prev := m.Power(20)
+	for temp := units.Celsius(25); temp <= 95; temp += 5 {
+		cur := m.Power(temp)
+		if cur <= prev {
+			t.Fatalf("leakage not increasing at %v", temp)
+		}
+		prev = cur
+	}
+}
+
+func TestLeakageSlopeMatchesFiniteDifference(t *testing.T) {
+	m := LeakageModel{C: c0, K2: k2, K3: k3}
+	for _, temp := range []units.Celsius{40, 60, 80} {
+		h := 1e-5
+		fd := (float64(m.Power(temp+units.Celsius(h))) - float64(m.Power(temp))) / h
+		if math.Abs(fd-m.Slope(temp)) > 1e-4 {
+			t.Fatalf("slope at %v: analytic %g vs fd %g", temp, m.Slope(temp), fd)
+		}
+	}
+}
+
+func TestFanCubic(t *testing.T) {
+	f := FanLaw{Coeff: 3.5e-10}
+	// Doubling RPM multiplies power by 8.
+	p1 := float64(f.Power(2000))
+	p2 := float64(f.Power(4000))
+	if math.Abs(p2/p1-8) > 1e-9 {
+		t.Fatalf("cubic law violated: %g/%g", p2, p1)
+	}
+	if f.Power(0) != 0 {
+		t.Fatal("P(0) != 0")
+	}
+	if f.Power(-100) != 0 {
+		t.Fatal("negative RPM should clamp to 0")
+	}
+	// Sanity magnitudes for the calibrated bank.
+	if p := float64(f.Power(3300)); p < 10 || p > 16 {
+		t.Fatalf("Pfan(3300) = %g, expected ~12.6W", p)
+	}
+}
+
+func TestFanMonotoneProperty(t *testing.T) {
+	f := FanLaw{Coeff: 3.5e-10}
+	prop := func(a, b float64) bool {
+		ra, rb := math.Abs(a), math.Abs(b)
+		if math.IsNaN(ra) || math.IsNaN(rb) || ra > 1e6 || rb > 1e6 {
+			return true
+		}
+		if ra > rb {
+			ra, rb = rb, ra
+		}
+		return f.Power(units.RPM(ra)) <= f.Power(units.RPM(rb))
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemoryModel(t *testing.T) {
+	m := MemoryModel{Idle: 40, KU: 0.86}
+	if got := float64(m.Power(0)); got != 40 {
+		t.Fatalf("Pmem(0) = %g", got)
+	}
+	if got := float64(m.Power(100)); math.Abs(got-126) > 1e-9 {
+		t.Fatalf("Pmem(100) = %g, want 126", got)
+	}
+}
+
+func TestBreakdownTotals(t *testing.T) {
+	b := Breakdown{Idle: 365, Active: 44.5, Leakage: 19, Memory: 126, Fan: 12.6}
+	if math.Abs(float64(b.Total())-567.1) > 1e-9 {
+		t.Fatalf("total = %v", b.Total())
+	}
+	if math.Abs(float64(b.AboveIdle())-202.1) > 1e-9 {
+		t.Fatalf("above idle = %v", b.AboveIdle())
+	}
+	if b.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestServerModelAt(t *testing.T) {
+	s := paperModel()
+	b := s.At(100, 70, 2400)
+	if b.Active != s.Active.Power(100) || b.Leakage != s.Leakage.Power(70) || b.Fan != s.Fans.Power(2400) {
+		t.Fatal("breakdown components inconsistent")
+	}
+	// Full-load peak at default fan speed should be in the high 500s W:
+	// the back-solved Table I calibration.
+	peak := float64(s.At(100, 60, 3300).Total())
+	if peak < 520 || peak > 580 {
+		t.Fatalf("peak power = %g, want ~540W calibration", peak)
+	}
+}
+
+func TestCPUHeatExcludesFanAndMemory(t *testing.T) {
+	s := paperModel()
+	h := s.CPUHeat(50, 60)
+	want := s.Active.Power(50) + s.Leakage.Power(60)
+	if h != want {
+		t.Fatalf("CPUHeat = %v, want %v", h, want)
+	}
+}
+
+func TestPSUModel(t *testing.T) {
+	p := PSUModel{Eta0: 0.94, Droop: 0.10, Knee: 100}
+	if p.Wall(0) != 0 {
+		t.Fatal("Wall(0) != 0")
+	}
+	// Efficiency improves with load.
+	if !(p.Efficiency(50) < p.Efficiency(500)) {
+		t.Fatal("efficiency should rise with load")
+	}
+	// Wall power always exceeds DC power.
+	for _, dc := range []units.Watts{10, 100, 400, 700} {
+		if p.Wall(dc) <= dc {
+			t.Fatalf("wall %v <= dc %v", p.Wall(dc), dc)
+		}
+	}
+	// Efficiency floor guards degenerate parameters.
+	bad := PSUModel{Eta0: 0.0, Droop: 1.0, Knee: 0}
+	if bad.Efficiency(10) < 0.05 {
+		t.Fatal("efficiency floor not applied")
+	}
+}
+
+func TestLeakageTradeoffConvexity(t *testing.T) {
+	// The core insight of Fig 2(a): over the operating range there is an
+	// interior minimum of fan+leakage power. Emulate with the calibrated
+	// steady-state map: higher RPM → lower temp → less leakage, more fan.
+	s := paperModel()
+	rpms := []units.RPM{1800, 2400, 3000, 3600, 4200}
+	// Steady temps at 100% util from the calibrated anchors.
+	temps := []units.Celsius{85, 68, 60, 55, 52}
+	sum := make([]float64, len(rpms))
+	for i := range rpms {
+		sum[i] = float64(s.Fans.Power(rpms[i]) + s.Leakage.Power(temps[i]))
+	}
+	// Minimum strictly inside the range, at 2400 RPM (index 1).
+	minIdx := 0
+	for i, v := range sum {
+		if v < sum[minIdx] {
+			minIdx = i
+		}
+	}
+	if minIdx != 1 {
+		t.Fatalf("fan+leak minimum at %v, want 2400RPM; sums=%v", rpms[minIdx], sum)
+	}
+}

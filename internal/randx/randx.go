@@ -1,0 +1,80 @@
+// Package randx wraps math/rand with the seeded distributions the workload
+// generators need: exponential inter-arrival and service times for the
+// Test-4 shell workload (Poisson arrivals, exponential service, after
+// Meisner & Wenisch's stochastic queuing simulation) and uniform choices for
+// the Test-3 random-step profile.
+//
+// Every generator is explicitly seeded so experiments are reproducible
+// run-to-run, which the paper's deterministic load profiles also rely on.
+package randx
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Source is a deterministic random source for workload synthesis.
+type Source struct {
+	rng *rand.Rand
+}
+
+// New returns a Source seeded with seed.
+func New(seed int64) *Source {
+	return &Source{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Exponential draws from an exponential distribution with the given mean.
+// A non-positive mean returns 0.
+func (s *Source) Exponential(mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	return s.rng.ExpFloat64() * mean
+}
+
+// Poisson draws a Poisson-distributed count with the given rate λ using
+// Knuth's algorithm (adequate for the small λ used per polling interval).
+func (s *Source) Poisson(lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	// For large λ fall back to a normal approximation to avoid underflow.
+	if lambda > 500 {
+		n := int(s.rng.NormFloat64()*math.Sqrt(lambda) + lambda + 0.5)
+		if n < 0 {
+			n = 0
+		}
+		return n
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= s.rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Uniform returns a float64 uniformly distributed in [lo, hi).
+func (s *Source) Uniform(lo, hi float64) float64 {
+	return lo + s.rng.Float64()*(hi-lo)
+}
+
+// IntN returns a uniform int in [0, n). n must be positive.
+func (s *Source) IntN(n int) int { return s.rng.Intn(n) }
+
+// Choice returns a uniformly chosen element of xs. It panics on an empty
+// slice, mirroring rand.Intn semantics.
+func (s *Source) Choice(xs []float64) float64 { return xs[s.rng.Intn(len(xs))] }
+
+// Normal draws from a normal distribution with the given mean and standard
+// deviation.
+func (s *Source) Normal(mean, std float64) float64 {
+	return s.rng.NormFloat64()*std + mean
+}
+
+// Float64 returns a uniform float in [0, 1).
+func (s *Source) Float64() float64 { return s.rng.Float64() }

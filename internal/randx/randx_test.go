@@ -1,0 +1,132 @@
+package randx
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := New(43)
+	same := true
+	a2 := New(42)
+	for i := 0; i < 10; i++ {
+		if a2.Float64() != c.Float64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	s := New(1)
+	const mean = 4.0
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := s.Exponential(mean)
+		if v < 0 {
+			t.Fatal("negative exponential draw")
+		}
+		sum += v
+	}
+	got := sum / n
+	if math.Abs(got-mean) > 0.05 {
+		t.Fatalf("exponential mean = %g, want ~%g", got, mean)
+	}
+}
+
+func TestExponentialNonPositiveMean(t *testing.T) {
+	s := New(1)
+	if s.Exponential(0) != 0 || s.Exponential(-1) != 0 {
+		t.Fatal("non-positive mean should return 0")
+	}
+}
+
+func TestPoissonMeanAndVariance(t *testing.T) {
+	s := New(2)
+	const lambda = 3.5
+	const n = 100000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		k := float64(s.Poisson(lambda))
+		sum += k
+		sumSq += k * k
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-lambda) > 0.05 {
+		t.Fatalf("poisson mean = %g", mean)
+	}
+	if math.Abs(variance-lambda) > 0.15 {
+		t.Fatalf("poisson variance = %g", variance)
+	}
+}
+
+func TestPoissonEdges(t *testing.T) {
+	s := New(3)
+	if s.Poisson(0) != 0 || s.Poisson(-2) != 0 {
+		t.Fatal("non-positive lambda should return 0")
+	}
+	// Large lambda path must return something near lambda.
+	big := float64(s.Poisson(10000))
+	if math.Abs(big-10000) > 500 {
+		t.Fatalf("large-lambda poisson = %g", big)
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	s := New(4)
+	for i := 0; i < 10000; i++ {
+		v := s.Uniform(10, 20)
+		if v < 10 || v >= 20 {
+			t.Fatalf("uniform out of range: %g", v)
+		}
+	}
+}
+
+func TestChoiceCoversAll(t *testing.T) {
+	s := New(5)
+	opts := []float64{1, 2, 3}
+	seen := map[float64]bool{}
+	for i := 0; i < 1000; i++ {
+		v := s.Choice(opts)
+		seen[v] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("choice only saw %v", seen)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	s := New(6)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := s.Normal(5, 2)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	std := math.Sqrt(sumSq/n - mean*mean)
+	if math.Abs(mean-5) > 0.05 || math.Abs(std-2) > 0.05 {
+		t.Fatalf("normal mean=%g std=%g", mean, std)
+	}
+}
+
+func TestIntN(t *testing.T) {
+	s := New(7)
+	for i := 0; i < 1000; i++ {
+		if v := s.IntN(5); v < 0 || v >= 5 {
+			t.Fatalf("IntN out of range: %d", v)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package server
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSetDVFSValidation(t *testing.T) {
+	s := newServer(t)
+	for _, bad := range [][2]float64{{0, 1}, {1.1, 1}, {1, 0}, {1, 1.5}, {-1, 0.5}} {
+		if err := s.SetDVFS(bad[0], bad[1]); err == nil {
+			t.Errorf("SetDVFS(%g, %g) should fail", bad[0], bad[1])
+		}
+	}
+	if err := s.SetDVFS(0.7, 0.86); err != nil {
+		t.Fatal(err)
+	}
+	f, v := s.DVFS()
+	if f != 0.7 || v != 0.86 {
+		t.Fatalf("DVFS = %g, %g", f, v)
+	}
+}
+
+func TestDVFSReducesPowerAtPartialLoad(t *testing.T) {
+	run := func(freq, volt float64) (watts float64, temp float64) {
+		s := newServer(t)
+		if err := s.SetDVFS(freq, volt); err != nil {
+			t.Fatal(err)
+		}
+		s.SetLoad(50)
+		s.Fans().SetAll(2400)
+		for i := 0; i < 600; i++ {
+			s.Step(5)
+		}
+		return float64(s.Breakdown().Total()), float64(s.MaxCPUTemp())
+	}
+	basePower, baseTemp := run(1, 1)
+	scaledPower, scaledTemp := run(0.7, 0.86)
+	if scaledPower >= basePower {
+		t.Fatalf("P2 power %g should be below P0 %g at 50%% load", scaledPower, basePower)
+	}
+	if scaledTemp >= baseTemp {
+		t.Fatalf("P2 temp %g should be below P0 %g", scaledTemp, baseTemp)
+	}
+	// The dynamic saving is bounded by the CPU active power itself.
+	if basePower-scaledPower > 25 {
+		t.Fatalf("implausible DVFS saving: %g W", basePower-scaledPower)
+	}
+}
+
+func TestDVFSEffectiveUtilizationAndThrottle(t *testing.T) {
+	s := newServer(t)
+	if err := s.SetDVFS(0.55, 0.8); err != nil {
+		t.Fatal(err)
+	}
+	s.SetLoad(40)
+	s.Step(1)
+	// 40 demanded at 0.55 capacity → ~72.7% effective.
+	want := 40 / 0.55
+	if got := float64(s.EffectiveUtilization()); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("effective util = %g, want %g", got, want)
+	}
+	if s.Throttled() {
+		t.Fatal("40% at P3 must not throttle")
+	}
+	// Demand beyond capacity throttles and clamps.
+	s.SetLoad(80)
+	s.Step(1)
+	if got := float64(s.EffectiveUtilization()); got != 100 {
+		t.Fatalf("over-capacity effective util = %g", got)
+	}
+	if !s.Throttled() {
+		t.Fatal("80% at P3 must set the throttled flag")
+	}
+}
+
+func TestDVFSNeutralAtTopState(t *testing.T) {
+	// A server left at the default (1, 1) scales behaves identically to
+	// one explicitly set there.
+	a := newServer(t)
+	b := newServer(t)
+	if err := b.SetDVFS(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	a.SetLoad(75)
+	b.SetLoad(75)
+	for i := 0; i < 100; i++ {
+		a.Step(5)
+		b.Step(5)
+	}
+	if a.Breakdown().Total() != b.Breakdown().Total() {
+		t.Fatalf("top state differs: %v vs %v", a.Breakdown().Total(), b.Breakdown().Total())
+	}
+	if a.MaxCPUTemp() != b.MaxCPUTemp() {
+		t.Fatal("temperatures differ at top state")
+	}
+}

@@ -1,0 +1,365 @@
+package server
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/fans"
+	"repro/internal/mathx"
+	"repro/internal/mem"
+	"repro/internal/power"
+	"repro/internal/randx"
+	"repro/internal/thermal"
+	"repro/internal/units"
+
+	cpupkg "repro/internal/cpu"
+)
+
+// Server is the composite simulated machine.
+type Server struct {
+	cfg Config
+
+	cpu  *cpupkg.Complex
+	mem  *mem.Bank
+	fans *fans.Bank
+
+	net       *thermal.Network
+	dieNodes  []thermal.NodeID // one per socket
+	sinkNodes []thermal.NodeID
+	sinkLinks []thermal.LinkID
+	inlet     thermal.BoundaryID
+
+	noise *randx.Source
+
+	clock     float64      // seconds since power-on
+	energy    units.Joules // total system energy consumed
+	fanEnergy units.Joules // fan-only energy (separately metered)
+	peak      units.Watts
+	tripped   bool
+
+	// DVFS state (extension): scaling factors relative to the top P-state.
+	// Dynamic CPU power scales as freqScale·voltScale², leakage as
+	// voltScale, and the demanded load inflates to demanded/freqScale.
+	freqScale float64
+	voltScale float64
+	throttled bool
+
+	lastBreakdown power.Breakdown
+}
+
+// New constructs a server from cfg, starting in thermal equilibrium at idle
+// with fans at the configured initial speed.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cpx, err := cpupkg.NewComplex(cfg.CPU)
+	if err != nil {
+		return nil, err
+	}
+	memBank, err := mem.NewBank(cfg.Mem, cfg.Ambient)
+	if err != nil {
+		return nil, err
+	}
+	fanBank, err := fans.NewBank(cfg.Fans)
+	if err != nil {
+		return nil, err
+	}
+
+	s := &Server{
+		cfg:       cfg,
+		cpu:       cpx,
+		mem:       memBank,
+		fans:      fanBank,
+		net:       thermal.NewNetwork(cfg.MaxThermalStep),
+		noise:     randx.New(cfg.NoiseSeed),
+		freqScale: 1,
+		voltScale: 1,
+	}
+
+	s.inlet = s.net.AddBoundary("inlet", float64(cfg.Ambient))
+	for sock := 0; sock < cfg.CPU.Sockets; sock++ {
+		die, err := s.net.AddNode(fmt.Sprintf("die%d", sock), cfg.CDie, float64(cfg.Ambient))
+		if err != nil {
+			return nil, err
+		}
+		sink, err := s.net.AddNode(fmt.Sprintf("sink%d", sock), cfg.CSink, float64(cfg.Ambient))
+		if err != nil {
+			return nil, err
+		}
+		if _, err := s.net.ConnectNodes(die, sink, 1/cfg.RDie); err != nil {
+			return nil, err
+		}
+		link, err := s.net.ConnectBoundary(sink, s.inlet, 1/s.sinkResistance(fanBank.MeanRPM()))
+		if err != nil {
+			return nil, err
+		}
+		s.dieNodes = append(s.dieNodes, die)
+		s.sinkNodes = append(s.sinkNodes, sink)
+		s.sinkLinks = append(s.sinkLinks, link)
+	}
+
+	// Start in idle equilibrium so experiments can apply the paper's
+	// cold-start protocol explicitly.
+	s.syncThermalInputs()
+	if err := s.net.Settle(); err != nil {
+		return nil, err
+	}
+	s.mem.Settle(cfg.Ambient, 0, fanBank.MeanRPM())
+	s.updateBreakdown()
+	return s, nil
+}
+
+// sinkResistance returns the per-socket sink-to-air resistance at speed r.
+func (s *Server) sinkResistance(r units.RPM) float64 {
+	rpm := float64(r)
+	if rpm < 1 {
+		rpm = 1
+	}
+	return s.cfg.RSinkBase + s.cfg.RSinkFlow/rpm
+}
+
+// syncThermalInputs refreshes boundary temperature, conductances and node
+// powers from the current utilization, fan speed and die temperatures.
+func (s *Server) syncThermalInputs() {
+	u := s.cpu.Utilization()
+	rpm := s.fans.MeanRPM()
+	preheat := s.mem.InletPreheat(u, rpm)
+	_ = s.net.SetBoundaryTemp(s.inlet, float64(s.cfg.Ambient+preheat))
+
+	g := 1 / s.sinkResistance(rpm)
+	nSockets := len(s.dieNodes)
+	for i, link := range s.sinkLinks {
+		_ = s.net.SetConductance(link, g)
+		// Per-socket heat: the socket's share of active power plus its own
+		// die's leakage share.
+		// Active.Power takes machine-wide percent; each socket contributes
+		// k1·U_socket/nSockets so that uniform load sums to k1·U.
+		sockU, _ := s.cpu.SocketUtilization(i)
+		active := float64(s.cfg.Power.Active.Power(s.effectiveUtil(sockU))) * s.dynScale() / float64(nSockets)
+		leak := float64(s.cfg.Power.Leakage.Power(units.Celsius(s.net.Temp(s.dieNodes[i])))) * s.voltScale / float64(nSockets)
+		_ = s.net.SetPower(s.dieNodes[i], active+leak)
+	}
+}
+
+func (s *Server) updateBreakdown() {
+	u := s.cpu.Utilization()
+	s.lastBreakdown = power.Breakdown{
+		Idle:    s.cfg.Power.IdleFloor,
+		Active:  units.Watts(float64(s.cfg.Power.Active.Power(s.effectiveUtil(u))) * s.dynScale()),
+		Leakage: units.Watts(float64(s.cfg.Power.Leakage.Power(s.MaxCPUTemp())) * s.voltScale),
+		Memory:  s.cfg.Power.Memory.Power(u),
+		Fan:     s.fans.Power(),
+	}
+}
+
+// dynScale is the DVFS multiplier on dynamic CPU power: f·V².
+func (s *Server) dynScale() float64 { return s.freqScale * s.voltScale * s.voltScale }
+
+// effectiveUtil inflates a demanded utilization by the frequency scale: the
+// same work rate occupies more cycles at a lower clock. Demand beyond the
+// scaled capacity marks the run as throttled.
+func (s *Server) effectiveUtil(demanded units.Percent) units.Percent {
+	eff := float64(demanded) / s.freqScale
+	if eff > 100 {
+		s.throttled = true
+		eff = 100
+	}
+	return units.Percent(eff)
+}
+
+// SetDVFS applies a P-state as frequency and voltage scales relative to the
+// top state. Both must lie in (0, 1]. Dynamic CPU power scales as f·V²,
+// leakage as V. This is the extension hook the paper's conclusion points
+// to (coordinated DVFS + fan control, cf. its reference [5]).
+func (s *Server) SetDVFS(freqScale, voltScale float64) error {
+	if freqScale <= 0 || freqScale > 1 || voltScale <= 0 || voltScale > 1 {
+		return fmt.Errorf("server: DVFS scales must be in (0,1]: f=%g v=%g", freqScale, voltScale)
+	}
+	s.freqScale = freqScale
+	s.voltScale = voltScale
+	return nil
+}
+
+// DVFS returns the current frequency and voltage scales.
+func (s *Server) DVFS() (freqScale, voltScale float64) { return s.freqScale, s.voltScale }
+
+// Throttled reports whether the demanded load ever exceeded the scaled
+// capacity (throughput loss under DVFS).
+func (s *Server) Throttled() bool { return s.throttled }
+
+// EffectiveUtilization returns the utilization after DVFS inflation — what
+// sar would report on the slowed machine.
+func (s *Server) EffectiveUtilization() units.Percent {
+	return units.Percent(math.Min(100, float64(s.cpu.Utilization())/s.freqScale))
+}
+
+// Step advances the whole server by dt seconds.
+func (s *Server) Step(dt float64) {
+	if dt <= 0 {
+		return
+	}
+	s.fans.Step(dt)
+	s.syncThermalInputs()
+	s.net.Step(dt)
+	s.mem.Step(dt, s.cfg.Ambient, s.cpu.Utilization(), s.fans.MeanRPM())
+
+	// Thermal protection: above the critical threshold the service
+	// processor forces maximum cooling, as a real machine would.
+	if s.MaxCPUTemp() >= s.cfg.CriticalTemp {
+		s.tripped = true
+		_, hi := s.fans.Range()
+		s.fans.SetAll(hi)
+	}
+
+	s.updateBreakdown()
+	total := s.lastBreakdown.Total()
+	s.energy += units.Energy(total, dt)
+	s.fanEnergy += units.Energy(s.lastBreakdown.Fan, dt)
+	if total > s.peak {
+		s.peak = total
+	}
+	s.clock += dt
+}
+
+// SetLoad applies a uniform utilization across all cores (LoadGen's even
+// spreading).
+func (s *Server) SetLoad(u units.Percent) { s.cpu.SetUniformLoad(u) }
+
+// Utilization returns the true machine-wide utilization.
+func (s *Server) Utilization() units.Percent { return s.cpu.Utilization() }
+
+// CPU returns the CPU complex for fine-grained load control.
+func (s *Server) CPU() *cpupkg.Complex { return s.cpu }
+
+// Fans returns the fan bank, the actuation surface for controllers.
+func (s *Server) Fans() *fans.Bank { return s.fans }
+
+// Memory returns the DIMM bank.
+func (s *Server) Memory() *mem.Bank { return s.mem }
+
+// Config returns the server configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// Now returns seconds since power-on.
+func (s *Server) Now() float64 { return s.clock }
+
+// DieTemp returns the true temperature of one socket's die.
+func (s *Server) DieTemp(socket int) (units.Celsius, error) {
+	if socket < 0 || socket >= len(s.dieNodes) {
+		return 0, fmt.Errorf("server: socket %d out of range", socket)
+	}
+	return units.Celsius(s.net.Temp(s.dieNodes[socket])), nil
+}
+
+// MaxCPUTemp returns the hottest true die temperature.
+func (s *Server) MaxCPUTemp() units.Celsius {
+	m := units.Celsius(-1e9)
+	for _, n := range s.dieNodes {
+		if t := units.Celsius(s.net.Temp(n)); t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+// CPUTempSensors returns the paper's four CPU temperature readings (two
+// thermal sensors per die: one near the hot spot, one near the die edge)
+// including sensor noise.
+func (s *Server) CPUTempSensors() []units.Celsius {
+	offsets := [2]float64{s.cfg.HotSpotOffset, s.cfg.EdgeOffset}
+	out := make([]units.Celsius, 0, 2*len(s.dieNodes))
+	for _, n := range s.dieNodes {
+		t := s.net.Temp(n)
+		for k := 0; k < 2; k++ {
+			out = append(out, units.Celsius(t+offsets[k]+s.noise.Normal(0, s.cfg.TempNoise)))
+		}
+	}
+	return out
+}
+
+// MeasuredSystemPower returns the whole-system power sensor reading
+// (noisy), the paper's "power consumed by the whole system" channel.
+func (s *Server) MeasuredSystemPower() units.Watts {
+	return s.lastBreakdown.Total() + units.Watts(s.noise.Normal(0, s.cfg.PowerNoise))
+}
+
+// MeasuredCPUPower reconstructs total CPU power (active + leakage) from the
+// per-core voltage/current sensors, with rail-measurement noise. This is
+// the channel that lets the paper isolate Pactive+Pleak from the rest of
+// the system.
+func (s *Server) MeasuredCPUPower() units.Watts {
+	truth := s.cfg.Power.CPUHeat(s.cpu.Utilization(), s.MaxCPUTemp())
+	var total float64
+	for core := 0; core < s.cpu.Topology().Cores(); core++ {
+		v, a, err := s.cpu.VI(core, truth)
+		if err != nil {
+			continue
+		}
+		total += v * a
+	}
+	total += s.noise.Normal(0, s.cfg.PowerNoise)
+	if total < 0 {
+		total = 0
+	}
+	return units.Watts(total)
+}
+
+// MeasuredFanPower returns the separately metered fan power (noisy). This
+// is what the paper's external-supply setup uniquely enables.
+func (s *Server) MeasuredFanPower() units.Watts {
+	p := s.fans.Power() + units.Watts(s.noise.Normal(0, s.cfg.PowerNoise/3))
+	if p < 0 {
+		p = 0
+	}
+	return p
+}
+
+// Breakdown returns the true component-level power attribution.
+func (s *Server) Breakdown() power.Breakdown { return s.lastBreakdown }
+
+// Energy returns total energy consumed since power-on.
+func (s *Server) Energy() units.Joules { return s.energy }
+
+// FanEnergy returns fan-only energy since power-on.
+func (s *Server) FanEnergy() units.Joules { return s.fanEnergy }
+
+// PeakPower returns the highest instantaneous total power observed.
+func (s *Server) PeakPower() units.Watts { return s.peak }
+
+// Tripped reports whether thermal protection ever engaged.
+func (s *Server) Tripped() bool { return s.tripped }
+
+// ResetAccounting zeroes energy/peak accounting, used at the start of the
+// measured window of an experiment (after stabilization).
+func (s *Server) ResetAccounting() {
+	s.energy = 0
+	s.fanEnergy = 0
+	s.peak = 0
+}
+
+// SteadyTemp predicts the equilibrium die temperature at utilization u and
+// fan speed r by fixed-point iteration over the leakage feedback. It returns
+// an error when the operating point is thermally unstable (runaway).
+func SteadyTemp(cfg Config, u units.Percent, r units.RPM) (units.Celsius, error) {
+	memBank, err := mem.NewBank(cfg.Mem, cfg.Ambient)
+	if err != nil {
+		return 0, err
+	}
+	preheat := float64(memBank.InletPreheat(u, r))
+	rth := cfg.RthServer(r)
+	active := float64(cfg.Power.Active.Power(u))
+	f := func(t float64) float64 {
+		leak := float64(cfg.Power.Leakage.Power(units.Celsius(t)))
+		return float64(cfg.Ambient) + preheat + rth*(active+leak)
+	}
+	t, err := mathx.FixedPoint(f, float64(cfg.Ambient)+30, 1e-6, 500)
+	if err != nil {
+		return units.Celsius(t), fmt.Errorf("server: unstable operating point U=%v RPM=%v: %w", u, r, err)
+	}
+	// Reject points beyond the stability knee even if iteration converged.
+	if cfg.Power.Leakage.Slope(units.Celsius(t))*rth >= 1 {
+		return units.Celsius(t), fmt.Errorf("server: thermal runaway at U=%v RPM=%v (T=%.1f)", u, r, t)
+	}
+	return units.Celsius(t), nil
+}

@@ -1,0 +1,153 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOnlineAgainstDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 1000)
+	var o Online
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 7
+		o.Add(xs[i])
+	}
+	mean := MeanOf(xs)
+	var v float64
+	for _, x := range xs {
+		v += (x - mean) * (x - mean)
+	}
+	v /= float64(len(xs))
+	if math.Abs(o.Mean()-mean) > 1e-9 {
+		t.Fatalf("mean %g vs %g", o.Mean(), mean)
+	}
+	if math.Abs(o.Var()-v) > 1e-9 {
+		t.Fatalf("var %g vs %g", o.Var(), v)
+	}
+}
+
+func TestOnlineEmptyAndSingle(t *testing.T) {
+	var o Online
+	if o.Mean() != 0 || o.Var() != 0 || o.Min() != 0 || o.Max() != 0 || o.N() != 0 {
+		t.Fatal("zero value not neutral")
+	}
+	o.Add(5)
+	if o.Mean() != 5 || o.Var() != 0 || o.Min() != 5 || o.Max() != 5 {
+		t.Fatalf("single obs: %+v", o)
+	}
+}
+
+func TestOnlineMinMax(t *testing.T) {
+	var o Online
+	for _, x := range []float64{3, -1, 4, 1, 5, -9, 2, 6} {
+		o.Add(x)
+	}
+	if o.Min() != -9 || o.Max() != 6 {
+		t.Fatalf("min=%g max=%g", o.Min(), o.Max())
+	}
+}
+
+func TestPercentileKnown(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {50, 3}, {100, 5}, {25, 2}, {75, 4},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("P%g = %g, want %g", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	Percentile(xs, 50)
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 3 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestPercentileEmpty(t *testing.T) {
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile should be 0")
+	}
+}
+
+func TestPercentileBoundsProperty(t *testing.T) {
+	f := func(raw [8]float64, p float64) bool {
+		xs := raw[:]
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+		}
+		if math.IsNaN(p) {
+			return true
+		}
+		got := Percentile(xs, p)
+		return got >= MinOf(xs)-1e-9 && got <= MaxOf(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRMSE(t *testing.T) {
+	if got := RMSE([]float64{1, 2}, []float64{1, 2}); got != 0 {
+		t.Fatalf("perfect RMSE = %g", got)
+	}
+	if got := RMSE([]float64{0, 0}, []float64{3, 4}); math.Abs(got-math.Sqrt(12.5)) > 1e-12 {
+		t.Fatalf("RMSE = %g", got)
+	}
+	if !math.IsNaN(RMSE([]float64{1}, []float64{1, 2})) {
+		t.Fatal("mismatched lengths should be NaN")
+	}
+	if !math.IsNaN(RMSE(nil, nil)) {
+		t.Fatal("empty should be NaN")
+	}
+}
+
+func TestRSquared(t *testing.T) {
+	truth := []float64{1, 2, 3, 4}
+	if got := RSquared(truth, truth); got != 1 {
+		t.Fatalf("perfect R² = %g", got)
+	}
+	// Predicting the mean gives R² = 0.
+	meanPred := []float64{2.5, 2.5, 2.5, 2.5}
+	if got := RSquared(meanPred, truth); math.Abs(got) > 1e-12 {
+		t.Fatalf("mean R² = %g", got)
+	}
+	// Constant truth with perfect prediction.
+	if got := RSquared([]float64{2, 2}, []float64{2, 2}); got != 1 {
+		t.Fatalf("constant R² = %g", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.P50 != 3 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("empty string")
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 {
+		t.Fatalf("empty summary = %+v", empty)
+	}
+}
+
+func TestMeanMaxMinOf(t *testing.T) {
+	if MeanOf([]float64{2, 4}) != 3 {
+		t.Error("MeanOf")
+	}
+	if MeanOf(nil) != 0 {
+		t.Error("MeanOf nil")
+	}
+	if !math.IsInf(MaxOf(nil), -1) || !math.IsInf(MinOf(nil), 1) {
+		t.Error("empty MaxOf/MinOf sentinels")
+	}
+}

@@ -1,0 +1,265 @@
+// Package thermal implements a lumped RC thermal network, the substrate that
+// replaces the physical SPARC T3 server's thermal behaviour.
+//
+// Nodes carry a heat capacitance (J/°C) and a temperature; boundaries are
+// fixed-temperature reservoirs (ambient or preheated inlet air). Links are
+// thermal conductances (W/°C, the reciprocal of a thermal resistance in
+// °C/W). Conductances may be changed between steps, which is how fan-speed
+// dependent convection is modelled: the server layer recomputes the
+// sink-to-air conductance from the current RPM before each step.
+//
+// The network reproduces the two behaviours Figure 1 of the paper documents:
+// a fast die-level transient (small C close to the heat source) and a slow
+// fan-dependent heatsink transient (large C behind an airflow-dependent R).
+package thermal
+
+import (
+	"fmt"
+
+	"repro/internal/mathx"
+)
+
+// NodeID identifies a capacitive node in the network.
+type NodeID int
+
+// BoundaryID identifies a fixed-temperature boundary.
+type BoundaryID int
+
+// LinkID identifies a conductance between two points of the network.
+type LinkID int
+
+type node struct {
+	name    string
+	capac   float64 // J/°C
+	temp    float64 // °C
+	powerIn float64 // W injected this step
+}
+
+type boundary struct {
+	name string
+	temp float64
+}
+
+type link struct {
+	a          NodeID // always a capacitive node
+	b          NodeID // capacitive node when !toBoundary
+	bBound     BoundaryID
+	toBoundary bool
+	g          float64 // conductance W/°C
+}
+
+// Network is a mutable RC thermal network integrated with RK4.
+type Network struct {
+	nodes      []node
+	boundaries []boundary
+	links      []link
+
+	// integration scratch
+	state   []float64
+	scratch [][]float64
+	maxStep float64
+}
+
+// NewNetwork returns an empty network. maxStep bounds the internal
+// integration step in seconds (values ≤ 0 default to 1 s); Step subdivides
+// longer intervals for accuracy and stability.
+func NewNetwork(maxStep float64) *Network {
+	if maxStep <= 0 {
+		maxStep = 1
+	}
+	return &Network{maxStep: maxStep}
+}
+
+// AddNode adds a capacitive node with the given heat capacity (J/°C) and
+// initial temperature. Capacitance must be positive.
+func (n *Network) AddNode(name string, capacitance, initial float64) (NodeID, error) {
+	if capacitance <= 0 {
+		return 0, fmt.Errorf("thermal: node %q capacitance must be positive, got %g", name, capacitance)
+	}
+	n.nodes = append(n.nodes, node{name: name, capac: capacitance, temp: initial})
+	return NodeID(len(n.nodes) - 1), nil
+}
+
+// AddBoundary adds a fixed-temperature reservoir.
+func (n *Network) AddBoundary(name string, temp float64) BoundaryID {
+	n.boundaries = append(n.boundaries, boundary{name: name, temp: temp})
+	return BoundaryID(len(n.boundaries) - 1)
+}
+
+// ConnectNodes links two capacitive nodes with conductance g (W/°C).
+func (n *Network) ConnectNodes(a, b NodeID, g float64) (LinkID, error) {
+	if err := n.checkNode(a); err != nil {
+		return 0, err
+	}
+	if err := n.checkNode(b); err != nil {
+		return 0, err
+	}
+	if g < 0 {
+		return 0, fmt.Errorf("thermal: negative conductance %g", g)
+	}
+	n.links = append(n.links, link{a: a, b: b, g: g})
+	return LinkID(len(n.links) - 1), nil
+}
+
+// ConnectBoundary links a capacitive node to a boundary with conductance g.
+func (n *Network) ConnectBoundary(a NodeID, b BoundaryID, g float64) (LinkID, error) {
+	if err := n.checkNode(a); err != nil {
+		return 0, err
+	}
+	if int(b) < 0 || int(b) >= len(n.boundaries) {
+		return 0, fmt.Errorf("thermal: unknown boundary %d", b)
+	}
+	if g < 0 {
+		return 0, fmt.Errorf("thermal: negative conductance %g", g)
+	}
+	n.links = append(n.links, link{a: a, bBound: b, toBoundary: true, g: g})
+	return LinkID(len(n.links) - 1), nil
+}
+
+func (n *Network) checkNode(id NodeID) error {
+	if int(id) < 0 || int(id) >= len(n.nodes) {
+		return fmt.Errorf("thermal: unknown node %d", id)
+	}
+	return nil
+}
+
+// SetConductance updates a link's conductance; this is how airflow changes
+// with fan RPM between steps.
+func (n *Network) SetConductance(id LinkID, g float64) error {
+	if int(id) < 0 || int(id) >= len(n.links) {
+		return fmt.Errorf("thermal: unknown link %d", id)
+	}
+	if g < 0 {
+		return fmt.Errorf("thermal: negative conductance %g", g)
+	}
+	n.links[id].g = g
+	return nil
+}
+
+// SetBoundaryTemp updates a boundary temperature (e.g. inlet preheat).
+func (n *Network) SetBoundaryTemp(id BoundaryID, temp float64) error {
+	if int(id) < 0 || int(id) >= len(n.boundaries) {
+		return fmt.Errorf("thermal: unknown boundary %d", id)
+	}
+	n.boundaries[id].temp = temp
+	return nil
+}
+
+// SetPower sets the heat injected into a node in Watts for subsequent steps.
+func (n *Network) SetPower(id NodeID, w float64) error {
+	if err := n.checkNode(id); err != nil {
+		return err
+	}
+	n.nodes[id].powerIn = w
+	return nil
+}
+
+// Temp returns a node's current temperature.
+func (n *Network) Temp(id NodeID) float64 { return n.nodes[id].temp }
+
+// SetTemp forces a node temperature (used to start experiments from the
+// paper's mandated cold state).
+func (n *Network) SetTemp(id NodeID, temp float64) error {
+	if err := n.checkNode(id); err != nil {
+		return err
+	}
+	n.nodes[id].temp = temp
+	return nil
+}
+
+// NumNodes returns the number of capacitive nodes.
+func (n *Network) NumNodes() int { return len(n.nodes) }
+
+// derivative computes dT/dt for every node.
+func (n *Network) derivative(_ float64, y []float64, dydt []float64) {
+	for i := range dydt {
+		dydt[i] = n.nodes[i].powerIn
+	}
+	for _, l := range n.links {
+		ta := y[l.a]
+		var tb float64
+		if l.toBoundary {
+			tb = n.boundaries[l.bBound].temp
+		} else {
+			tb = y[l.b]
+		}
+		q := l.g * (tb - ta) // W flowing into a
+		dydt[l.a] += q
+		if !l.toBoundary {
+			dydt[l.b] -= q
+		}
+	}
+	for i := range dydt {
+		dydt[i] /= n.nodes[i].capac
+	}
+}
+
+// Step advances the whole network by dt seconds, subdividing into intervals
+// of at most maxStep for integration accuracy.
+func (n *Network) Step(dt float64) {
+	if dt <= 0 || len(n.nodes) == 0 {
+		return
+	}
+	if n.state == nil || len(n.state) != len(n.nodes) {
+		n.state = make([]float64, len(n.nodes))
+		n.scratch = mathx.NewScratch(len(n.nodes))
+	}
+	for i := range n.nodes {
+		n.state[i] = n.nodes[i].temp
+	}
+	remaining := dt
+	t := 0.0
+	for remaining > 1e-12 {
+		h := n.maxStep
+		if remaining < h {
+			h = remaining
+		}
+		mathx.RK4Step(n.derivative, t, n.state, h, n.scratch)
+		t += h
+		remaining -= h
+	}
+	for i := range n.nodes {
+		n.nodes[i].temp = n.state[i]
+	}
+}
+
+// SteadyState solves for the equilibrium temperatures with the current
+// powers, conductances and boundary temperatures by solving the linear heat
+// balance G·T = P + G_b·T_b. It does not modify the network state.
+func (n *Network) SteadyState() ([]float64, error) {
+	m := len(n.nodes)
+	if m == 0 {
+		return nil, nil
+	}
+	a := make([][]float64, m)
+	b := make([]float64, m)
+	for i := range a {
+		a[i] = make([]float64, m)
+		b[i] = n.nodes[i].powerIn
+	}
+	for _, l := range n.links {
+		if l.toBoundary {
+			a[l.a][l.a] += l.g
+			b[l.a] += l.g * n.boundaries[l.bBound].temp
+		} else {
+			a[l.a][l.a] += l.g
+			a[l.a][l.b] -= l.g
+			a[l.b][l.b] += l.g
+			a[l.b][l.a] -= l.g
+		}
+	}
+	return mathx.SolveLinear(a, b)
+}
+
+// Settle assigns the steady-state solution to the node temperatures. It is
+// used to initialize experiments in thermal equilibrium.
+func (n *Network) Settle() error {
+	t, err := n.SteadyState()
+	if err != nil {
+		return err
+	}
+	for i := range n.nodes {
+		n.nodes[i].temp = t[i]
+	}
+	return nil
+}

@@ -1,0 +1,123 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/loadgen"
+	"repro/internal/randx"
+	"repro/internal/units"
+)
+
+// TestDuration is the length of every Table I test: 80 minutes.
+const TestDuration = 80 * 60.0
+
+// Test1Ramp builds Test-1: utilization ramps up from 0% to 100% and back
+// down, exercising controller response to gradual changes.
+func Test1Ramp() (loadgen.Profile, error) {
+	return loadgen.NewRamp(
+		[]float64{0, TestDuration / 2, TestDuration},
+		[]units.Percent{0, 100, 0},
+	)
+}
+
+// Test2Periods builds Test-2: alternating high/low utilization with periods
+// of 5, 10 and 15 minutes, exercising response to sudden changes.
+func Test2Periods() (loadgen.Profile, error) {
+	const high, low = units.Percent(90), units.Percent(10)
+	minute := 60.0
+	steps := []loadgen.Step{
+		// 5-minute periods for the first 20 minutes.
+		{Start: 0, Level: high},
+		{Start: 5 * minute, Level: low},
+		{Start: 10 * minute, Level: high},
+		{Start: 15 * minute, Level: low},
+		// 10-minute periods for the next 20 minutes.
+		{Start: 20 * minute, Level: high},
+		{Start: 30 * minute, Level: low},
+		// 15-minute periods for the next 30 minutes.
+		{Start: 40 * minute, Level: high},
+		{Start: 55 * minute, Level: low},
+		// Final high stretch to 80 minutes.
+		{Start: 70 * minute, Level: high},
+	}
+	return loadgen.NewSteps(TestDuration, steps...)
+}
+
+// Test3RandomSteps builds Test-3: a new random utilization level from
+// {0,10,...,100} every 5 minutes, exercising sudden and frequent changes.
+// The sequence is deterministic for a given seed.
+func Test3RandomSteps(seed int64) (loadgen.Profile, error) {
+	rng := randx.New(seed)
+	levels := []float64{0, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	const segment = 5 * 60.0
+	var steps []loadgen.Step
+	for start := 0.0; start < TestDuration; start += segment {
+		steps = append(steps, loadgen.Step{
+			Start: start,
+			Level: units.Percent(rng.Choice(levels)),
+		})
+	}
+	return loadgen.NewSteps(TestDuration, steps...)
+}
+
+// Test4Shell builds Test-4: the stochastic shell workload. The utilization
+// trace comes from the M/M/c simulation with Poisson arrivals and
+// exponential service times.
+func Test4Shell(seed int64) (loadgen.Profile, error) {
+	cfg := DefaultShellConfig()
+	cfg.Seed = seed
+	cfg.Duration = TestDuration
+	res, err := SimulateMMC(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return loadgen.NewTrace(cfg.SampleEvery, res.Utilization)
+}
+
+// Named associates a Table I test id with its profile.
+type Named struct {
+	ID      int
+	Name    string
+	Profile loadgen.Profile
+}
+
+// AllTests builds all four Table I workloads with the given seed for the
+// stochastic ones.
+func AllTests(seed int64) ([]Named, error) {
+	t1, err := Test1Ramp()
+	if err != nil {
+		return nil, fmt.Errorf("workload: test1: %w", err)
+	}
+	t2, err := Test2Periods()
+	if err != nil {
+		return nil, fmt.Errorf("workload: test2: %w", err)
+	}
+	t3, err := Test3RandomSteps(seed)
+	if err != nil {
+		return nil, fmt.Errorf("workload: test3: %w", err)
+	}
+	t4, err := Test4Shell(seed)
+	if err != nil {
+		return nil, fmt.Errorf("workload: test4: %w", err)
+	}
+	return []Named{
+		{1, "Test-1 ramp", t1},
+		{2, "Test-2 periods", t2},
+		{3, "Test-3 random steps", t3},
+		{4, "Test-4 shell (Poisson/exp)", t4},
+	}, nil
+}
+
+// ByID returns one Table I workload.
+func ByID(id int, seed int64) (Named, error) {
+	all, err := AllTests(seed)
+	if err != nil {
+		return Named{}, err
+	}
+	i := sort.Search(len(all), func(i int) bool { return all[i].ID >= id })
+	if i == len(all) || all[i].ID != id {
+		return Named{}, fmt.Errorf("workload: unknown test id %d", id)
+	}
+	return all[i], nil
+}

@@ -1,0 +1,84 @@
+package workload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/loadgen"
+	"repro/internal/units"
+)
+
+// ReadUtilizationCSV parses a utilization trace from CSV for playback as a
+// workload profile — the paper's conclusion points at driving the
+// controller with real-life traces. Accepted layouts:
+//
+//	util
+//	12.5
+//	40
+//
+// or two columns where the second is the utilization:
+//
+//	time_s,util
+//	0,12.5
+//	10,40
+//
+// A header row is detected (non-numeric first field) and skipped. dt is
+// the sample spacing in seconds. Values are clamped to [0, 100].
+func ReadUtilizationCSV(r io.Reader, dt float64) (loadgen.Profile, error) {
+	if dt <= 0 {
+		return nil, fmt.Errorf("workload: trace dt must be positive, got %g", dt)
+	}
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	var levels []units.Percent
+	row := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace row %d: %w", row, err)
+		}
+		row++
+		if len(rec) == 0 {
+			continue
+		}
+		field := rec[len(rec)-1]
+		v, err := strconv.ParseFloat(field, 64)
+		if err != nil {
+			if row == 1 {
+				continue // header
+			}
+			return nil, fmt.Errorf("workload: trace row %d: bad utilization %q", row, field)
+		}
+		levels = append(levels, units.Percent(v).Clamp())
+	}
+	if len(levels) == 0 {
+		return nil, fmt.Errorf("workload: trace has no samples")
+	}
+	return loadgen.NewTrace(dt, levels)
+}
+
+// WriteUtilizationCSV serializes a QueueResult's utilization trace so a
+// simulated shell workload can be replayed later or fed to external tools.
+func WriteUtilizationCSV(w io.Writer, res QueueResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time_s", "util"}); err != nil {
+		return err
+	}
+	for i, u := range res.Utilization {
+		t := float64(i) * res.SampleEvery
+		err := cw.Write([]string{
+			strconv.FormatFloat(t, 'f', 1, 64),
+			strconv.FormatFloat(float64(u), 'f', 3, 64),
+		})
+		if err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,74 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadUtilizationCSVSingleColumn(t *testing.T) {
+	p, err := ReadUtilizationCSV(strings.NewReader("10\n50\n90\n"), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Target(0) != 10 || p.Target(15) != 50 || p.Target(25) != 90 {
+		t.Fatalf("targets: %v %v %v", p.Target(0), p.Target(15), p.Target(25))
+	}
+	if p.Duration() != 30 {
+		t.Fatalf("duration = %g", p.Duration())
+	}
+}
+
+func TestReadUtilizationCSVWithHeaderAndTimeColumn(t *testing.T) {
+	src := "time_s,util\n0,12.5\n10,40\n20,150\n"
+	p, err := ReadUtilizationCSV(strings.NewReader(src), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Target(0) != 12.5 || p.Target(10) != 40 {
+		t.Fatalf("targets: %v %v", p.Target(0), p.Target(10))
+	}
+	// Out-of-range values clamp.
+	if p.Target(20) != 100 {
+		t.Fatalf("clamped target = %v", p.Target(20))
+	}
+}
+
+func TestReadUtilizationCSVErrors(t *testing.T) {
+	if _, err := ReadUtilizationCSV(strings.NewReader("10\n"), 0); err == nil {
+		t.Error("zero dt should error")
+	}
+	if _, err := ReadUtilizationCSV(strings.NewReader(""), 10); err == nil {
+		t.Error("empty trace should error")
+	}
+	if _, err := ReadUtilizationCSV(strings.NewReader("util\n"), 10); err == nil {
+		t.Error("header-only trace should error")
+	}
+	if _, err := ReadUtilizationCSV(strings.NewReader("10\nabc\n"), 10); err == nil {
+		t.Error("non-numeric mid-file should error")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	cfg := DefaultShellConfig()
+	cfg.Duration = 600
+	res, err := SimulateMMC(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteUtilizationCSV(&sb, res); err != nil {
+		t.Fatal(err)
+	}
+	p, err := ReadUtilizationCSV(strings.NewReader(sb.String()), cfg.SampleEvery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every sample survives the round trip (within the 3-decimal format).
+	for i, u := range res.Utilization {
+		ts := float64(i) * cfg.SampleEvery
+		got := float64(p.Target(ts))
+		if diff := got - float64(u); diff > 0.001 || diff < -0.001 {
+			t.Fatalf("sample %d: %g vs %v", i, got, u)
+		}
+	}
+}

@@ -1,0 +1,275 @@
+// Package leakctl is a Go reproduction of "Leakage and Temperature Aware
+// Server Control for Improving Energy Efficiency in Data Centers"
+// (Zapater et al., DATE 2013).
+//
+// It provides, as one library:
+//
+//   - a calibrated simulation of the paper's instrumented SPARC T3-2 class
+//     enterprise server (two-node RC thermal model per socket, the paper's
+//     own fitted power model as ground truth, six externally powered fans,
+//     CSTH-style telemetry, LoadGen-style PWM load synthesis);
+//   - the Section IV methodology: characterization sweeps and the
+//     leakage-model fit Pcpu = k1·U + C + k2·e^(k3·T);
+//   - the Section V controllers: the LUT-based proactive fan controller
+//     (the paper's contribution), the bang-bang thermal baseline, and the
+//     fixed-speed default;
+//   - the full evaluation harness regenerating Figures 1-3 and Table I.
+//
+// The quickest way in:
+//
+//	res, err := leakctl.RunPipeline(leakctl.DefaultPipeline())
+//	// res.Fit holds k1, C, k2, k3; res.Controller is ready to deploy.
+//
+// or run a controller against a workload:
+//
+//	cfg := leakctl.T3Config()
+//	rows, err := leakctl.TableI(cfg, 42, leakctl.DefaultEval())
+//
+// This package is a facade; the implementation lives in the internal
+// packages (server, thermal, power, fans, cpu, mem, telemetry, loadgen,
+// workload, fitting, lut, control, experiments).
+package leakctl
+
+import (
+	"io"
+
+	"repro/internal/control"
+	"repro/internal/core"
+	"repro/internal/dvfs"
+	"repro/internal/experiments"
+	"repro/internal/fitting"
+	"repro/internal/loadgen"
+	"repro/internal/lut"
+	"repro/internal/plot"
+	"repro/internal/reliability"
+	"repro/internal/server"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Physical quantity types.
+type (
+	// Celsius is a temperature in °C.
+	Celsius = units.Celsius
+	// Watts is an instantaneous power.
+	Watts = units.Watts
+	// Joules is an energy.
+	Joules = units.Joules
+	// RPM is a fan speed.
+	RPM = units.RPM
+	// Percent is a utilization level in [0, 100].
+	Percent = units.Percent
+)
+
+// Server simulation.
+type (
+	// Server is the simulated enterprise server.
+	Server = server.Server
+	// ServerConfig parameterizes the simulated server.
+	ServerConfig = server.Config
+)
+
+// T3Config returns the calibrated reproduction of the paper's SPARC T3-2
+// class server.
+func T3Config() ServerConfig { return server.T3Config() }
+
+// NewServer builds a simulated server.
+func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
+
+// SteadyTemp predicts the equilibrium CPU temperature at a utilization and
+// fan speed; it errors on thermally unstable (runaway) operating points.
+func SteadyTemp(cfg ServerConfig, u Percent, r RPM) (Celsius, error) {
+	return server.SteadyTemp(cfg, u, r)
+}
+
+// Controllers.
+type (
+	// Controller is the fan-control policy interface.
+	Controller = control.Controller
+	// Observation is a controller's view of the machine at one instant.
+	Observation = control.Observation
+	// Decision is a controller's output.
+	Decision = control.Decision
+	// LUTController is the paper's proactive utilization-indexed policy.
+	LUTController = control.LUT
+	// BangBangController is the reactive thermal baseline.
+	BangBangController = control.BangBang
+	// DefaultController pins the fans at the stock fixed speed.
+	DefaultController = control.Default
+	// LUTConfig tunes the LUT controller.
+	LUTConfig = control.LUTConfig
+	// BangBangConfig tunes the bang-bang controller.
+	BangBangConfig = control.BangBangConfig
+)
+
+// NewDefaultController returns the stock fixed-3300-RPM policy.
+func NewDefaultController() *DefaultController { return control.NewDefault() }
+
+// NewBangBangController returns the five-action thermal controller.
+func NewBangBangController(cfg BangBangConfig) (*BangBangController, error) {
+	return control.NewBangBang(cfg)
+}
+
+// NewLUTController returns the paper's LUT controller over a built table.
+func NewLUTController(t *LUTTable, cfg LUTConfig) (*LUTController, error) {
+	return control.NewLUT(t, cfg)
+}
+
+// DefaultBangBang returns the paper's bang-bang thresholds (60/65/75/80 °C).
+func DefaultBangBang() BangBangConfig { return control.DefaultBangBang() }
+
+// DefaultLUT returns the paper's 1 s polling / 60 s hold-off configuration.
+func DefaultLUT() LUTConfig { return control.DefaultLUT() }
+
+// Lookup table.
+type (
+	// LUTTable is the utilization → optimal fan speed table.
+	LUTTable = lut.Table
+	// LUTEntry is one row of the table.
+	LUTEntry = lut.Entry
+	// LUTBuildConfig controls table generation.
+	LUTBuildConfig = lut.BuildConfig
+)
+
+// BuildLUT generates a lookup table from a server configuration.
+func BuildLUT(cfg ServerConfig, b LUTBuildConfig) (*LUTTable, error) { return lut.Build(cfg, b) }
+
+// DefaultLUTBuild returns the paper's grid and 75 °C cap.
+func DefaultLUTBuild() LUTBuildConfig { return lut.DefaultBuild() }
+
+// ReadLUT deserializes a table written with Table.WriteJSON.
+func ReadLUT(r io.Reader) (*LUTTable, error) { return lut.ReadJSON(r) }
+
+// Model fitting (Section IV).
+type (
+	// FitResult is the recovered leakage/active power model.
+	FitResult = fitting.FitResult
+	// Dataset is the characterization telemetry.
+	Dataset = fitting.Dataset
+	// SweepConfig controls the characterization campaign.
+	SweepConfig = fitting.SweepConfig
+)
+
+// DefaultSweep returns the paper's Section IV sweep.
+func DefaultSweep() SweepConfig { return fitting.DefaultSweep() }
+
+// Characterize runs the sweep against fresh simulated servers.
+func Characterize(cfg ServerConfig, sweep SweepConfig) (*Dataset, error) {
+	return fitting.Collect(func() (*Server, error) { return server.New(cfg) }, sweep)
+}
+
+// FitLeakage fits Pcpu = k1·U + C + k2·e^(k3·T) to a dataset.
+func FitLeakage(ds *Dataset) (FitResult, error) { return fitting.FitLeakage(ds) }
+
+// End-to-end pipeline.
+type (
+	// Pipeline bundles every stage configuration.
+	Pipeline = core.PipelineConfig
+	// PipelineResult carries all pipeline artifacts.
+	PipelineResult = core.PipelineResult
+)
+
+// DefaultPipeline returns the paper's configuration end to end.
+func DefaultPipeline() Pipeline { return core.DefaultPipeline() }
+
+// RunPipeline characterizes, fits, builds the LUT and constructs the
+// controller in one call.
+func RunPipeline(cfg Pipeline) (*PipelineResult, error) { return core.Run(cfg) }
+
+// Workloads.
+type (
+	// Profile is a utilization-over-time workload.
+	Profile = loadgen.Profile
+	// NamedWorkload is a Table I test with its id and name.
+	NamedWorkload = workload.Named
+	// QueueConfig parameterizes the Test-4 M/M/c shell workload.
+	QueueConfig = workload.QueueConfig
+)
+
+// TestWorkloads builds the paper's four 80-minute Table I tests.
+func TestWorkloads(seed int64) ([]NamedWorkload, error) { return workload.AllTests(seed) }
+
+// Evaluation harness.
+type (
+	// EvalConfig controls a controller run.
+	EvalConfig = experiments.EvalConfig
+	// RunResult carries every Table I column for one run.
+	RunResult = experiments.RunResult
+	// TableIRow compares the three controllers on one test.
+	TableIRow = experiments.TableIRow
+	// TransientResult is a Fig. 1 temperature trajectory.
+	TransientResult = experiments.TransientResult
+	// TradeoffCurve is a Fig. 2 fan/leakage tradeoff series.
+	TradeoffCurve = experiments.TradeoffCurve
+	// Series is a plottable line.
+	Series = plot.Series
+	// Chart is a multi-series ASCII chart.
+	Chart = plot.Chart
+)
+
+// DefaultEval returns the standard Table I run configuration.
+func DefaultEval() EvalConfig { return experiments.DefaultEval() }
+
+// RunControlled evaluates one controller on one workload.
+func RunControlled(cfg ServerConfig, prof Profile, ctrl Controller, ec EvalConfig) (RunResult, error) {
+	return experiments.RunControlled(cfg, prof, ctrl, ec)
+}
+
+// TableI reproduces the paper's Table I.
+func TableI(cfg ServerConfig, seed int64, ec EvalConfig) ([]TableIRow, error) {
+	return experiments.TableI(cfg, seed, ec)
+}
+
+// FormatTableI renders Table I rows as text.
+func FormatTableI(w io.Writer, rows []TableIRow) error {
+	return experiments.FormatTableI(w, rows)
+}
+
+// Fig1a regenerates Figure 1(a): transients at 100% load across fan speeds.
+func Fig1a(cfg ServerConfig, rpms []RPM) ([]TransientResult, error) {
+	return experiments.Fig1a(cfg, rpms)
+}
+
+// Fig1b regenerates Figure 1(b): transients at 1800 RPM across loads.
+func Fig1b(cfg ServerConfig, utils []Percent) ([]TransientResult, error) {
+	return experiments.Fig1b(cfg, utils)
+}
+
+// Fig2a regenerates Figure 2(a): the fan/leakage tradeoff at 100% load.
+func Fig2a(cfg ServerConfig) (TradeoffCurve, error) { return experiments.Fig2a(cfg) }
+
+// Fig2b regenerates Figure 2(b): tradeoff curves across utilization levels.
+func Fig2b(cfg ServerConfig) ([]TradeoffCurve, error) { return experiments.Fig2b(cfg) }
+
+// Fig3 regenerates Figure 3: Test-3 temperature traces per controller.
+func Fig3(cfg ServerConfig, seed int64, ec EvalConfig) ([]Series, error) {
+	return experiments.Fig3(cfg, seed, ec)
+}
+
+// Extensions beyond the paper (DESIGN.md §6).
+type (
+	// PState is one point of the DVFS ladder.
+	PState = dvfs.PState
+	// DVFSTable is the coordinated (P-state, fan) lookup table.
+	DVFSTable = dvfs.Table
+	// DVFSRunResult reports a coordinated-controller evaluation.
+	DVFSRunResult = dvfs.RunResult
+	// ReliabilityReport summarizes thermal-reliability exposure.
+	ReliabilityReport = reliability.Report
+)
+
+// BuildDVFSTable generates the coordinated DVFS+fan table.
+func BuildDVFSTable(cfg ServerConfig) (*DVFSTable, error) {
+	return dvfs.Build(cfg, dvfs.DefaultBuild())
+}
+
+// RunCoordinated evaluates the coordinated DVFS+fan policy on a workload.
+func RunCoordinated(cfg ServerConfig, table *DVFSTable, prof Profile) (DVFSRunResult, error) {
+	return dvfs.Run(cfg, table, prof, dvfs.DefaultRun())
+}
+
+// AnalyzeReliability scores a sampled temperature trace with the Arrhenius
+// and Coffin-Manson models behind the paper's 75 °C cap.
+func AnalyzeReliability(tempsC []float64) (ReliabilityReport, error) {
+	return reliability.Analyze(tempsC)
+}
