@@ -15,6 +15,7 @@ import (
 	"repro/internal/loadgen"
 	"repro/internal/lut"
 	"repro/internal/reliability"
+	"repro/internal/thermal"
 	"repro/internal/units"
 	"repro/internal/workload"
 )
@@ -154,7 +155,13 @@ func BenchmarkFig2bAllDutycycles(b *testing.B) {
 // Table I: controller comparison
 
 func benchTableITest(b *testing.B, id int) {
-	cfg := T3Config()
+	benchTableITestCfg(b, id, T3Config())
+}
+
+// benchTableITestCfg regenerates one workload's Table I rows: the LUT is
+// built and the three controller runs fan out over the worker pool, so this
+// benchmark scales with cores on top of the exact-integrator win.
+func benchTableITestCfg(b *testing.B, id int, cfg ServerConfig) {
 	ec := DefaultEval()
 	ec.SampleEvery = 0 // no traces in the benchmark
 	var row TableIRow
@@ -167,24 +174,7 @@ func benchTableITest(b *testing.B, id int) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		row = TableIRow{TestID: id, TestName: w.Name}
-		row.Default, err = experiments.RunControlled(cfg, w.Profile, control.NewDefault(), ec)
-		if err != nil {
-			b.Fatal(err)
-		}
-		bb, err := control.NewBangBang(control.DefaultBangBang())
-		if err != nil {
-			b.Fatal(err)
-		}
-		row.BangBang, err = experiments.RunControlled(cfg, w.Profile, bb, ec)
-		if err != nil {
-			b.Fatal(err)
-		}
-		lc, err := control.NewLUT(table, control.DefaultLUT())
-		if err != nil {
-			b.Fatal(err)
-		}
-		row.LUT, err = experiments.RunControlled(cfg, w.Profile, lc, ec)
+		row, err = experiments.TableIRowFor(cfg, table, w, ec, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -215,6 +205,33 @@ func BenchmarkTableITest3(b *testing.B) { benchTableITest(b, 3) }
 
 // BenchmarkTableITest4 regenerates the Test-4 (shell workload) rows of Table I.
 func BenchmarkTableITest4(b *testing.B) { benchTableITest(b, 4) }
+
+// BenchmarkTableITest1RK4 is the pre-optimization baseline of Test 1: the
+// same rows integrated with the fixed-step RK4 fallback. Compare against
+// BenchmarkTableITest1 for the exact-propagator speedup.
+func BenchmarkTableITest1RK4(b *testing.B) {
+	cfg := T3Config()
+	cfg.ThermalIntegrator = thermal.IntegratorRK4
+	benchTableITestCfg(b, 1, cfg)
+}
+
+// BenchmarkTableIFull regenerates the entire Table I (4 workloads × 3
+// controllers) through the parallel harness — the headline end-to-end run.
+func BenchmarkTableIFull(b *testing.B) {
+	cfg := T3Config()
+	ec := DefaultEval()
+	ec.SampleEvery = 0
+	var rows []TableIRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.TableIParallel(cfg, 42, ec, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(rows)), "rows")
+	b.ReportMetric(rows[0].LUT.NetSavingsPct, "test1LutNetSavPct")
+}
 
 // BenchmarkFig3Traces regenerates Figure 3's three Test-3 temperature traces.
 func BenchmarkFig3Traces(b *testing.B) {
@@ -515,6 +532,23 @@ func BenchmarkExtensionReliability(b *testing.B) {
 // composite server.
 func BenchmarkServerStep(b *testing.B) {
 	srv, err := NewServer(T3Config())
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv.SetLoad(70)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv.Step(1)
+	}
+}
+
+// BenchmarkServerStepRK4 is the pre-optimization baseline: the same step
+// integrated with the fixed-step RK4 fallback at the original 0.5 s bound.
+// Compare against BenchmarkServerStep for the exact-propagator speedup.
+func BenchmarkServerStepRK4(b *testing.B) {
+	cfg := T3Config()
+	cfg.ThermalIntegrator = thermal.IntegratorRK4
+	srv, err := NewServer(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}

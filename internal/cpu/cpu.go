@@ -41,6 +41,13 @@ type Complex struct {
 	topo Topology
 	util []float64 // per core, percent
 
+	// uniform is true while every core carries uniformVal, the state LoadGen
+	// always produces. It lets the per-step utilization queries skip the
+	// O(cores) averaging loops, which otherwise dominate the simulation
+	// step. SetCoreLoad clears it.
+	uniform    bool
+	uniformVal float64
+
 	// electrical model for the V/I sensors
 	coreVoltage float64 // V
 	idleCurrent float64 // A per core at zero load
@@ -54,6 +61,7 @@ func NewComplex(topo Topology) (*Complex, error) {
 	return &Complex{
 		topo:        topo,
 		util:        make([]float64, topo.Cores()),
+		uniform:     true,
 		coreVoltage: 1.0,
 		idleCurrent: 0.35,
 	}, nil
@@ -67,9 +75,14 @@ func (c *Complex) Topology() Topology { return c.topo }
 // cores").
 func (c *Complex) SetUniformLoad(u units.Percent) {
 	v := float64(u.Clamp())
+	if c.uniform && c.uniformVal == v {
+		return // already at this level on every core
+	}
 	for i := range c.util {
 		c.util[i] = v
 	}
+	c.uniform = true
+	c.uniformVal = v
 }
 
 // SetCoreLoad sets one core's utilization.
@@ -78,12 +91,16 @@ func (c *Complex) SetCoreLoad(core int, u units.Percent) error {
 		return fmt.Errorf("cpu: core %d out of range [0,%d)", core, len(c.util))
 	}
 	c.util[core] = float64(u.Clamp())
+	c.uniform = false
 	return nil
 }
 
 // Utilization returns the machine-wide average utilization, the signal the
 // LUT controller polls through sar/mpstat.
 func (c *Complex) Utilization() units.Percent {
+	if c.uniform {
+		return units.Percent(c.uniformVal)
+	}
 	var s float64
 	for _, u := range c.util {
 		s += u
@@ -103,6 +120,9 @@ func (c *Complex) CoreUtilization(core int) (units.Percent, error) {
 func (c *Complex) SocketUtilization(socket int) (units.Percent, error) {
 	if socket < 0 || socket >= c.topo.Sockets {
 		return 0, fmt.Errorf("cpu: socket %d out of range [0,%d)", socket, c.topo.Sockets)
+	}
+	if c.uniform {
+		return units.Percent(c.uniformVal), nil
 	}
 	per := c.topo.CoresPerSocket
 	var s float64

@@ -61,11 +61,14 @@ type RunResult struct {
 
 // movingAvg is the sar-style windowed utilization monitor: the controller
 // sees the average utilization over the last window seconds rather than the
-// instantaneous PWM state.
+// instantaneous PWM state. The sum is maintained incrementally — O(1) per
+// sample instead of re-summing the window every controller tick. (With PWM
+// the samples are exact small integers, so the incremental sum is exact.)
 type movingAvg struct {
 	window  float64
 	dt      float64
 	samples []float64
+	sum     float64
 	idx     int
 	full    bool
 }
@@ -79,11 +82,19 @@ func newMovingAvg(window, dt float64) *movingAvg {
 }
 
 func (m *movingAvg) add(v float64) {
+	m.sum += v - m.samples[m.idx]
 	m.samples[m.idx] = v
 	m.idx++
 	if m.idx == len(m.samples) {
 		m.idx = 0
 		m.full = true
+		// Re-sum once per wrap so incremental-update rounding residue
+		// cannot accumulate when samples are fractional (non-PWM runs).
+		var s float64
+		for _, x := range m.samples {
+			s += x
+		}
+		m.sum = s
 	}
 }
 
@@ -95,11 +106,7 @@ func (m *movingAvg) mean() float64 {
 	if n == 0 {
 		return 0
 	}
-	var s float64
-	for i := 0; i < n; i++ {
-		s += m.samples[i]
-	}
-	return s / float64(n)
+	return m.sum / float64(n)
 }
 
 // RunControlled evaluates one controller on one workload profile following
@@ -135,7 +142,7 @@ func RunControlled(cfg server.Config, prof loadgen.Profile, ctrl control.Control
 		obs := control.Observation{
 			Now:         srv.Now(),
 			Utilization: units.Percent(util.mean()),
-			MaxCPUTemp:  maxC(srv.CPUTempSensors()),
+			MaxCPUTemp:  maxC(srv.CPUTempSensorsReuse()),
 			CurrentRPM:  srv.Fans().Target(),
 		}
 		dec := ctrl.Tick(obs)
@@ -178,7 +185,7 @@ func RunControlled(cfg server.Config, prof loadgen.Profile, ctrl control.Control
 		}
 		if ec.SampleEvery > 0 && elapsed >= nextSample {
 			res.TimeMin = append(res.TimeMin, (srv.Now()-start)/60)
-			res.TempC = append(res.TempC, avgC(srv.CPUTempSensors()))
+			res.TempC = append(res.TempC, avgC(srv.CPUTempSensorsReuse()))
 			res.RPM = append(res.RPM, float64(srv.Fans().MeanRPM()))
 			res.UtilPct = append(res.UtilPct, float64(srv.Utilization()))
 			res.PowerW = append(res.PowerW, float64(srv.Breakdown().Total()))
@@ -214,56 +221,97 @@ func IdleEnergyKWh(cfg server.Config, duration float64) float64 {
 
 // TableI reproduces the paper's Table I: all four test workloads under the
 // Default, bang-bang and LUT controllers, with net savings computed against
-// the Default baseline after subtracting idle energy.
+// the Default baseline after subtracting idle energy. The twelve
+// controller×workload runs fan out over all cores; see TableIParallel to
+// bound or disable the parallelism.
 func TableI(cfg server.Config, seed int64, ec EvalConfig) ([]TableIRow, error) {
+	return TableIParallel(cfg, seed, ec, 0)
+}
+
+// TableIParallel is TableI with an explicit worker bound: each
+// controller×workload run already builds its own server, so the runs are
+// embarrassingly parallel. workers ≤ 0 uses GOMAXPROCS; workers = 1 is the
+// serial reference path. Results are assembled in workload order and are
+// identical for every worker count.
+func TableIParallel(cfg server.Config, seed int64, ec EvalConfig, workers int) ([]TableIRow, error) {
 	tests, err := workload.AllTests(seed)
 	if err != nil {
 		return nil, err
 	}
-	table, err := lut.Build(cfg, lut.DefaultBuild())
+	bc := lut.DefaultBuild()
+	bc.Workers = workers // workers=1 must mean fully serial, LUT build included
+	table, err := lut.Build(cfg, bc)
+	if err != nil {
+		return nil, err
+	}
+
+	var specs []RunSpec
+	for _, w := range tests {
+		specs = append(specs, controllerSpecs(cfg, table, w, ec)...)
+	}
+	results, err := RunMany(specs, workers)
 	if err != nil {
 		return nil, err
 	}
 
 	idleKWh := IdleEnergyKWh(cfg, workload.TestDuration)
-	var rows []TableIRow
-	for _, w := range tests {
-		row := TableIRow{TestID: w.ID, TestName: w.Name}
-
-		def := control.NewDefault()
-		row.Default, err = RunControlled(cfg, w.Profile, def, ec)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %s/default: %w", w.Name, err)
-		}
-		bb, err := control.NewBangBang(control.DefaultBangBang())
-		if err != nil {
-			return nil, err
-		}
-		row.BangBang, err = RunControlled(cfg, w.Profile, bb, ec)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %s/bang: %w", w.Name, err)
-		}
-		lc, err := control.NewLUT(table, control.DefaultLUT())
-		if err != nil {
-			return nil, err
-		}
-		row.LUT, err = RunControlled(cfg, w.Profile, lc, ec)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %s/lut: %w", w.Name, err)
-		}
-
-		base := row.Default.EnergyKWh
-		denom := base - idleKWh
-		if denom > 0 {
-			row.BangBang.NetSavingsPct = 100 * (base - row.BangBang.EnergyKWh) / denom
-			row.LUT.NetSavingsPct = 100 * (base - row.LUT.EnergyKWh) / denom
-		}
-		row.Default.Workload = w.Name
-		row.BangBang.Workload = w.Name
-		row.LUT.Workload = w.Name
-		rows = append(rows, row)
+	rows := make([]TableIRow, 0, len(tests))
+	for k, w := range tests {
+		rows = append(rows, assembleRow(w, results[3*k:3*k+3], idleKWh))
 	}
 	return rows, nil
+}
+
+// controllerSpecs returns the three Table I runs (Default, bang-bang, LUT)
+// for one workload, in the table's column order.
+func controllerSpecs(cfg server.Config, table *lut.Table, w workload.Named, ec EvalConfig) []RunSpec {
+	return []RunSpec{
+		{
+			Label: w.Name + "/default", Cfg: cfg, Prof: w.Profile, EC: ec,
+			Controller: func() (control.Controller, error) { return control.NewDefault(), nil },
+		},
+		{
+			Label: w.Name + "/bang", Cfg: cfg, Prof: w.Profile, EC: ec,
+			Controller: func() (control.Controller, error) { return control.NewBangBang(control.DefaultBangBang()) },
+		},
+		{
+			Label: w.Name + "/lut", Cfg: cfg, Prof: w.Profile, EC: ec,
+			Controller: func() (control.Controller, error) { return control.NewLUT(table, control.DefaultLUT()) },
+		},
+	}
+}
+
+// assembleRow combines one workload's three controller results (in
+// controllerSpecs order) into a Table I row with net savings filled in.
+func assembleRow(w workload.Named, results []RunResult, idleKWh float64) TableIRow {
+	row := TableIRow{
+		TestID:   w.ID,
+		TestName: w.Name,
+		Default:  results[0],
+		BangBang: results[1],
+		LUT:      results[2],
+	}
+	base := row.Default.EnergyKWh
+	denom := base - idleKWh
+	if denom > 0 {
+		row.BangBang.NetSavingsPct = 100 * (base - row.BangBang.EnergyKWh) / denom
+		row.LUT.NetSavingsPct = 100 * (base - row.LUT.EnergyKWh) / denom
+	}
+	row.Default.Workload = w.Name
+	row.BangBang.Workload = w.Name
+	row.LUT.Workload = w.Name
+	return row
+}
+
+// TableIRowFor evaluates the three controllers on a single workload against
+// a prebuilt table — the unit the benchmarks and ablations time — fanning
+// the three runs out over the worker pool.
+func TableIRowFor(cfg server.Config, table *lut.Table, w workload.Named, ec EvalConfig, workers int) (TableIRow, error) {
+	results, err := RunMany(controllerSpecs(cfg, table, w, ec), workers)
+	if err != nil {
+		return TableIRow{}, err
+	}
+	return assembleRow(w, results, IdleEnergyKWh(cfg, workload.TestDuration)), nil
 }
 
 // FormatTableI renders rows in the paper's Table I layout.

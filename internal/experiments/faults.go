@@ -67,7 +67,7 @@ func RunFault(cfg server.Config, ctrl control.Controller, fc FaultConfig) (Fault
 		obs := control.Observation{
 			Now:         srv.Now(),
 			Utilization: srv.Utilization(),
-			MaxCPUTemp:  maxC(srv.CPUTempSensors()),
+			MaxCPUTemp:  maxC(srv.CPUTempSensorsReuse()),
 			CurrentRPM:  srv.Fans().Target(),
 		}
 		dec := ctrl.Tick(obs)

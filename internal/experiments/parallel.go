@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/control"
+	"repro/internal/loadgen"
+	"repro/internal/par"
+	"repro/internal/server"
+)
+
+// RunSpec describes one controller evaluation for RunMany. The controller is
+// produced by a factory rather than passed directly because controllers are
+// stateful and each run must own a fresh one; configs and profiles are
+// shared read-only.
+type RunSpec struct {
+	Label      string // used in error messages, e.g. "ramp/lut"
+	Cfg        server.Config
+	Prof       loadgen.Profile
+	Controller func() (control.Controller, error)
+	EC         EvalConfig
+}
+
+// RunMany evaluates every spec over a bounded worker pool (workers ≤ 0
+// means GOMAXPROCS) and returns results in spec order regardless of
+// completion order. Each run builds its own server, so the runs are fully
+// independent; with workers = 1 the execution is exactly the serial loop.
+// On failure the error of the lowest-indexed failing spec is returned, so
+// error reporting is deterministic too.
+func RunMany(specs []RunSpec, workers int) ([]RunResult, error) {
+	results := make([]RunResult, len(specs))
+	errs := make([]error, len(specs))
+	par.ForEach(len(specs), workers, func(i int) {
+		s := specs[i]
+		ctrl, err := s.Controller()
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		results[i], errs[i] = RunControlled(s.Cfg, s.Prof, ctrl, s.EC)
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", specs[i].Label, err)
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/control"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+// fastEval shortens the Table I protocol enough to run the full 12-run
+// matrix repeatedly in tests without changing its structure.
+func fastEval() EvalConfig {
+	ec := DefaultEval()
+	ec.SampleEvery = 0
+	ec.Dt = 5
+	ec.Stabilize = 60
+	return ec
+}
+
+// TestParallelTableIMatchesSerial is the determinism contract of the fanned
+// out harness: for a fixed seed the parallel run must yield byte-identical
+// rows to the serial reference path. Run under -race this also exercises
+// the independence of the concurrent runs.
+func TestParallelTableIMatchesSerial(t *testing.T) {
+	cfg := server.T3Config()
+	ec := fastEval()
+	serial, err := TableIParallel(cfg, 7, ec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := TableIParallel(cfg, 7, ec, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("parallel Table I rows differ structurally from the serial run")
+	}
+	var a, b bytes.Buffer
+	if err := FormatTableI(&a, serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := FormatTableI(&b, parallel); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("rendered tables differ:\nserial:\n%s\nparallel:\n%s", a.String(), b.String())
+	}
+	if len(serial) != 4 {
+		t.Fatalf("expected 4 workload rows, got %d", len(serial))
+	}
+}
+
+// TestTableIMatchesParallelDefault guards that the public TableI entry
+// point (GOMAXPROCS workers) agrees with the serial path too.
+func TestTableIMatchesParallelDefault(t *testing.T) {
+	cfg := server.T3Config()
+	ec := fastEval()
+	def, err := TableI(cfg, 3, ec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := TableIParallel(cfg, 3, ec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(def, serial) {
+		t.Fatal("TableI differs from the serial reference")
+	}
+}
+
+// TestRunManyOrderAndErrors checks result ordering and deterministic error
+// selection.
+func TestRunManyOrderAndErrors(t *testing.T) {
+	cfg := server.T3Config()
+	ec := fastEval()
+	w, err := workload.ByID(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(label string) RunSpec {
+		return RunSpec{
+			Label: label, Cfg: cfg, Prof: w.Profile, EC: ec,
+			Controller: func() (control.Controller, error) { return control.NewDefault(), nil },
+		}
+	}
+	specs := []RunSpec{mk("a"), mk("b"), mk("c")}
+	results, err := RunMany(specs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results, want 3", len(results))
+	}
+	// Identical specs must give identical results independent of slot.
+	if !reflect.DeepEqual(results[0], results[1]) || !reflect.DeepEqual(results[1], results[2]) {
+		t.Fatal("identical specs produced different results")
+	}
+
+	boom := fmt.Errorf("boom")
+	specs[1].Controller = func() (control.Controller, error) { return nil, boom }
+	specs[2].Controller = func() (control.Controller, error) { return nil, fmt.Errorf("later") }
+	if _, err := RunMany(specs, 3); err == nil {
+		t.Fatal("expected error")
+	} else if got := err.Error(); got != "experiments: b: boom" {
+		t.Fatalf("expected lowest-index error, got %q", got)
+	}
+}
+
+// TestTradeoffParallelMatchesSerial pins the fanned-out steady-state curve
+// to the single-worker path.
+func TestTradeoffParallelMatchesSerial(t *testing.T) {
+	cfg := server.T3Config()
+	serial, err := tradeoffWorkers(cfg, 75, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := tradeoffWorkers(cfg, 75, nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("parallel tradeoff curve differs from serial")
+	}
+}

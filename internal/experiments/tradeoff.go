@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/par"
 	"repro/internal/server"
 	"repro/internal/units"
 )
@@ -72,23 +73,40 @@ func (c TradeoffCurve) IsConvexish() bool {
 
 // Tradeoff computes the steady-state fan/leakage tradeoff curve at one
 // utilization across a set of fan speeds, using the analytic steady-state
-// solver. Unstable (runaway) points are skipped.
+// solver. Unstable (runaway) points are skipped. The per-RPM solves fan out
+// over all cores.
 func Tradeoff(cfg server.Config, util units.Percent, rpms []units.RPM) (TradeoffCurve, error) {
+	return tradeoffWorkers(cfg, util, rpms, 0)
+}
+
+// tradeoffWorkers solves every RPM's operating point over a bounded pool;
+// results are gathered in grid order, so the curve is identical to the
+// serial evaluation for any worker count.
+func tradeoffWorkers(cfg server.Config, util units.Percent, rpms []units.RPM, workers int) (TradeoffCurve, error) {
 	if len(rpms) == 0 {
 		rpms = denseRPMGrid()
 	}
-	curve := TradeoffCurve{Util: util}
-	for _, r := range rpms {
+	points := make([]TradeoffPoint, len(rpms))
+	stable := make([]bool, len(rpms))
+	par.ForEach(len(rpms), workers, func(i int) {
+		r := rpms[i]
 		temp, err := server.SteadyTemp(cfg, util, r)
 		if err != nil {
-			continue
+			return // thermally unstable operating point
 		}
-		curve.Points = append(curve.Points, TradeoffPoint{
+		points[i] = TradeoffPoint{
 			RPM:      r,
 			Temp:     temp,
 			FanPower: cfg.Power.Fans.Power(r),
 			Leakage:  cfg.Power.Leakage.Power(temp),
-		})
+		}
+		stable[i] = true
+	})
+	curve := TradeoffCurve{Util: util}
+	for i, ok := range stable {
+		if ok {
+			curve.Points = append(curve.Points, points[i])
+		}
 	}
 	if len(curve.Points) == 0 {
 		return curve, fmt.Errorf("experiments: no stable operating points at U=%v", util)
@@ -104,16 +122,20 @@ func Fig2a(cfg server.Config) (TradeoffCurve, error) {
 }
 
 // Fig2b reproduces Figure 2(b): fan+leakage curves for the paper's
-// utilization levels.
+// utilization levels. The pool fans out across utilization levels, with
+// each level's grid solved serially inside its worker (so the total
+// goroutine count stays bounded by one pool).
 func Fig2b(cfg server.Config) ([]TradeoffCurve, error) {
 	utils := []units.Percent{25, 50, 60, 75, 90, 100}
-	out := make([]TradeoffCurve, 0, len(utils))
-	for _, u := range utils {
-		c, err := Tradeoff(cfg, u, denseRPMGrid())
+	out := make([]TradeoffCurve, len(utils))
+	errs := make([]error, len(utils))
+	par.ForEach(len(utils), 0, func(i int) {
+		out[i], errs[i] = tradeoffWorkers(cfg, utils[i], denseRPMGrid(), 1)
+	})
+	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("experiments: fig2b U=%v: %w", u, err)
+			return nil, fmt.Errorf("experiments: fig2b U=%v: %w", utils[i], err)
 		}
-		out = append(out, c)
 	}
 	return out, nil
 }

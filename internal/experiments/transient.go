@@ -93,7 +93,7 @@ func RunTransient(cfg server.Config, tc TransientConfig) (TransientResult, error
 		srv.Step(tc.Dt)
 		if srv.Now() >= nextSample {
 			res.TimeMin = append(res.TimeMin, srv.Now()/60)
-			res.TempC = append(res.TempC, avgC(srv.CPUTempSensors()))
+			res.TempC = append(res.TempC, avgC(srv.CPUTempSensorsReuse()))
 			res.UtilPct = append(res.UtilPct, float64(srv.Utilization()))
 			nextSample += tc.SampleEvery
 		}

@@ -61,6 +61,19 @@ type Bank struct {
 	fans   []*Fan
 	cfg    Config
 	perFan power.FanLaw
+
+	// meanValid/powerValid cache MeanRPM and Power between speed changes:
+	// the server layer asks for both every simulation step while the fans
+	// only move in Step. The cached values are the same summations, just
+	// not repeated.
+	meanValid  bool
+	meanRPM    units.RPM
+	powerValid bool
+	powerW     units.Watts
+
+	// settled is true while every healthy fan sits exactly at its target,
+	// making Step a no-op; commanding a new speed clears it.
+	settled bool
 }
 
 // NewBank constructs a bank from cfg. It validates the configuration.
@@ -124,13 +137,19 @@ func (b *Bank) setFan(i int, r units.RPM) {
 		return
 	}
 	f.target = units.ClampRPM(r, f.minRPM, f.maxRPM)
+	if f.target != f.actual {
+		b.settled = false
+	}
 }
 
 // Step advances fan physics by dt seconds: each fan slews toward its target.
 func (b *Bank) Step(dt float64) {
-	if dt <= 0 {
+	if dt <= 0 || b.settled {
 		return
 	}
+	b.meanValid = false
+	b.powerValid = false
+	b.settled = true
 	for _, f := range b.fans {
 		if f.stuck {
 			continue
@@ -145,6 +164,9 @@ func (b *Bank) Step(dt float64) {
 		default:
 			f.actual -= units.RPM(maxMove)
 		}
+		if f.actual != f.target {
+			b.settled = false
+		}
 	}
 }
 
@@ -152,10 +174,15 @@ func (b *Bank) Step(dt float64) {
 // This is the quantity the paper's external supplies make separately
 // measurable.
 func (b *Bank) Power() units.Watts {
+	if b.powerValid {
+		return b.powerW
+	}
 	var total units.Watts
 	for _, f := range b.fans {
 		total += f.law.Power(f.actual)
 	}
+	b.powerW = total
+	b.powerValid = true
 	return total
 }
 
@@ -164,11 +191,16 @@ func (b *Bank) MeanRPM() units.RPM {
 	if len(b.fans) == 0 {
 		return 0
 	}
+	if b.meanValid {
+		return b.meanRPM
+	}
 	var s float64
 	for _, f := range b.fans {
 		s += float64(f.actual)
 	}
-	return units.RPM(s / float64(len(b.fans)))
+	b.meanRPM = units.RPM(s / float64(len(b.fans)))
+	b.meanValid = true
+	return b.meanRPM
 }
 
 // Target returns the commanded speed of the first healthy fan (the bank is
@@ -213,6 +245,9 @@ func (b *Bank) UnstickFan(i int) error {
 		return fmt.Errorf("fans: fan %d out of range", i)
 	}
 	b.fans[i].stuck = false
+	// The fan may have drifted from its target while frozen; let Step slew
+	// it again.
+	b.settled = false
 	return nil
 }
 

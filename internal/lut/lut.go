@@ -11,6 +11,7 @@ import (
 	"io"
 	"sort"
 
+	"repro/internal/par"
 	"repro/internal/server"
 	"repro/internal/units"
 )
@@ -33,6 +34,7 @@ type BuildConfig struct {
 	Utils   []units.Percent // utilization grid (paper: the characterized levels)
 	Levels  []units.RPM     // candidate fan speeds
 	MaxTemp units.Celsius   // reliability cap; 0 disables the cap
+	Workers int             // worker bound for the per-utilization solves; ≤ 0 = GOMAXPROCS
 }
 
 // DefaultBuild returns the paper's grid: characterized utilization levels
@@ -59,8 +61,13 @@ func Build(cfg server.Config, b BuildConfig) (*Table, error) {
 	utils := append([]units.Percent(nil), b.Utils...)
 	sort.Slice(utils, func(i, j int) bool { return utils[i] < utils[j] })
 
-	t := &Table{}
-	for _, u := range utils {
+	// Each utilization level's scan over fan speeds is independent of the
+	// others, so the levels fan out over a bounded worker pool; entries are
+	// written by index, which keeps the table identical to a serial build.
+	entries := make([]Entry, len(utils))
+	errs := make([]error, len(utils))
+	par.ForEach(len(utils), b.Workers, func(i int) {
+		u := utils[i]
 		best := Entry{Util: u, RPM: 0}
 		found := false
 		for _, r := range levels {
@@ -82,7 +89,8 @@ func Build(cfg server.Config, b BuildConfig) (*Table, error) {
 			r := levels[len(levels)-1]
 			temp, err := server.SteadyTemp(cfg, u, r)
 			if err != nil {
-				return nil, fmt.Errorf("lut: U=%v unstable even at %v: %w", u, r, err)
+				errs[i] = fmt.Errorf("lut: U=%v unstable even at %v: %w", u, r, err)
+				return
 			}
 			best = Entry{
 				Util:          u,
@@ -91,9 +99,14 @@ func Build(cfg server.Config, b BuildConfig) (*Table, error) {
 				FanLeakPower:  cfg.Power.Leakage.Power(temp) + cfg.Power.Fans.Power(r),
 			}
 		}
-		t.Entries = append(t.Entries, best)
+		entries[i] = best
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
-	return t, nil
+	return &Table{Entries: entries}, nil
 }
 
 // Lookup returns the fan speed for utilization u. The paper's controller

@@ -1,0 +1,251 @@
+package mathx
+
+import (
+	"fmt"
+	"math"
+)
+
+// Expm computes the matrix exponential exp(A) of a dense square matrix using
+// scaling-and-squaring with a [6/6] Padé approximant (Moler & Van Loan,
+// method 3). The input is not modified.
+//
+// The intended use is the exact discrete propagator of a linear ODE
+// dT/dt = A·T + u: exp(A·h) advances the homogeneous part by h exactly, for
+// any h, which is what lets the thermal network replace many RK4 substeps
+// with one cached matvec.
+func Expm(a [][]float64) ([][]float64, error) {
+	n := len(a)
+	if n == 0 {
+		return nil, nil
+	}
+	for i := range a {
+		if len(a[i]) != n {
+			return nil, fmt.Errorf("mathx: expm of non-square matrix: row %d has %d columns, want %d", i, len(a[i]), n)
+		}
+		for j := range a[i] {
+			if math.IsNaN(a[i][j]) || math.IsInf(a[i][j], 0) {
+				return nil, fmt.Errorf("mathx: expm input not finite at (%d,%d)", i, j)
+			}
+		}
+	}
+
+	// Scale A by 2^-s so its infinity norm is at most 1/2; the Padé
+	// approximant is then accurate to near machine precision.
+	norm := 0.0
+	for i := range a {
+		row := 0.0
+		for j := range a[i] {
+			row += math.Abs(a[i][j])
+		}
+		if row > norm {
+			norm = row
+		}
+	}
+	s := 0
+	if norm > 0.5 {
+		s = int(math.Ceil(math.Log2(norm / 0.5)))
+	}
+	scale := math.Ldexp(1, -s)
+	as := make([][]float64, n)
+	for i := range a {
+		as[i] = make([]float64, n)
+		for j := range a[i] {
+			as[i][j] = a[i][j] * scale
+		}
+	}
+
+	// [6/6] Padé: N = Σ c_k A^k, D = Σ (-1)^k c_k A^k with
+	// c_0 = 1, c_k = c_{k-1}·(q-k+1)/(k·(2q-k+1)), q = 6.
+	const q = 6
+	num := eye(n)
+	den := eye(n)
+	pow := eye(n)
+	c := 1.0
+	sign := 1.0
+	for k := 1; k <= q; k++ {
+		c *= float64(q-k+1) / float64(k*(2*q-k+1))
+		sign = -sign
+		pow = matMul(pow, as)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				num[i][j] += c * pow[i][j]
+				den[i][j] += sign * c * pow[i][j]
+			}
+		}
+	}
+
+	f, err := solveMatrix(den, num)
+	if err != nil {
+		return nil, fmt.Errorf("mathx: expm Padé denominator: %w", err)
+	}
+	for ; s > 0; s-- {
+		f = matMul(f, f)
+	}
+	return f, nil
+}
+
+// ExpmIntegral returns the exact discretization pair of the linear system
+// dT/dt = A·T + u over a step h:
+//
+//	ad  = exp(A·h)
+//	phi = ∫₀ʰ exp(A·s) ds
+//
+// so that T(t+h) = ad·T(t) + phi·u for u constant over the step. Both are
+// read off one exponential of the augmented matrix [[A·h, h·I], [0, 0]]
+// (Van Loan's block trick), which stays well defined even when A is
+// singular, unlike the closed form A⁻¹(ad − I).
+func ExpmIntegral(a [][]float64, h float64) (ad, phi [][]float64, err error) {
+	n := len(a)
+	if n == 0 {
+		return nil, nil, nil
+	}
+	if h <= 0 || math.IsNaN(h) || math.IsInf(h, 0) {
+		return nil, nil, fmt.Errorf("mathx: expm integral needs positive finite step, got %g", h)
+	}
+	m := make([][]float64, 2*n)
+	for i := range m {
+		m[i] = make([]float64, 2*n)
+	}
+	for i := 0; i < n; i++ {
+		if len(a[i]) != n {
+			return nil, nil, fmt.Errorf("mathx: expm integral of non-square matrix: row %d has %d columns, want %d", i, len(a[i]), n)
+		}
+		for j := 0; j < n; j++ {
+			m[i][j] = a[i][j] * h
+		}
+		m[i][n+i] = h
+	}
+	e, err := Expm(m)
+	if err != nil {
+		return nil, nil, err
+	}
+	ad = make([][]float64, n)
+	phi = make([][]float64, n)
+	for i := 0; i < n; i++ {
+		ad[i] = e[i][:n:n]
+		phi[i] = e[i][n:]
+	}
+	return ad, phi, nil
+}
+
+// SolveLinearInPlace solves a·x = b by Gaussian elimination with partial
+// pivoting, destroying a and leaving the solution in b. It is the
+// allocation-light core of SolveLinear for callers that own reusable
+// buffers (the thermal steady-state solver calls it in a loop).
+func SolveLinearInPlace(a [][]float64, b []float64) error {
+	n := len(a)
+	if n == 0 || len(b) != n {
+		return fmt.Errorf("mathx: bad system shape %dx? vs b=%d", n, len(b))
+	}
+	for i := range a {
+		if len(a[i]) != n {
+			return fmt.Errorf("mathx: row %d has %d columns, want %d", i, len(a[i]), n)
+		}
+	}
+	// Give the RHS rows independent storage so solveRows may pivot-swap row
+	// headers without permuting b's layout underneath the caller.
+	backing := append([]float64(nil), b...)
+	rhs := make([][]float64, n)
+	for i := range rhs {
+		rhs[i] = backing[i : i+1 : i+1]
+	}
+	if err := solveRows(a, rhs); err != nil {
+		return err
+	}
+	for i := range rhs {
+		b[i] = rhs[i][0]
+	}
+	return nil
+}
+
+// solveRows is the one Gaussian-elimination core: it solves m·X = R in
+// place with partial pivoting, where rhs[i] is the i-th row of R (any
+// width). Both m and rhs are destroyed; the solution rows land in rhs.
+func solveRows(m [][]float64, rhs [][]float64) error {
+	n := len(m)
+	for col := 0; col < n; col++ {
+		pivot := col
+		best := math.Abs(m[col][col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(m[r][col]); v > best {
+				best, pivot = v, r
+			}
+		}
+		if best < 1e-14 {
+			return ErrSingular
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		rhs[col], rhs[pivot] = rhs[pivot], rhs[col]
+
+		inv := 1 / m[col][col]
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+			for c := range rhs[r] {
+				rhs[r][c] -= f * rhs[col][c]
+			}
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		row := rhs[i]
+		for c := range row {
+			s := row[c]
+			for k := i + 1; k < n; k++ {
+				s -= m[i][k] * rhs[k][c]
+			}
+			row[c] = s / m[i][i]
+		}
+	}
+	return nil
+}
+
+// eye returns the n×n identity matrix.
+func eye(n int) [][]float64 {
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+		m[i][i] = 1
+	}
+	return m
+}
+
+// matMul returns a·b for square matrices of equal size.
+func matMul(a, b [][]float64) [][]float64 {
+	n := len(a)
+	out := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = make([]float64, n)
+		for k := 0; k < n; k++ {
+			aik := a[i][k]
+			if aik == 0 {
+				continue
+			}
+			row := b[k]
+			for j := 0; j < n; j++ {
+				out[i][j] += aik * row[j]
+			}
+		}
+	}
+	return out
+}
+
+// solveMatrix solves d·F = nmat with one elimination of d applied to every
+// column of nmat. Both inputs are copied, not modified.
+func solveMatrix(d, nmat [][]float64) ([][]float64, error) {
+	n := len(d)
+	m := make([][]float64, n)
+	f := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		m[i] = append([]float64(nil), d[i]...)
+		f[i] = append([]float64(nil), nmat[i]...)
+	}
+	if err := solveRows(m, f); err != nil {
+		return nil, err
+	}
+	return f, nil
+}

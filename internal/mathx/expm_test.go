@@ -1,0 +1,237 @@
+package mathx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestExpmScalar(t *testing.T) {
+	for _, x := range []float64{-3, -0.5, 0, 0.1, 2.7} {
+		e, err := Expm([][]float64{{x}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := e[0][0], math.Exp(x); math.Abs(got-want) > 1e-12*math.Max(1, want) {
+			t.Fatalf("expm(%g) = %g, want %g", x, got, want)
+		}
+	}
+}
+
+func TestExpmZeroIsIdentity(t *testing.T) {
+	e, err := Expm([][]float64{{0, 0}, {0, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{1, 0}, {0, 1}}
+	for i := range e {
+		for j := range e[i] {
+			if math.Abs(e[i][j]-want[i][j]) > 1e-15 {
+				t.Fatalf("expm(0) = %v, want identity", e)
+			}
+		}
+	}
+}
+
+func TestExpmRotation(t *testing.T) {
+	// exp([[0,-θ],[θ,0]]) is the rotation matrix by θ.
+	theta := 1.2
+	e, err := Expm([][]float64{{0, -theta}, {theta, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, s := math.Cos(theta), math.Sin(theta)
+	want := [][]float64{{c, -s}, {s, c}}
+	for i := range e {
+		for j := range e[i] {
+			if math.Abs(e[i][j]-want[i][j]) > 1e-12 {
+				t.Fatalf("rotation expm mismatch at (%d,%d): %g vs %g", i, j, e[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+// TestExpmVsTaylor checks random matrices against a long, scaled Taylor
+// series evaluated independently.
+func TestExpmVsTaylor(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(6)
+		a := make([][]float64, n)
+		for i := range a {
+			a[i] = make([]float64, n)
+			for j := range a[i] {
+				a[i][j] = 4 * (rng.Float64() - 0.5)
+			}
+		}
+		got, err := Expm(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := taylorExpm(a, 60)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if math.Abs(got[i][j]-want[i][j]) > 1e-9*math.Max(1, math.Abs(want[i][j])) {
+					t.Fatalf("trial %d: expm mismatch at (%d,%d): %g vs %g", trial, i, j, got[i][j], want[i][j])
+				}
+			}
+		}
+	}
+}
+
+// taylorExpm evaluates exp(A) by squaring a truncated Taylor series of the
+// halved matrix enough times — slow but independent of the Padé code path.
+func taylorExpm(a [][]float64, terms int) [][]float64 {
+	n := len(a)
+	const halvings = 20
+	as := make([][]float64, n)
+	for i := range a {
+		as[i] = make([]float64, n)
+		for j := range a[i] {
+			as[i][j] = a[i][j] / (1 << halvings)
+		}
+	}
+	sum := eye(n)
+	term := eye(n)
+	for k := 1; k <= terms; k++ {
+		term = matMul(term, as)
+		for i := range term {
+			for j := range term[i] {
+				term[i][j] /= float64(k)
+				sum[i][j] += term[i][j]
+			}
+		}
+	}
+	for s := 0; s < halvings; s++ {
+		sum = matMul(sum, sum)
+	}
+	return sum
+}
+
+func TestExpmIntegralScalar(t *testing.T) {
+	// For dT/dt = -λT + u: ad = e^{-λh}, phi = (1 - e^{-λh})/λ.
+	lambda, h := 0.7, 2.5
+	ad, phi, err := ExpmIntegral([][]float64{{-lambda}}, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := math.Exp(-lambda * h); math.Abs(ad[0][0]-want) > 1e-12 {
+		t.Fatalf("ad = %g, want %g", ad[0][0], want)
+	}
+	if want := (1 - math.Exp(-lambda*h)) / lambda; math.Abs(phi[0][0]-want) > 1e-12 {
+		t.Fatalf("phi = %g, want %g", phi[0][0], want)
+	}
+}
+
+// TestExpmIntegralMatchesFineRK4 drives a random stable affine system one
+// exact step and compares against many fine RK4 steps.
+func TestExpmIntegralMatchesFineRK4(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		n := 1 + rng.Intn(5)
+		a := make([][]float64, n)
+		for i := range a {
+			a[i] = make([]float64, n)
+			for j := range a[i] {
+				a[i][j] = 0.4 * (rng.Float64() - 0.5)
+			}
+			a[i][i] -= 1.0 // diagonally dominant, stable
+		}
+		u := make([]float64, n)
+		y := make([]float64, n)
+		for i := range u {
+			u[i] = 2 * (rng.Float64() - 0.5)
+			y[i] = 10 * rng.Float64()
+		}
+		h := 0.5 + 2*rng.Float64()
+
+		ad, phi, err := ExpmIntegral(a, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact := make([]float64, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				exact[i] += ad[i][j]*y[j] + phi[i][j]*u[j]
+			}
+		}
+
+		deriv := func(_ float64, yy []float64, d []float64) {
+			for i := 0; i < n; i++ {
+				d[i] = u[i]
+				for j := 0; j < n; j++ {
+					d[i] += a[i][j] * yy[j]
+				}
+			}
+		}
+		ref := append([]float64(nil), y...)
+		const sub = 2000
+		scratch := NewScratch(n)
+		for k := 0; k < sub; k++ {
+			RK4Step(deriv, float64(k)*h/sub, ref, h/sub, scratch)
+		}
+		for i := 0; i < n; i++ {
+			if math.Abs(exact[i]-ref[i]) > 1e-8 {
+				t.Fatalf("trial %d node %d: exact %g vs fine RK4 %g", trial, i, exact[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestExpmBadInput(t *testing.T) {
+	if _, err := Expm([][]float64{{1, 2}}); err == nil {
+		t.Fatal("expected error for non-square input")
+	}
+	if _, err := Expm([][]float64{{math.NaN()}}); err == nil {
+		t.Fatal("expected error for NaN input")
+	}
+	if _, _, err := ExpmIntegral([][]float64{{1}}, 0); err == nil {
+		t.Fatal("expected error for zero step")
+	}
+	if _, _, err := ExpmIntegral([][]float64{{1, 2}}, 1); err == nil {
+		t.Fatal("expected error for non-square input")
+	}
+}
+
+func TestSolveLinearInPlaceMatchesSolveLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(6)
+		a := make([][]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = make([]float64, n)
+			for j := range a[i] {
+				a[i][j] = 2 * (rng.Float64() - 0.5)
+			}
+			a[i][i] += float64(n) // well conditioned
+			b[i] = rng.Float64()
+		}
+		want, err := SolveLinear(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// In-place variant destroys its inputs; give it copies.
+		ac := make([][]float64, n)
+		for i := range a {
+			ac[i] = append([]float64(nil), a[i]...)
+		}
+		bc := append([]float64(nil), b...)
+		if err := SolveLinearInPlace(ac, bc); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if math.Abs(want[i]-bc[i]) > 1e-12 {
+				t.Fatalf("trial %d: in-place solution differs at %d: %g vs %g", trial, i, bc[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSolveLinearInPlaceSingular(t *testing.T) {
+	a := [][]float64{{1, 1}, {1, 1}}
+	b := []float64{1, 2}
+	if err := SolveLinearInPlace(a, b); err == nil {
+		t.Fatal("expected singular matrix error")
+	}
+}

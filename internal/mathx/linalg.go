@@ -15,15 +15,14 @@ import (
 // ErrSingular is returned when a linear system has no unique solution.
 var ErrSingular = errors.New("mathx: singular matrix")
 
-// SolveLinear solves the n×n system a·x = b in place using Gaussian
-// elimination with partial pivoting. a and b are not modified; the solution
-// is returned as a fresh slice.
+// SolveLinear solves the n×n system a·x = b using Gaussian elimination
+// with partial pivoting. a and b are not modified; the solution is returned
+// as a fresh slice. It is the copying wrapper around SolveLinearInPlace.
 func SolveLinear(a [][]float64, b []float64) ([]float64, error) {
 	n := len(a)
 	if n == 0 || len(b) != n {
 		return nil, fmt.Errorf("mathx: bad system shape %dx? vs b=%d", n, len(b))
 	}
-	// Work on copies.
 	m := make([][]float64, n)
 	for i := range a {
 		if len(a[i]) != n {
@@ -32,41 +31,8 @@ func SolveLinear(a [][]float64, b []float64) ([]float64, error) {
 		m[i] = append([]float64(nil), a[i]...)
 	}
 	x := append([]float64(nil), b...)
-
-	for col := 0; col < n; col++ {
-		// Partial pivot.
-		pivot := col
-		best := math.Abs(m[col][col])
-		for r := col + 1; r < n; r++ {
-			if v := math.Abs(m[r][col]); v > best {
-				best, pivot = v, r
-			}
-		}
-		if best < 1e-14 {
-			return nil, ErrSingular
-		}
-		m[col], m[pivot] = m[pivot], m[col]
-		x[col], x[pivot] = x[pivot], x[col]
-
-		inv := 1 / m[col][col]
-		for r := col + 1; r < n; r++ {
-			f := m[r][col] * inv
-			if f == 0 {
-				continue
-			}
-			for c := col; c < n; c++ {
-				m[r][c] -= f * m[col][c]
-			}
-			x[r] -= f * x[col]
-		}
-	}
-	// Back substitution.
-	for i := n - 1; i >= 0; i-- {
-		s := x[i]
-		for c := i + 1; c < n; c++ {
-			s -= m[i][c] * x[c]
-		}
-		x[i] = s / m[i][i]
+	if err := SolveLinearInPlace(m, x); err != nil {
+		return nil, err
 	}
 	return x, nil
 }

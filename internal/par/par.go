@@ -1,0 +1,60 @@
+// Package par provides the bounded worker pool shared by the experiment
+// harness and the table builders. Every fan-out in the repository follows
+// the same contract: job i writes only state owned by index i, so results
+// are deterministic and identical to the serial order regardless of worker
+// count or scheduling.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a requested worker count: n ≤ 0 means GOMAXPROCS, and
+// the result never exceeds the number of jobs.
+func Workers(n, jobs int) int {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > jobs {
+		n = jobs
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// ForEach runs fn(i) for every i in [0, n) across at most workers
+// goroutines and returns when all calls have completed. With workers ≤ 1 it
+// degenerates to a plain serial loop on the calling goroutine — the
+// reference path parallel runs are tested against.
+func ForEach(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,55 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		const n = 100
+		seen := make([]int32, n)
+		ForEach(n, workers, func(i int) { atomic.AddInt32(&seen[i], 1) })
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	called := false
+	ForEach(0, 4, func(int) { called = true })
+	if called {
+		t.Fatal("fn called for n=0")
+	}
+}
+
+func TestForEachBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var inFlight, peak atomic.Int32
+	ForEach(50, workers, func(int) {
+		if v := inFlight.Add(1); v > peak.Load() {
+			peak.Store(v)
+		}
+		runtime.Gosched()
+		inFlight.Add(-1)
+	})
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent jobs, limit %d", p, workers)
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0, 100); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0, 100) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(8, 3); got != 3 {
+		t.Fatalf("Workers(8, 3) = %d, want 3", got)
+	}
+	if got := Workers(2, 0); got != 1 {
+		t.Fatalf("Workers(2, 0) = %d, want 1", got)
+	}
+}

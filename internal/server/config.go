@@ -13,6 +13,7 @@ import (
 	"repro/internal/fans"
 	"repro/internal/mem"
 	"repro/internal/power"
+	"repro/internal/thermal"
 	"repro/internal/units"
 )
 
@@ -64,8 +65,15 @@ type Config struct {
 	HotSpotOffset float64 // °C, first sensor per die
 	EdgeOffset    float64 // °C, second sensor per die
 
-	// MaxThermalStep bounds the RC integrator step, seconds.
+	// MaxThermalStep bounds the RC integrator step, seconds. It only
+	// matters on the RK4 path; the exact propagator is step-size exact.
 	MaxThermalStep float64
+
+	// ThermalIntegrator selects the RC network stepping scheme. The zero
+	// value, thermal.IntegratorExact, uses the cached matrix-exponential
+	// propagator; thermal.IntegratorRK4 forces the classical fixed-step
+	// fallback (the pre-optimization ground truth).
+	ThermalIntegrator thermal.Integrator
 }
 
 // T3Config returns the calibrated reproduction of the paper's server.

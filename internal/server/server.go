@@ -45,6 +45,17 @@ type Server struct {
 	throttled bool
 
 	lastBreakdown power.Breakdown
+
+	// Memo of the last leakage-power evaluation. Leakage is an exponential
+	// in temperature and is queried three times per step — once per socket
+	// and once at the hottest die — at temperatures that coincide whenever
+	// the sockets run symmetric loads, so remembering one (temp, power)
+	// pair removes most math.Exp calls from the hot loop.
+	leakValid bool
+	leakTemp  units.Celsius
+	leakPower float64
+
+	sensorBuf []units.Celsius // reused by AppendCPUTempSensors
 }
 
 // New constructs a server from cfg, starting in thermal equilibrium at idle
@@ -71,7 +82,7 @@ func New(cfg Config) (*Server, error) {
 		cpu:       cpx,
 		mem:       memBank,
 		fans:      fanBank,
-		net:       thermal.NewNetwork(cfg.MaxThermalStep),
+		net:       newNetwork(cfg),
 		noise:     randx.New(cfg.NoiseSeed),
 		freqScale: 1,
 		voltScale: 1,
@@ -110,6 +121,13 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
+// newNetwork builds the RC network with the configured stepping scheme.
+func newNetwork(cfg Config) *thermal.Network {
+	net := thermal.NewNetwork(cfg.MaxThermalStep)
+	net.SetIntegrator(cfg.ThermalIntegrator)
+	return net
+}
+
 // sinkResistance returns the per-socket sink-to-air resistance at speed r.
 func (s *Server) sinkResistance(r units.RPM) float64 {
 	rpm := float64(r)
@@ -137,9 +155,21 @@ func (s *Server) syncThermalInputs() {
 		// k1·U_socket/nSockets so that uniform load sums to k1·U.
 		sockU, _ := s.cpu.SocketUtilization(i)
 		active := float64(s.cfg.Power.Active.Power(s.effectiveUtil(sockU))) * s.dynScale() / float64(nSockets)
-		leak := float64(s.cfg.Power.Leakage.Power(units.Celsius(s.net.Temp(s.dieNodes[i])))) * s.voltScale / float64(nSockets)
+		leak := s.leakageAt(units.Celsius(s.net.Temp(s.dieNodes[i]))) * s.voltScale / float64(nSockets)
 		_ = s.net.SetPower(s.dieNodes[i], active+leak)
 	}
+}
+
+// leakageAt returns the configured leakage power at temperature t,
+// remembering the last evaluation (see the memo fields on Server).
+func (s *Server) leakageAt(t units.Celsius) float64 {
+	if s.leakValid && t == s.leakTemp {
+		return s.leakPower
+	}
+	s.leakTemp = t
+	s.leakPower = float64(s.cfg.Power.Leakage.Power(t))
+	s.leakValid = true
+	return s.leakPower
 }
 
 func (s *Server) updateBreakdown() {
@@ -147,7 +177,7 @@ func (s *Server) updateBreakdown() {
 	s.lastBreakdown = power.Breakdown{
 		Idle:    s.cfg.Power.IdleFloor,
 		Active:  units.Watts(float64(s.cfg.Power.Active.Power(s.effectiveUtil(u))) * s.dynScale()),
-		Leakage: units.Watts(float64(s.cfg.Power.Leakage.Power(s.MaxCPUTemp())) * s.voltScale),
+		Leakage: units.Watts(s.leakageAt(s.MaxCPUTemp()) * s.voltScale),
 		Memory:  s.cfg.Power.Memory.Power(u),
 		Fan:     s.fans.Power(),
 	}
@@ -267,8 +297,19 @@ func (s *Server) MaxCPUTemp() units.Celsius {
 // thermal sensors per die: one near the hot spot, one near the die edge)
 // including sensor noise.
 func (s *Server) CPUTempSensors() []units.Celsius {
+	return s.appendCPUTempSensors(make([]units.Celsius, 0, 2*len(s.dieNodes)))
+}
+
+// CPUTempSensorsReuse is CPUTempSensors into a buffer owned by the server,
+// valid until the next call — the allocation-free variant the per-second
+// controller tick uses.
+func (s *Server) CPUTempSensorsReuse() []units.Celsius {
+	s.sensorBuf = s.appendCPUTempSensors(s.sensorBuf[:0])
+	return s.sensorBuf
+}
+
+func (s *Server) appendCPUTempSensors(out []units.Celsius) []units.Celsius {
 	offsets := [2]float64{s.cfg.HotSpotOffset, s.cfg.EdgeOffset}
-	out := make([]units.Celsius, 0, 2*len(s.dieNodes))
 	for _, n := range s.dieNodes {
 		t := s.net.Temp(n)
 		for k := 0; k < 2; k++ {

@@ -15,8 +15,25 @@ package thermal
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/mathx"
+)
+
+// Integrator selects the time-stepping scheme for Network.Step.
+type Integrator int
+
+const (
+	// IntegratorExact advances the network with the exact discrete
+	// propagator T(t+h) = Ad·T + Phi·u of the linear system, where
+	// Ad = exp(−C⁻¹G·h) and Phi its integral. The pair is cached and only
+	// rebuilt when the conductance set, the node set or the step size
+	// changes, so in steady operation a step of any length costs one small
+	// matvec. This is the default.
+	IntegratorExact Integrator = iota
+	// IntegratorRK4 forces the classical fixed-step RK4 fallback, the
+	// original integration path kept as ground truth for the exact scheme.
+	IntegratorRK4
 )
 
 // NodeID identifies a capacitive node in the network.
@@ -48,16 +65,41 @@ type link struct {
 	g          float64 // conductance W/°C
 }
 
-// Network is a mutable RC thermal network integrated with RK4.
+// propagator caches the exact discretization of the current linear system
+// for one step size: next = ad·T + phi·u with u the per-capacitance affine
+// input (injected power plus boundary inflow). Power and boundary
+// temperatures enter only through u, recomputed each step, so the cache
+// survives them; it is invalidated by anything that changes −C⁻¹G (adding
+// nodes or links, changing a conductance) or the step size.
+type propagator struct {
+	valid  bool
+	failed bool // last build attempt failed; don't retry until invalidated
+	h      float64
+	m      int
+	ad     []float64 // m×m row-major exp(−C⁻¹G·h)
+	phi    []float64 // m×m row-major ∫₀ʰ exp(−C⁻¹G·s) ds
+}
+
+// Network is a mutable RC thermal network. Steps use the cached exact
+// exponential propagator by default, with fixed-step RK4 as the selectable
+// fallback.
 type Network struct {
 	nodes      []node
 	boundaries []boundary
 	links      []link
 
-	// integration scratch
+	integrator Integrator
+	prop       propagator
+	u, next    []float64 // exact-step scratch
+
+	// RK4 integration scratch
 	state   []float64
 	scratch [][]float64
 	maxStep float64
+
+	// steady-state solve scratch, reused across calls
+	ssA [][]float64
+	ssB []float64
 }
 
 // NewNetwork returns an empty network. maxStep bounds the internal
@@ -70,6 +112,20 @@ func NewNetwork(maxStep float64) *Network {
 	return &Network{maxStep: maxStep}
 }
 
+// SetIntegrator selects the stepping scheme. Switching is cheap; the exact
+// propagator is rebuilt lazily on the next Step.
+func (n *Network) SetIntegrator(i Integrator) { n.integrator = i }
+
+// IntegratorInUse returns the currently selected stepping scheme.
+func (n *Network) IntegratorInUse() Integrator { return n.integrator }
+
+// invalidate drops the cached propagator; called by every mutation that
+// changes the system matrix −C⁻¹G.
+func (n *Network) invalidate() {
+	n.prop.valid = false
+	n.prop.failed = false
+}
+
 // AddNode adds a capacitive node with the given heat capacity (J/°C) and
 // initial temperature. Capacitance must be positive.
 func (n *Network) AddNode(name string, capacitance, initial float64) (NodeID, error) {
@@ -77,6 +133,7 @@ func (n *Network) AddNode(name string, capacitance, initial float64) (NodeID, er
 		return 0, fmt.Errorf("thermal: node %q capacitance must be positive, got %g", name, capacitance)
 	}
 	n.nodes = append(n.nodes, node{name: name, capac: capacitance, temp: initial})
+	n.invalidate()
 	return NodeID(len(n.nodes) - 1), nil
 }
 
@@ -98,6 +155,7 @@ func (n *Network) ConnectNodes(a, b NodeID, g float64) (LinkID, error) {
 		return 0, fmt.Errorf("thermal: negative conductance %g", g)
 	}
 	n.links = append(n.links, link{a: a, b: b, g: g})
+	n.invalidate()
 	return LinkID(len(n.links) - 1), nil
 }
 
@@ -113,6 +171,7 @@ func (n *Network) ConnectBoundary(a NodeID, b BoundaryID, g float64) (LinkID, er
 		return 0, fmt.Errorf("thermal: negative conductance %g", g)
 	}
 	n.links = append(n.links, link{a: a, bBound: b, toBoundary: true, g: g})
+	n.invalidate()
 	return LinkID(len(n.links) - 1), nil
 }
 
@@ -132,7 +191,13 @@ func (n *Network) SetConductance(id LinkID, g float64) error {
 	if g < 0 {
 		return fmt.Errorf("thermal: negative conductance %g", g)
 	}
-	n.links[id].g = g
+	// The server layer re-applies the fan-dependent conductance every step;
+	// only a genuine change may drop the cached propagator, otherwise the
+	// cache would never hit.
+	if n.links[id].g != g {
+		n.links[id].g = g
+		n.invalidate()
+	}
 	return nil
 }
 
@@ -194,12 +259,107 @@ func (n *Network) derivative(_ float64, y []float64, dydt []float64) {
 	}
 }
 
-// Step advances the whole network by dt seconds, subdividing into intervals
-// of at most maxStep for integration accuracy.
+// Step advances the whole network by dt seconds. With the exact integrator
+// (the default) this is a single cached-propagator matvec for any dt; the
+// RK4 path subdivides into equal substeps of at most maxStep.
 func (n *Network) Step(dt float64) {
 	if dt <= 0 || len(n.nodes) == 0 {
 		return
 	}
+	if n.integrator == IntegratorExact && n.stepExact(dt) {
+		return
+	}
+	n.stepRK4(dt)
+}
+
+// stepExact advances by one exact propagator application. It returns false
+// if the propagator could not be built (the caller then falls back to RK4).
+func (n *Network) stepExact(dt float64) bool {
+	m := len(n.nodes)
+	if n.prop.failed {
+		return false // a doomed system stays on RK4 until something changes
+	}
+	if !n.prop.valid || n.prop.h != dt || n.prop.m != m {
+		if !n.buildPropagator(dt) {
+			n.prop.failed = true
+			return false
+		}
+	}
+	if len(n.u) != m {
+		n.u = make([]float64, m)
+		n.next = make([]float64, m)
+	}
+	// Affine input u = C⁻¹·(P + Σ g_b·T_b); power and boundary temperature
+	// changes are picked up here without touching the cached propagator.
+	for i := range n.u {
+		n.u[i] = n.nodes[i].powerIn
+	}
+	for _, l := range n.links {
+		if l.toBoundary {
+			n.u[l.a] += l.g * n.boundaries[l.bBound].temp
+		}
+	}
+	for i := range n.u {
+		n.u[i] /= n.nodes[i].capac
+	}
+	for i := 0; i < m; i++ {
+		ad := n.prop.ad[i*m : (i+1)*m]
+		phi := n.prop.phi[i*m : (i+1)*m]
+		s := 0.0
+		for j := 0; j < m; j++ {
+			s += ad[j]*n.nodes[j].temp + phi[j]*n.u[j]
+		}
+		n.next[i] = s
+	}
+	for i := range n.nodes {
+		n.nodes[i].temp = n.next[i]
+	}
+	return true
+}
+
+// buildPropagator assembles A = −C⁻¹G from the current links and computes
+// the exact discretization pair for step h. This is the cold path: it runs
+// only after a conductance or topology change (fan-speed updates are
+// holdoff-gated upstream, so steady operation hits the cache).
+func (n *Network) buildPropagator(h float64) bool {
+	m := len(n.nodes)
+	a := make([][]float64, m)
+	for i := range a {
+		a[i] = make([]float64, m)
+	}
+	for _, l := range n.links {
+		ga := l.g / n.nodes[l.a].capac
+		a[l.a][l.a] -= ga
+		if l.toBoundary {
+			continue
+		}
+		gb := l.g / n.nodes[l.b].capac
+		a[l.a][l.b] += ga
+		a[l.b][l.b] -= gb
+		a[l.b][l.a] += gb
+	}
+	ad, phi, err := mathx.ExpmIntegral(a, h)
+	if err != nil {
+		return false
+	}
+	if len(n.prop.ad) != m*m {
+		n.prop.ad = make([]float64, m*m)
+		n.prop.phi = make([]float64, m*m)
+	}
+	for i := 0; i < m; i++ {
+		copy(n.prop.ad[i*m:(i+1)*m], ad[i])
+		copy(n.prop.phi[i*m:(i+1)*m], phi[i])
+	}
+	n.prop.valid = true
+	n.prop.h = h
+	n.prop.m = m
+	return true
+}
+
+// stepRK4 advances by dt using classical RK4 over an integer number of equal
+// substeps, so the total integrated time is exactly dt with no float-drift
+// remainder step.
+func (n *Network) stepRK4(dt float64) {
 	if n.state == nil || len(n.state) != len(n.nodes) {
 		n.state = make([]float64, len(n.nodes))
 		n.scratch = mathx.NewScratch(len(n.nodes))
@@ -207,16 +367,13 @@ func (n *Network) Step(dt float64) {
 	for i := range n.nodes {
 		n.state[i] = n.nodes[i].temp
 	}
-	remaining := dt
-	t := 0.0
-	for remaining > 1e-12 {
-		h := n.maxStep
-		if remaining < h {
-			h = remaining
-		}
-		mathx.RK4Step(n.derivative, t, n.state, h, n.scratch)
-		t += h
-		remaining -= h
+	sub := int(math.Ceil(dt/n.maxStep - 1e-9))
+	if sub < 1 {
+		sub = 1
+	}
+	h := dt / float64(sub)
+	for k := 0; k < sub; k++ {
+		mathx.RK4Step(n.derivative, float64(k)*h, n.state, h, n.scratch)
 	}
 	for i := range n.nodes {
 		n.nodes[i].temp = n.state[i]
@@ -225,16 +382,28 @@ func (n *Network) Step(dt float64) {
 
 // SteadyState solves for the equilibrium temperatures with the current
 // powers, conductances and boundary temperatures by solving the linear heat
-// balance G·T = P + G_b·T_b. It does not modify the network state.
+// balance G·T = P + G_b·T_b. It does not modify the network state. The
+// solve runs in preallocated buffers reused across calls, so repeated
+// equilibrium queries (table building, bisection) do not allocate the
+// m×m system each time.
 func (n *Network) SteadyState() ([]float64, error) {
 	m := len(n.nodes)
 	if m == 0 {
 		return nil, nil
 	}
-	a := make([][]float64, m)
-	b := make([]float64, m)
+	if len(n.ssA) != m {
+		n.ssA = make([][]float64, m)
+		for i := range n.ssA {
+			n.ssA[i] = make([]float64, m)
+		}
+		n.ssB = make([]float64, m)
+	}
+	a, b := n.ssA, n.ssB
 	for i := range a {
-		a[i] = make([]float64, m)
+		row := a[i]
+		for j := range row {
+			row[j] = 0
+		}
 		b[i] = n.nodes[i].powerIn
 	}
 	for _, l := range n.links {
@@ -248,7 +417,12 @@ func (n *Network) SteadyState() ([]float64, error) {
 			a[l.b][l.a] -= l.g
 		}
 	}
-	return mathx.SolveLinear(a, b)
+	if err := mathx.SolveLinearInPlace(a, b); err != nil {
+		return nil, err
+	}
+	// The in-place solve also pivot-swaps the rows of ssA; that is fine
+	// because the buffers are fully rewritten on the next call.
+	return append([]float64(nil), b...), nil
 }
 
 // Settle assigns the steady-state solution to the node temperatures. It is

@@ -2,7 +2,6 @@ package workload
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/loadgen"
 	"repro/internal/randx"
@@ -85,39 +84,43 @@ type Named struct {
 // AllTests builds all four Table I workloads with the given seed for the
 // stochastic ones.
 func AllTests(seed int64) ([]Named, error) {
-	t1, err := Test1Ramp()
-	if err != nil {
-		return nil, fmt.Errorf("workload: test1: %w", err)
+	out := make([]Named, 0, 4)
+	for id := 1; id <= 4; id++ {
+		w, err := ByID(id, seed)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, w)
 	}
-	t2, err := Test2Periods()
-	if err != nil {
-		return nil, fmt.Errorf("workload: test2: %w", err)
-	}
-	t3, err := Test3RandomSteps(seed)
-	if err != nil {
-		return nil, fmt.Errorf("workload: test3: %w", err)
-	}
-	t4, err := Test4Shell(seed)
-	if err != nil {
-		return nil, fmt.Errorf("workload: test4: %w", err)
-	}
-	return []Named{
-		{1, "Test-1 ramp", t1},
-		{2, "Test-2 periods", t2},
-		{3, "Test-3 random steps", t3},
-		{4, "Test-4 shell (Poisson/exp)", t4},
-	}, nil
+	return out, nil
 }
 
-// ByID returns one Table I workload.
+// ByID returns one Table I workload, building only that test — asking for
+// the ramp must not pay for the M/M/c queue simulation behind Test 4.
 func ByID(id int, seed int64) (Named, error) {
-	all, err := AllTests(seed)
-	if err != nil {
-		return Named{}, err
-	}
-	i := sort.Search(len(all), func(i int) bool { return all[i].ID >= id })
-	if i == len(all) || all[i].ID != id {
+	var (
+		name string
+		prof loadgen.Profile
+		err  error
+	)
+	switch id {
+	case 1:
+		name = "Test-1 ramp"
+		prof, err = Test1Ramp()
+	case 2:
+		name = "Test-2 periods"
+		prof, err = Test2Periods()
+	case 3:
+		name = "Test-3 random steps"
+		prof, err = Test3RandomSteps(seed)
+	case 4:
+		name = "Test-4 shell (Poisson/exp)"
+		prof, err = Test4Shell(seed)
+	default:
 		return Named{}, fmt.Errorf("workload: unknown test id %d", id)
 	}
-	return all[i], nil
+	if err != nil {
+		return Named{}, fmt.Errorf("workload: test%d: %w", id, err)
+	}
+	return Named{ID: id, Name: name, Profile: prof}, nil
 }

@@ -43,6 +43,7 @@ import (
 	"repro/internal/plot"
 	"repro/internal/reliability"
 	"repro/internal/server"
+	"repro/internal/thermal"
 	"repro/internal/units"
 	"repro/internal/workload"
 )
@@ -67,6 +68,16 @@ type (
 	Server = server.Server
 	// ServerConfig parameterizes the simulated server.
 	ServerConfig = server.Config
+	// ThermalIntegrator selects the RC network stepping scheme via
+	// ServerConfig.ThermalIntegrator.
+	ThermalIntegrator = thermal.Integrator
+)
+
+// Thermal integrator choices. The exact propagator is the default (zero
+// value); RK4 is the fixed-step fallback kept as ground truth.
+const (
+	IntegratorExact = thermal.IntegratorExact
+	IntegratorRK4   = thermal.IntegratorRK4
 )
 
 // T3Config returns the calibrated reproduction of the paper's SPARC T3-2
@@ -215,9 +226,16 @@ func RunControlled(cfg ServerConfig, prof Profile, ctrl Controller, ec EvalConfi
 	return experiments.RunControlled(cfg, prof, ctrl, ec)
 }
 
-// TableI reproduces the paper's Table I.
+// TableI reproduces the paper's Table I, fanning the controller×workload
+// runs out over all cores.
 func TableI(cfg ServerConfig, seed int64, ec EvalConfig) ([]TableIRow, error) {
 	return experiments.TableI(cfg, seed, ec)
+}
+
+// TableIParallel is TableI with an explicit worker bound (≤ 0 = GOMAXPROCS,
+// 1 = the serial reference path). Rows are identical for every worker count.
+func TableIParallel(cfg ServerConfig, seed int64, ec EvalConfig, workers int) ([]TableIRow, error) {
+	return experiments.TableIParallel(cfg, seed, ec, workers)
 }
 
 // FormatTableI renders Table I rows as text.
