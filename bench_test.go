@@ -6,6 +6,7 @@
 package leakctl
 
 import (
+	"fmt"
 	"strconv"
 	"testing"
 
@@ -14,6 +15,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/loadgen"
 	"repro/internal/lut"
+	"repro/internal/rack"
 	"repro/internal/reliability"
 	"repro/internal/thermal"
 	"repro/internal/units"
@@ -556,6 +558,85 @@ func BenchmarkServerStepRK4(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		srv.Step(1)
+	}
+}
+
+// --------------------------------------------------------------------------
+// Rack-scale simulation (internal/rack + internal/sched)
+
+// rackOf builds an n-server heterogeneous rack with no fan controllers —
+// the pure stepping substrate — at a fixed 70% load. The per-slot
+// configurations come from experiments.RackServerConfigs, so the bench
+// measures the same rack the policy-comparison experiment runs.
+func rackOf(b *testing.B, n, workers int) *rack.Rack {
+	b.Helper()
+	cfgs := experiments.RackServerConfigs(T3Config(), n)
+	specs := make([]rack.ServerSpec, n)
+	for i := range specs {
+		specs[i] = rack.ServerSpec{Config: cfgs[i]}
+	}
+	r, err := rack.New(rack.Config{Servers: specs, Workers: workers})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		r.SetLoad(i, 70)
+	}
+	return r
+}
+
+// BenchmarkRackStep measures one 1-second step of the whole rack across
+// rack sizes. On the exact-integrator path each server's step is one
+// cached matvec, so ns/op must scale near-linearly in server count
+// (compare the servers=1/4/16/64 sub-benchmarks; per-server cost is
+// ns/op ÷ servers).
+func BenchmarkRackStep(b *testing.B) {
+	for _, n := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("servers=%d", n), func(b *testing.B) {
+			r := rackOf(b, n, 1) // serial: isolates per-server step cost from pool scheduling
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.Step(1)
+			}
+			b.ReportMetric(float64(n), "servers")
+		})
+	}
+}
+
+// BenchmarkRackStepParallel is BenchmarkRackStep/servers=16 with the
+// fan-out enabled — the wall-clock win on multicore hosts.
+func BenchmarkRackStepParallel(b *testing.B) {
+	r := rackOf(b, 16, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Step(1)
+	}
+}
+
+// BenchmarkRackTrace regenerates the rack policy-comparison experiment —
+// the four placement policies over the default Poisson trace — and
+// reports the headline energies.
+func BenchmarkRackTrace(b *testing.B) {
+	base := T3Config()
+	ev := experiments.DefaultRackEval()
+	var rows []experiments.RackPolicyResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.RackPolicyComparison(base, ev)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		switch r.Policy {
+		case "round-robin":
+			b.ReportMetric(r.TotalWh(), "roundRobinWh")
+		case "coolest-first":
+			b.ReportMetric(r.TotalWh(), "coolestWh")
+		case "leakage-aware":
+			b.ReportMetric(r.TotalWh(), "leakageAwareWh")
+			b.ReportMetric(float64(r.Rack.FanChanges), "leakageAwareFanChanges")
+		}
 	}
 }
 

@@ -9,6 +9,8 @@
 //	evalctl -test 2         # a single test's rows
 //	evalctl -seed 7         # different stochastic workload seed
 //	evalctl -csv            # Fig 3 traces as CSV
+//	evalctl -rack           # rack-scale placement-policy comparison
+//	evalctl -rack -servers 16 -horizon 7200
 package main
 
 import (
@@ -22,15 +24,64 @@ import (
 	"repro/internal/workload"
 )
 
+// ambientList renders the distinct rack ambients in slot order, derived
+// from the experiment's actual server configurations so the banner cannot
+// desync from the gradient.
+func ambientList(base server.Config, n int) string {
+	var out string
+	seen := map[float64]bool{}
+	for _, c := range experiments.RackServerConfigs(base, n) {
+		a := float64(c.Ambient)
+		if seen[a] {
+			continue
+		}
+		seen[a] = true
+		if out != "" {
+			out += "/"
+		}
+		out += fmt.Sprintf("%g", a)
+	}
+	return out
+}
+
 func main() {
 	fig3 := flag.Bool("fig3", false, "emit Figure 3 temperature traces for Test-3")
 	testID := flag.Int("test", 0, "run a single test id 1-4 (0 = all)")
 	seed := flag.Int64("seed", 42, "seed for the stochastic workloads")
 	csv := flag.Bool("csv", false, "CSV output for -fig3")
+	rackCmp := flag.Bool("rack", false, "run the rack-scale placement-policy comparison")
+	servers := flag.Int("servers", 0, "rack size for -rack (0 = default)")
+	horizon := flag.Float64("horizon", 0, "measured window in seconds for -rack (0 = default)")
 	flag.Parse()
 
 	cfg := server.T3Config()
 	ec := experiments.DefaultEval()
+
+	if *rackCmp {
+		ev := experiments.DefaultRackEval()
+		ev.TraceSeed = *seed
+		if *servers > 0 {
+			ev.Servers = *servers
+		}
+		if *horizon > 0 {
+			ev.Horizon = *horizon
+		}
+		rows, err := experiments.RackPolicyComparison(cfg, ev)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "evalctl:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("Rack policy comparison: %d servers (ambients %s °C), "+
+			"%.0f min Poisson trace (seed %d)\n\n",
+			ev.Servers, ambientList(cfg, ev.Servers), ev.Horizon/60, ev.TraceSeed)
+		if err := experiments.FormatRackTable(os.Stdout, rows); err != nil {
+			fmt.Fprintln(os.Stderr, "evalctl:", err)
+			os.Exit(1)
+		}
+		fmt.Println("\nall policies serve the identical job trace; Total(Wh) differences are the")
+		fmt.Println("placement's leakage+fan cost — thermally aware policies should be lowest")
+		return
+	}
 
 	if *fig3 {
 		series, err := experiments.Fig3(cfg, *seed, ec)

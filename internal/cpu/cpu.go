@@ -160,3 +160,34 @@ func (c *Complex) VI(core int, totalCPUPower units.Watts) (volts, amps float64, 
 	amps = c.idleCurrent + variable*share/c.coreVoltage
 	return c.coreVoltage, amps, nil
 }
+
+// SensorPowerSum returns Σ V·I across every core's sensor pair for the
+// given total CPU power — what a reader polling all per-core rails would
+// reconstruct. It performs the same per-core arithmetic as VI but shares
+// the one O(cores) utilization sum across all cores, so the whole readout
+// is a single O(cores) pass instead of the O(cores²) of calling VI per
+// core. Results are bit-identical to the per-core VI loop.
+func (c *Complex) SensorPowerSum(totalCPUPower units.Watts) float64 {
+	totalUtil := 0.0
+	for _, u := range c.util {
+		totalUtil += u
+	}
+	nCores := float64(len(c.util))
+	idlePower := c.idleCurrent * c.coreVoltage * nCores
+	variable := float64(totalCPUPower) - idlePower
+	if variable < 0 {
+		variable = 0
+	}
+	var total float64
+	for _, u := range c.util {
+		share := 0.0
+		if totalUtil > 0 {
+			share = u / totalUtil
+		} else {
+			share = 1 / nCores
+		}
+		amps := c.idleCurrent + variable*share/c.coreVoltage
+		total += c.coreVoltage * amps
+	}
+	return total
+}

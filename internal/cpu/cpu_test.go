@@ -156,3 +156,37 @@ func TestVIProportionalToLoad(t *testing.T) {
 		t.Fatalf("busy core current %g should exceed idle %g", busy, idle)
 	}
 }
+
+// TestSensorPowerSumMatchesVILoop pins the single-pass readout to the
+// per-core VI loop it replaces: the two must agree bit-for-bit across
+// uniform, skewed and idle load patterns.
+func TestSensorPowerSumMatchesVILoop(t *testing.T) {
+	c, _ := NewComplex(T3Topology())
+	patterns := []func(){
+		func() { c.SetUniformLoad(0) },
+		func() { c.SetUniformLoad(70) },
+		func() { c.SetUniformLoad(100) },
+		func() {
+			c.SetUniformLoad(0)
+			for i := 0; i < 7; i++ {
+				_ = c.SetCoreLoad(i*3, units.Percent(10+10*i))
+			}
+		},
+	}
+	for pi, apply := range patterns {
+		apply()
+		for _, p := range []units.Watts{0, 5, 35, 70, 120} {
+			var loop float64
+			for core := 0; core < c.Topology().Cores(); core++ {
+				v, a, err := c.VI(core, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				loop += v * a
+			}
+			if got := c.SensorPowerSum(p); got != loop {
+				t.Fatalf("pattern %d power %v: SensorPowerSum %.17g != VI loop %.17g", pi, p, got, loop)
+			}
+		}
+	}
+}

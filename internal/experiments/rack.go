@@ -1,0 +1,233 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/control"
+	"repro/internal/loadgen"
+	"repro/internal/lut"
+	"repro/internal/par"
+	"repro/internal/plot"
+	"repro/internal/rack"
+	"repro/internal/sched"
+	"repro/internal/server"
+	"repro/internal/units"
+)
+
+// RackEval parameterizes the rack-scale policy comparison: a heterogeneous
+// rack (cold/hot-aisle ambient gradient, mixed DIMM populations), each
+// server under its own paper-style LUT fan controller, driven by one
+// Poisson job trace per policy.
+type RackEval struct {
+	Servers   int     // rack size
+	Dt        float64 // simulation step, seconds
+	Horizon   float64 // measured window, seconds
+	Stabilize float64 // idle settling before the measured window, seconds
+
+	TraceSeed    int64
+	Rate         float64         // job arrivals per second
+	MeanDuration float64         // mean job service time, seconds
+	Demands      []units.Percent // per-job demand levels
+
+	// Workers bounds the experiment's fan-outs — the per-policy runs and
+	// the LUT table builds: ≤ 0 = GOMAXPROCS, 1 = the serial reference
+	// path. Rack stepping inside the comparison is deliberately serial
+	// per policy: the four concurrent policy runs already saturate the
+	// pool, and a nested per-step fan-out would only multiply goroutines
+	// (Workers²) without adding parallelism. Results are identical for
+	// every value.
+	Workers int
+}
+
+// DefaultRackEval returns an 8-server rack under a one-hour trace with
+// ~30% mean offered load — enough contention that placement matters,
+// enough headroom that every policy can always place eventually.
+func DefaultRackEval() RackEval {
+	return RackEval{
+		Servers:      8,
+		Dt:           1,
+		Horizon:      3600,
+		Stabilize:    300,
+		TraceSeed:    42,
+		Rate:         0.02,
+		MeanDuration: 300,
+		Demands:      []units.Percent{20, 40, 60},
+	}
+}
+
+// rackAmbient returns server i's inlet ambient: a cold→hot aisle gradient
+// repeating every four slots (21, 24, 27, 30 °C), the heterogeneity that
+// gives thermally aware placement something to exploit.
+func rackAmbient(i int) units.Celsius { return units.Celsius(21 + 3*(i%4)) }
+
+// RackServerConfigs builds the heterogeneous per-slot server
+// configurations from a base config: the ambient gradient, a mixed DIMM
+// population (odd slots run 24 instead of 32 DIMMs) and per-server sensor
+// noise seeds.
+func RackServerConfigs(base server.Config, n int) []server.Config {
+	cfgs := make([]server.Config, n)
+	for i := range cfgs {
+		cfg := base
+		cfg.Ambient = rackAmbient(i)
+		cfg.NoiseSeed = base.NoiseSeed + int64(1000*i)
+		if i%2 == 1 {
+			cfg.Mem.NumDIMMs = 24
+		}
+		cfgs[i] = cfg
+	}
+	return cfgs
+}
+
+// rackFor assembles a fresh rack over cfgs, each server under its own LUT
+// fan controller built from that server's configuration (tables shared
+// read-only across servers with identical steady-state physics). The rack
+// steps serially: within the comparison, parallelism lives at the policy
+// level (see RackEval.Workers).
+func rackFor(cfgs []server.Config, tables []*lut.Table) (*rack.Rack, error) {
+	specs := make([]rack.ServerSpec, len(cfgs))
+	for i, cfg := range cfgs {
+		lc, err := control.NewLUT(tables[i], control.DefaultLUT())
+		if err != nil {
+			return nil, err
+		}
+		specs[i] = rack.ServerSpec{
+			Name:       fmt.Sprintf("srv%02d-amb%g", i, float64(cfg.Ambient)),
+			Config:     cfg,
+			Controller: lc,
+		}
+	}
+	return rack.New(rack.Config{Servers: specs, Workers: 1})
+}
+
+// buildRackTables builds one LUT per distinct server configuration
+// (ignoring noise seeds), in slot order.
+func buildRackTables(cfgs []server.Config, workers int) ([]*lut.Table, error) {
+	bc := lut.DefaultBuild()
+	bc.Workers = workers
+	tables, err := lut.BuildPerConfig(cfgs, bc)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: rack LUTs: %w", err)
+	}
+	return tables, nil
+}
+
+// RackPolicyResult is one row of the policy×metric comparison table.
+type RackPolicyResult struct {
+	Policy string
+	Sched  sched.Result
+	Rack   rack.Telemetry
+}
+
+// TotalWh returns the rack energy in watt-hours over the measured window.
+func (r RackPolicyResult) TotalWh() float64 { return r.Rack.TotalEnergyKWh * 1000 }
+
+// FanWh returns the fan-only energy in watt-hours.
+func (r RackPolicyResult) FanWh() float64 { return r.Rack.FanEnergyKWh * 1000 }
+
+// RackPolicies returns the four placement policies under comparison, in
+// table order. The leakage-aware policy reuses the per-slot tables the
+// rack's fan controllers are built from — one grid of steady-state solves
+// serves both.
+func RackPolicies(tables []*lut.Table) ([]sched.Policy, error) {
+	la, err := sched.NewLeakageAwareFromTables(tables)
+	if err != nil {
+		return nil, err
+	}
+	return []sched.Policy{
+		sched.NewRoundRobin(),
+		sched.NewLeastUtilized(),
+		sched.NewCoolestFirst(),
+		la,
+	}, nil
+}
+
+// RackPolicyComparison runs the same Poisson job trace across all four
+// placement policies on identical fresh racks and returns one result row
+// per policy. Policy runs fan out over the worker pool (slot-per-policy);
+// each run's rack steps serially. All scheduling decisions are serial, so
+// rows are byte-identical for every worker count.
+func RackPolicyComparison(base server.Config, ev RackEval) ([]RackPolicyResult, error) {
+	if ev.Servers <= 0 || ev.Dt <= 0 || ev.Horizon <= 0 {
+		return nil, fmt.Errorf("experiments: rack eval needs positive servers/dt/horizon, got %+v", ev)
+	}
+	cfgs := RackServerConfigs(base, ev.Servers)
+	tables, err := buildRackTables(cfgs, ev.Workers)
+	if err != nil {
+		return nil, err
+	}
+	policies, err := RackPolicies(tables)
+	if err != nil {
+		return nil, err
+	}
+	specs, err := loadgen.PoissonTrace(loadgen.PoissonTraceConfig{
+		Seed:         ev.TraceSeed,
+		Horizon:      ev.Horizon,
+		Rate:         ev.Rate,
+		MeanDuration: ev.MeanDuration,
+		Demands:      ev.Demands,
+	})
+	if err != nil {
+		return nil, err
+	}
+	jobs := sched.JobsFromSpecs(specs)
+
+	results := make([]RackPolicyResult, len(policies))
+	errs := make([]error, len(policies))
+	par.ForEach(len(policies), ev.Workers, func(i int) {
+		results[i], errs[i] = runRackPolicy(cfgs, tables, jobs, policies[i], ev)
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("experiments: rack policy %s: %w", policies[i].Name(), err)
+		}
+	}
+	return results, nil
+}
+
+// runRackPolicy is one policy's full run: fresh rack, idle stabilization,
+// accounting reset, then the measured trace window.
+func runRackPolicy(cfgs []server.Config, tables []*lut.Table, jobs []sched.Job, p sched.Policy, ev RackEval) (RackPolicyResult, error) {
+	r, err := rackFor(cfgs, tables)
+	if err != nil {
+		return RackPolicyResult{}, err
+	}
+	// Integer step count, so a non-integer Dt cannot drift the window.
+	for k := int(math.Ceil(ev.Stabilize/ev.Dt - 1e-9)); k > 0; k-- {
+		r.Step(ev.Dt)
+	}
+	r.ResetAccounting()
+	sres, err := sched.RunTrace(r, jobs, p, ev.Dt, ev.Horizon)
+	if err != nil {
+		return RackPolicyResult{}, err
+	}
+	return RackPolicyResult{Policy: p.Name(), Sched: sres, Rack: r.Telemetry()}, nil
+}
+
+// FormatRackTable renders the policy×metric comparison.
+func FormatRackTable(w io.Writer, rows []RackPolicyResult) error {
+	headers := []string{
+		"Policy", "Total(Wh)", "Fan(Wh)", "Peak(W)",
+		"MaxCPU(°C)", "MaxDIMM(°C)", "MaxInlet(°C)",
+		"#fan", "Placed", "Done", "Wait(s)", "MaxQ",
+	}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Policy,
+			fmt.Sprintf("%.2f", r.TotalWh()),
+			fmt.Sprintf("%.2f", r.FanWh()),
+			fmt.Sprintf("%.0f", r.Rack.PeakPowerW),
+			fmt.Sprintf("%.1f", r.Rack.MaxCPUTempC),
+			fmt.Sprintf("%.1f", r.Rack.MaxDIMMTempC),
+			fmt.Sprintf("%.1f", r.Rack.MaxInletC),
+			fmt.Sprintf("%d", r.Rack.FanChanges),
+			fmt.Sprintf("%d/%d", r.Sched.Placed, r.Sched.Submitted),
+			fmt.Sprintf("%d", r.Sched.Completed),
+			fmt.Sprintf("%.1f", r.Sched.MeanWaitSec),
+			fmt.Sprintf("%d", r.Sched.MaxQueueLen),
+		})
+	}
+	return plot.Table(w, headers, cells)
+}

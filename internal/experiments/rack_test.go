@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/server"
+)
+
+// rackRow finds a policy's row.
+func rackRow(t *testing.T, rows []RackPolicyResult, policy string) RackPolicyResult {
+	t.Helper()
+	for _, r := range rows {
+		if r.Policy == policy {
+			return r
+		}
+	}
+	t.Fatalf("policy %q missing from %d rows", policy, len(rows))
+	return RackPolicyResult{}
+}
+
+// TestRackPolicyComparisonDeterministicAcrossWorkers is the golden-table
+// contract: the serial reference run and any parallel worker count must
+// produce structurally identical rows and a byte-identical rendered
+// table. Under -race this exercises the concurrent policy runs (the
+// rack-step fan-out itself is raced in internal/rack).
+func TestRackPolicyComparisonDeterministicAcrossWorkers(t *testing.T) {
+	base := server.T3Config()
+	ev := DefaultRackEval()
+	ev.Servers = 4
+	ev.Horizon = 900
+	ev.Stabilize = 60
+
+	ev.Workers = 1
+	serial, err := RackPolicyComparison(base, ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev.Workers = 8
+	parallel, err := RackPolicyComparison(base, ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("parallel rows differ from serial:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+	var a, b bytes.Buffer
+	if err := FormatRackTable(&a, serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := FormatRackTable(&b, parallel); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("rendered tables differ:\nserial:\n%s\nparallel:\n%s", a.String(), b.String())
+	}
+	for _, col := range []string{"Policy", "Total(Wh)", "round-robin", "leakage-aware"} {
+		if !strings.Contains(a.String(), col) {
+			t.Fatalf("table missing %q:\n%s", col, a.String())
+		}
+	}
+}
+
+// TestRackPolicyComparisonOrdering is the headline acceptance criterion:
+// on the default heterogeneous rack and Poisson trace, the thermally
+// aware policies must beat round-robin on total energy, with every policy
+// serving the identical job trace to completion parity.
+func TestRackPolicyComparisonOrdering(t *testing.T) {
+	rows, err := RackPolicyComparison(server.T3Config(), DefaultRackEval())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(rows))
+	}
+	rr := rackRow(t, rows, "round-robin")
+	cool := rackRow(t, rows, "coolest-first")
+	leak := rackRow(t, rows, "leakage-aware")
+
+	if cool.TotalWh() >= rr.TotalWh() {
+		t.Fatalf("coolest-first (%.3f Wh) must beat round-robin (%.3f Wh)", cool.TotalWh(), rr.TotalWh())
+	}
+	if leak.TotalWh() >= rr.TotalWh() {
+		t.Fatalf("leakage-aware (%.3f Wh) must beat round-robin (%.3f Wh)", leak.TotalWh(), rr.TotalWh())
+	}
+
+	// Same trace, same capacity: every policy must place every job.
+	for _, r := range rows {
+		if r.Sched.Placed != r.Sched.Submitted {
+			t.Fatalf("%s placed %d of %d jobs", r.Policy, r.Sched.Placed, r.Sched.Submitted)
+		}
+		if r.Rack.Tripped != 0 {
+			t.Fatalf("%s tripped thermal protection on %d servers", r.Policy, r.Rack.Tripped)
+		}
+		if r.Rack.MaxCPUTempC >= float64(server.T3Config().CriticalTemp) {
+			t.Fatalf("%s max CPU temp %.1f at/above critical", r.Policy, r.Rack.MaxCPUTempC)
+		}
+	}
+}
+
+// TestRackPolicyComparisonSeedSensitivity guards that the trace seed is
+// load-bearing: different seeds must yield different job traces and hence
+// different energies.
+func TestRackPolicyComparisonSeedSensitivity(t *testing.T) {
+	base := server.T3Config()
+	ev := DefaultRackEval()
+	ev.Servers = 2
+	ev.Horizon = 600
+	ev.Stabilize = 30
+	ev.Workers = 1
+	a, err := RackPolicyComparison(base, ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev.TraceSeed = 7
+	b, err := RackPolicyComparison(base, ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0].Rack.TotalEnergyKWh == b[0].Rack.TotalEnergyKWh {
+		t.Fatal("different trace seeds produced identical energies")
+	}
+}
+
+// TestRackEvalValidation covers the config error paths.
+func TestRackEvalValidation(t *testing.T) {
+	base := server.T3Config()
+	bad := DefaultRackEval()
+	bad.Servers = 0
+	if _, err := RackPolicyComparison(base, bad); err == nil {
+		t.Fatal("zero servers must be rejected")
+	}
+	bad = DefaultRackEval()
+	bad.Rate = 0
+	if _, err := RackPolicyComparison(base, bad); err == nil {
+		t.Fatal("zero arrival rate must be rejected")
+	}
+	bad = DefaultRackEval()
+	bad.Demands = nil
+	if _, err := RackPolicyComparison(base, bad); err == nil {
+		t.Fatal("empty demand levels must be rejected")
+	}
+}

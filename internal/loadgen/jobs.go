@@ -1,0 +1,63 @@
+package loadgen
+
+import (
+	"fmt"
+
+	"repro/internal/randx"
+	"repro/internal/units"
+)
+
+// JobSpec is one synthetic job of a rack-level trace: it arrives, occupies
+// Demand percent of one server's CPU for Duration seconds, and leaves.
+// This extends LoadGen's single-machine PWM synthesis to the unit a
+// dispatcher schedules.
+type JobSpec struct {
+	Arrival  float64       // seconds from trace start
+	Duration float64       // service time, seconds
+	Demand   units.Percent // CPU demand on whichever server runs it
+}
+
+// PoissonTraceConfig parameterizes PoissonTrace.
+type PoissonTraceConfig struct {
+	Seed         int64
+	Horizon      float64         // arrivals are generated in [0, Horizon)
+	Rate         float64         // mean arrivals per second (Poisson process)
+	MeanDuration float64         // exponential service-time mean, seconds
+	Demands      []units.Percent // per-job demand, drawn uniformly
+}
+
+// Validate reports configuration errors.
+func (c PoissonTraceConfig) Validate() error {
+	if c.Horizon <= 0 || c.Rate <= 0 || c.MeanDuration <= 0 {
+		return fmt.Errorf("loadgen: poisson trace needs positive horizon/rate/duration, got %+v", c)
+	}
+	if len(c.Demands) == 0 {
+		return fmt.Errorf("loadgen: poisson trace needs at least one demand level")
+	}
+	for _, d := range c.Demands {
+		if d <= 0 || d > 100 {
+			return fmt.Errorf("loadgen: demand %v outside (0,100]", d)
+		}
+	}
+	return nil
+}
+
+// PoissonTrace synthesizes a job trace with exponential inter-arrival
+// times (a Poisson arrival process, as in the Test-4 shell workload),
+// exponential service times and uniformly chosen demand levels. The trace
+// is fully determined by the seed, sorted by arrival time by construction.
+func PoissonTrace(cfg PoissonTraceConfig) ([]JobSpec, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := randx.New(cfg.Seed)
+	var jobs []JobSpec
+	for t := rng.Exponential(1 / cfg.Rate); t < cfg.Horizon; t += rng.Exponential(1 / cfg.Rate) {
+		jobs = append(jobs, JobSpec{
+			Arrival:  t,
+			Duration: rng.Exponential(cfg.MeanDuration),
+			Demand:   cfg.Demands[rng.IntN(len(cfg.Demands))],
+		})
+	}
+	return jobs, nil
+}

@@ -2,6 +2,7 @@ package loadgen
 
 import (
 	"math"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -214,5 +215,61 @@ func TestGeneratorPassThrough(t *testing.T) {
 	}
 	if g.Duration() != 100 {
 		t.Fatal("Duration pass-through wrong")
+	}
+}
+
+// TestPoissonTrace covers the rack job-trace generator: determinism,
+// arrival ordering, horizon bounds and validation.
+func TestPoissonTrace(t *testing.T) {
+	cfg := PoissonTraceConfig{Seed: 42, Horizon: 3600, Rate: 0.02, MeanDuration: 300, Demands: []units.Percent{20, 40, 60}}
+	a, err := PoissonTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PoissonTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 {
+		t.Fatal("empty trace")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed must give identical traces")
+	}
+	// Expect roughly Rate·Horizon arrivals (72); allow wide slack.
+	if len(a) < 30 || len(a) > 150 {
+		t.Fatalf("implausible job count %d for rate %g over %g s", len(a), cfg.Rate, cfg.Horizon)
+	}
+	for i, j := range a {
+		if j.Arrival < 0 || j.Arrival >= cfg.Horizon {
+			t.Fatalf("job %d arrival %g outside [0,%g)", i, j.Arrival, cfg.Horizon)
+		}
+		if i > 0 && j.Arrival < a[i-1].Arrival {
+			t.Fatalf("arrivals unsorted at %d", i)
+		}
+		if j.Duration < 0 || j.Demand <= 0 || j.Demand > 100 {
+			t.Fatalf("job %d implausible: %+v", i, j)
+		}
+	}
+	cfg2 := cfg
+	cfg2.Seed = 7
+	c, err := PoissonTrace(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds must give different traces")
+	}
+
+	for _, bad := range []PoissonTraceConfig{
+		{Seed: 1, Horizon: 0, Rate: 1, MeanDuration: 1, Demands: []units.Percent{50}},
+		{Seed: 1, Horizon: 10, Rate: 0, MeanDuration: 1, Demands: []units.Percent{50}},
+		{Seed: 1, Horizon: 10, Rate: 1, MeanDuration: 0, Demands: []units.Percent{50}},
+		{Seed: 1, Horizon: 10, Rate: 1, MeanDuration: 1},
+		{Seed: 1, Horizon: 10, Rate: 1, MeanDuration: 1, Demands: []units.Percent{150}},
+	} {
+		if _, err := PoissonTrace(bad); err == nil {
+			t.Fatalf("config %+v must be rejected", bad)
+		}
 	}
 }

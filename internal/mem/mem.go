@@ -34,6 +34,55 @@ type Config struct {
 	AirCp         float64 // J/(g·°C), specific heat of air
 }
 
+// Validate reports configuration errors. NewBank and every stateless
+// steady-state query (server.SteadyTemp) go through it, so an invalid
+// airflow model fails loudly instead of silently saturating the preheat.
+func (c Config) Validate() error {
+	if c.NumDIMMs <= 0 {
+		return fmt.Errorf("mem: need at least one DIMM, got %d", c.NumDIMMs)
+	}
+	if c.TimeConstant <= 0 {
+		return fmt.Errorf("mem: time constant must be positive, got %g", c.TimeConstant)
+	}
+	if c.AirflowPerRPM <= 0 || c.AirCp <= 0 {
+		return fmt.Errorf("mem: airflow parameters must be positive")
+	}
+	return nil
+}
+
+// Power returns the whole-bank memory power at utilization u. It depends
+// only on the configuration, so steady-state predictors can evaluate it
+// without instantiating a Bank.
+func (c Config) Power(u units.Percent) units.Watts {
+	return units.Watts(c.IdlePower + c.DynPerUtil*float64(u.Clamp()))
+}
+
+// Airflow returns the air mass flow at the given fan speed.
+func (c Config) Airflow(r units.RPM) units.GramsPerSecond {
+	v := float64(r)
+	if v < 0 {
+		v = 0
+	}
+	return units.GramsPerSecond(c.AirflowPerRPM * v)
+}
+
+// InletPreheat returns the temperature rise of the CPU inlet air caused by
+// DIMM heat at utilization u and fan speed r. Like Power it is a pure
+// function of the configuration: server.SteadyTemp and lut.Build call it
+// directly instead of building a throwaway Bank per query.
+func (c Config) InletPreheat(u units.Percent, r units.RPM) units.Celsius {
+	flow := float64(c.Airflow(r))
+	if flow <= 0 {
+		// No airflow: cap the preheat at a large but finite value.
+		return 15
+	}
+	dt := c.CouplingFrac * float64(c.Power(u)) / (c.AirCp * flow)
+	if dt > 15 {
+		dt = 15
+	}
+	return units.Celsius(dt)
+}
+
 // DefaultConfig returns the calibrated 32-DIMM bank.
 func DefaultConfig() Config {
 	return Config{
@@ -79,14 +128,8 @@ type Bank struct {
 
 // NewBank builds a bank in equilibrium with the given ambient temperature.
 func NewBank(cfg Config, ambient units.Celsius) (*Bank, error) {
-	if cfg.NumDIMMs <= 0 {
-		return nil, fmt.Errorf("mem: need at least one DIMM, got %d", cfg.NumDIMMs)
-	}
-	if cfg.TimeConstant <= 0 {
-		return nil, fmt.Errorf("mem: time constant must be positive, got %g", cfg.TimeConstant)
-	}
-	if cfg.AirflowPerRPM <= 0 || cfg.AirCp <= 0 {
-		return nil, fmt.Errorf("mem: airflow parameters must be positive")
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	b := &Bank{
 		cfg:     cfg,
@@ -101,18 +144,10 @@ func NewBank(cfg Config, ambient units.Celsius) (*Bank, error) {
 }
 
 // Power returns the whole-bank memory power at utilization u.
-func (b *Bank) Power(u units.Percent) units.Watts {
-	return units.Watts(b.cfg.IdlePower + b.cfg.DynPerUtil*float64(u.Clamp()))
-}
+func (b *Bank) Power(u units.Percent) units.Watts { return b.cfg.Power(u) }
 
 // Airflow returns the air mass flow at the given fan speed.
-func (b *Bank) Airflow(r units.RPM) units.GramsPerSecond {
-	v := float64(r)
-	if v < 0 {
-		v = 0
-	}
-	return units.GramsPerSecond(b.cfg.AirflowPerRPM * v)
-}
+func (b *Bank) Airflow(r units.RPM) units.GramsPerSecond { return b.cfg.Airflow(r) }
 
 // InletPreheat returns the temperature rise of the CPU inlet air caused by
 // the DIMM bank heat at utilization u and fan speed r.
@@ -126,16 +161,7 @@ func (b *Bank) InletPreheat(u units.Percent, r units.RPM) units.Celsius {
 }
 
 func (b *Bank) inletPreheat(u units.Percent, r units.RPM) units.Celsius {
-	flow := float64(b.Airflow(r))
-	if flow <= 0 {
-		// No airflow: cap the preheat at a large but finite value.
-		return 15
-	}
-	dt := b.cfg.CouplingFrac * float64(b.Power(u)) / (b.cfg.AirCp * flow)
-	if dt > 15 {
-		dt = 15
-	}
-	return units.Celsius(dt)
+	return b.cfg.InletPreheat(u, r)
 }
 
 // eqTerms returns the parts of the per-DIMM equilibrium that do not depend

@@ -1,0 +1,242 @@
+// Package rack scales the simulation from one server to a rack of them:
+// N independently configured server.Server instances (heterogeneous
+// ambients, fan banks, DIMM counts) stepped together for a shared dt and
+// aggregated into rack-level telemetry.
+//
+// Stepping fans out over the shared internal/par worker pool under the
+// repository's determinism contract: job i writes only the state owned by
+// server i, and every cross-server reduction happens serially in index
+// order after the fan-out barrier. Rack results are therefore byte
+// identical for any worker count, which the race-enabled tests in this
+// package and in internal/experiments assert.
+//
+// The rack is the substrate for internal/sched: a dispatcher places jobs
+// onto servers, the rack advances the physics, and the telemetry says
+// which placement policy heated the room least.
+package rack
+
+import (
+	"fmt"
+
+	"repro/internal/control"
+	"repro/internal/par"
+	"repro/internal/server"
+	"repro/internal/units"
+)
+
+// ServerSpec configures one slot of the rack. Specs may differ arbitrarily
+// across slots — ambient (cold/hot aisle position), fan bank, DIMM count,
+// noise seed — which is what makes placement policies interesting.
+type ServerSpec struct {
+	Name   string
+	Config server.Config
+	// Controller, when non-nil, is the per-server fan-control policy,
+	// ticked once per rack step. Unlike the single-server harness — which
+	// feeds controllers a sar-style moving average because PWM toggles the
+	// load 0↔100% every step — the rack feeds the instantaneous
+	// utilization: dispatcher loads are piecewise-constant aggregates that
+	// change only at job arrivals/completions, so a windowed monitor would
+	// add lag without smoothing anything. The rack takes ownership:
+	// controllers are stateful and must not be shared across servers or
+	// racks.
+	Controller control.Controller
+}
+
+// Config parameterizes a Rack.
+type Config struct {
+	Servers []ServerSpec
+	// Workers bounds the per-server step fan-out: ≤ 0 means GOMAXPROCS,
+	// 1 is the serial reference path the parallel runs are tested against.
+	Workers int
+}
+
+// serverState is the slot-i state a step job owns exclusively.
+type serverState struct {
+	name       string
+	srv        *server.Server
+	ctrl       control.Controller
+	load       units.Percent
+	fanChanges int
+}
+
+// Rack is a set of simulated servers stepped in lockstep.
+type Rack struct {
+	servers []*serverState
+	workers int
+	clock   float64
+
+	// Rack-level running aggregates, reduced serially after each step.
+	peakPowerW float64
+	maxCPUC    float64
+	maxDIMMC   float64
+	maxInletC  float64
+}
+
+// New builds a rack, constructing every server from its spec.
+func New(cfg Config) (*Rack, error) {
+	if len(cfg.Servers) == 0 {
+		return nil, fmt.Errorf("rack: need at least one server")
+	}
+	r := &Rack{workers: cfg.Workers}
+	for i, spec := range cfg.Servers {
+		srv, err := server.New(spec.Config)
+		if err != nil {
+			return nil, fmt.Errorf("rack: server %d (%s): %w", i, spec.Name, err)
+		}
+		name := spec.Name
+		if name == "" {
+			name = fmt.Sprintf("srv%02d", i)
+		}
+		if spec.Controller != nil {
+			spec.Controller.Reset()
+		}
+		r.servers = append(r.servers, &serverState{name: name, srv: srv, ctrl: spec.Controller})
+	}
+	r.resetPeaks()
+	return r, nil
+}
+
+// resetPeaks seeds the rack aggregates from the servers' current state,
+// so a Telemetry snapshot taken right after construction or an accounting
+// reset reports the present temperatures and power rather than sentinels.
+func (r *Rack) resetPeaks() {
+	r.peakPowerW = 0
+	r.maxCPUC = -1e9
+	r.maxDIMMC = -1e9
+	r.maxInletC = -1e9
+	r.observe()
+}
+
+// observe folds the servers' instantaneous power and temperatures into
+// the rack aggregates, serially in index order.
+func (r *Rack) observe() {
+	var totalW float64
+	for _, st := range r.servers {
+		totalW += float64(st.srv.Breakdown().Total())
+		if t := float64(st.srv.MaxCPUTemp()); t > r.maxCPUC {
+			r.maxCPUC = t
+		}
+		if t := float64(st.srv.Memory().MaxTemp()); t > r.maxDIMMC {
+			r.maxDIMMC = t
+		}
+		if t := float64(st.srv.InletTemp()); t > r.maxInletC {
+			r.maxInletC = t
+		}
+	}
+	if totalW > r.peakPowerW {
+		r.peakPowerW = totalW
+	}
+}
+
+// NumServers returns the number of servers in the rack.
+func (r *Rack) NumServers() int { return len(r.servers) }
+
+// Server returns server i for fine-grained inspection.
+func (r *Rack) Server(i int) *server.Server { return r.servers[i].srv }
+
+// Name returns server i's name.
+func (r *Rack) Name(i int) string { return r.servers[i].name }
+
+// SetLoad sets the utilization demand applied to server i on subsequent
+// steps (the dispatcher's aggregate placement for that machine).
+func (r *Rack) SetLoad(i int, u units.Percent) { r.servers[i].load = u.Clamp() }
+
+// Load returns the demand currently applied to server i.
+func (r *Rack) Load(i int) units.Percent { return r.servers[i].load }
+
+// FanChanges returns how many fan-speed changes server i's controller has
+// commanded since construction or the last ResetAccounting.
+func (r *Rack) FanChanges(i int) int { return r.servers[i].fanChanges }
+
+// Now returns seconds since rack power-on.
+func (r *Rack) Now() float64 { return r.clock }
+
+// step advances one server by dt — the unit of work the fan-out
+// schedules. It touches only slot-i state, never the rack aggregates.
+func (st *serverState) step(now, dt float64) {
+	st.srv.SetLoad(st.load)
+	if st.ctrl != nil {
+		obs := control.Observation{
+			Now:         now,
+			Utilization: st.srv.Utilization(),
+			MaxCPUTemp:  maxC(st.srv.CPUTempSensorsReuse()),
+			CurrentRPM:  st.srv.Fans().Target(),
+		}
+		if dec := st.ctrl.Tick(obs); dec.Changed {
+			st.srv.Fans().SetAll(dec.Target)
+			st.fanChanges++
+		}
+	}
+	st.srv.Step(dt)
+}
+
+// Step advances every server by dt seconds. The per-server work fans out
+// over the bounded pool (slot-i contract); the rack-level reductions —
+// simultaneous power peak and temperature maxima — run serially in index
+// order afterwards, so aggregates are identical for every worker count.
+func (r *Rack) Step(dt float64) {
+	if dt <= 0 {
+		return
+	}
+	now := r.clock
+	par.ForEach(len(r.servers), r.workers, func(i int) {
+		r.servers[i].step(now, dt)
+	})
+	r.observe()
+	r.clock += dt
+}
+
+// ResetAccounting zeroes every server's energy/peak meters and the rack
+// aggregates — the start of a measured experiment window.
+func (r *Rack) ResetAccounting() {
+	for _, st := range r.servers {
+		st.srv.ResetAccounting()
+		st.fanChanges = 0
+	}
+	r.resetPeaks()
+}
+
+// Telemetry is the rack-level aggregate view.
+type Telemetry struct {
+	Servers int
+
+	TotalEnergyKWh float64 // Σ server energy since last reset
+	FanEnergyKWh   float64 // Σ separately metered fan energy
+	PeakPowerW     float64 // highest simultaneous whole-rack power
+	MaxCPUTempC    float64 // hottest die seen on any server
+	MaxDIMMTempC   float64 // hottest DIMM seen on any server
+	MaxInletC      float64 // hottest CPU inlet air seen on any server
+	FanChanges     int     // Σ controller-commanded fan-speed changes
+	Tripped        int     // servers whose thermal protection engaged
+}
+
+// Telemetry aggregates the rack in server-index order (deterministic
+// floating-point summation).
+func (r *Rack) Telemetry() Telemetry {
+	tel := Telemetry{
+		Servers:      len(r.servers),
+		PeakPowerW:   r.peakPowerW,
+		MaxCPUTempC:  r.maxCPUC,
+		MaxDIMMTempC: r.maxDIMMC,
+		MaxInletC:    r.maxInletC,
+	}
+	for _, st := range r.servers {
+		tel.TotalEnergyKWh += st.srv.Energy().KWh()
+		tel.FanEnergyKWh += st.srv.FanEnergy().KWh()
+		tel.FanChanges += st.fanChanges
+		if st.srv.Tripped() {
+			tel.Tripped++
+		}
+	}
+	return tel
+}
+
+func maxC(xs []units.Celsius) units.Celsius {
+	m := units.Celsius(-1e9)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

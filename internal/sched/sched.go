@@ -1,0 +1,370 @@
+// Package sched puts a job dispatcher on top of internal/rack: jobs with
+// an arrival time, a duration and a CPU demand are placed onto servers by
+// a pluggable placement policy, and the rack physics decides what the
+// placement costs in energy and temperature.
+//
+// The paper's server-level result — leakage- and fan-aware control beats
+// reactive and static policies — only pays off at scale when the
+// dispatcher also knows which machine is coolest and cheapest to heat up.
+// The policies here span that design space: RoundRobin and LeastUtilized
+// are thermally blind baselines, CoolestFirst is the reactive thermal
+// heuristic, and LeakageAware reuses the paper's own steady-state
+// machinery (internal/lut over server.SteadyTemp) to place each job where
+// the predicted marginal leakage+fan power is lowest.
+//
+// Scheduling decisions run serially on the dispatcher goroutine; only the
+// rack step underneath fans out. Results are therefore deterministic for
+// any worker count.
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/loadgen"
+	"repro/internal/lut"
+	"repro/internal/rack"
+	"repro/internal/server"
+	"repro/internal/units"
+)
+
+// Job is one schedulable unit of work.
+type Job struct {
+	ID       int
+	Arrival  float64       // seconds from trace start
+	Duration float64       // service time, seconds
+	Demand   units.Percent // CPU demand on the server that runs it
+}
+
+// JobsFromSpecs converts a loadgen trace into scheduler jobs, assigning
+// sequential IDs in arrival order.
+func JobsFromSpecs(specs []loadgen.JobSpec) []Job {
+	jobs := make([]Job, len(specs))
+	for i, s := range specs {
+		jobs[i] = Job{ID: i, Arrival: s.Arrival, Duration: s.Duration, Demand: s.Demand}
+	}
+	return jobs
+}
+
+// ServerView is the dispatcher's telemetry snapshot of one server at a
+// placement instant.
+type ServerView struct {
+	Index      int // slot in the rack
+	Name       string
+	Load       units.Percent // demand already scheduled on it
+	Free       units.Percent // remaining capacity (100 − Load)
+	MaxCPUTemp units.Celsius // hottest true die temperature
+	InletTemp  units.Celsius // current CPU inlet air temperature
+}
+
+// Policy decides where a job runs. Place returns the chosen rack slot, or
+// -1 to leave the job queued (e.g. no server has the capacity). Views are
+// presented in rack order; implementations must be deterministic, breaking
+// ties by the lowest index.
+type Policy interface {
+	Name() string
+	// Reset clears internal state so a policy can be reused across runs.
+	Reset()
+	Place(j Job, views []ServerView) int
+}
+
+// fits reports whether the job's demand fits server v's free capacity.
+func fits(v ServerView, j Job) bool { return v.Free >= j.Demand }
+
+// ---------------------------------------------------------------------------
+// Round-robin
+
+// RoundRobin rotates placements across servers regardless of their state —
+// the thermally blind baseline every datacenter dispatcher starts from.
+type RoundRobin struct{ next int }
+
+// NewRoundRobin returns the rotating baseline policy.
+func NewRoundRobin() *RoundRobin { return &RoundRobin{} }
+
+// Name implements Policy.
+func (p *RoundRobin) Name() string { return "round-robin" }
+
+// Reset implements Policy.
+func (p *RoundRobin) Reset() { p.next = 0 }
+
+// Place implements Policy: the first server at or after the cursor with
+// enough capacity.
+func (p *RoundRobin) Place(j Job, views []ServerView) int {
+	n := len(views)
+	for k := 0; k < n; k++ {
+		v := views[(p.next+k)%n]
+		if fits(v, j) {
+			p.next = (v.Index + 1) % n
+			return v.Index
+		}
+	}
+	return -1
+}
+
+// ---------------------------------------------------------------------------
+// Least-utilized
+
+// LeastUtilized places each job on the server with the most free capacity,
+// the classic load-balancing heuristic (still thermally blind).
+type LeastUtilized struct{}
+
+// NewLeastUtilized returns the load-balancing policy.
+func NewLeastUtilized() *LeastUtilized { return &LeastUtilized{} }
+
+// Name implements Policy.
+func (p *LeastUtilized) Name() string { return "least-utilized" }
+
+// Reset implements Policy.
+func (p *LeastUtilized) Reset() {}
+
+// Place implements Policy.
+func (p *LeastUtilized) Place(j Job, views []ServerView) int {
+	best := -1
+	var bestLoad units.Percent
+	for _, v := range views {
+		if !fits(v, j) {
+			continue
+		}
+		if best < 0 || v.Load < bestLoad {
+			best = v.Index
+			bestLoad = v.Load
+		}
+	}
+	return best
+}
+
+// ---------------------------------------------------------------------------
+// Coolest-server-first
+
+// CoolestFirst places each job on the feasible server with the lowest die
+// temperature — the reactive thermal heuristic. On a heterogeneous rack
+// this naturally prefers cold-aisle machines until load warms them past
+// their hot-aisle peers.
+type CoolestFirst struct{}
+
+// NewCoolestFirst returns the reactive thermal policy.
+func NewCoolestFirst() *CoolestFirst { return &CoolestFirst{} }
+
+// Name implements Policy.
+func (p *CoolestFirst) Name() string { return "coolest-first" }
+
+// Reset implements Policy.
+func (p *CoolestFirst) Reset() {}
+
+// Place implements Policy.
+func (p *CoolestFirst) Place(j Job, views []ServerView) int {
+	best := -1
+	var bestTemp units.Celsius
+	for _, v := range views {
+		if !fits(v, j) {
+			continue
+		}
+		if best < 0 || v.MaxCPUTemp < bestTemp {
+			best = v.Index
+			bestTemp = v.MaxCPUTemp
+		}
+	}
+	return best
+}
+
+// ---------------------------------------------------------------------------
+// Leakage-aware
+
+// LeakageAware is the proactive policy the paper's machinery enables: for
+// every server it precomputes (via internal/lut, i.e. server.SteadyTemp
+// under the 75 °C cap) the steady-state fan+leakage power at each
+// utilization level, and places each job where the predicted marginal
+// fan+leakage power of adding that job's demand is lowest. Active and
+// memory power are placement-invariant (the job costs k1·U wherever it
+// runs), so the marginal fan+leak term is exactly what a placement can
+// save.
+type LeakageAware struct {
+	tables []*lut.Table // per rack slot
+}
+
+// NewLeakageAware precomputes the per-server cost curves with
+// lut.BuildPerConfig (identical-physics configs share one build).
+func NewLeakageAware(cfgs []server.Config, build lut.BuildConfig) (*LeakageAware, error) {
+	tables, err := lut.BuildPerConfig(cfgs, build)
+	if err != nil {
+		return nil, fmt.Errorf("sched: leakage-aware tables: %w", err)
+	}
+	return NewLeakageAwareFromTables(tables)
+}
+
+// NewLeakageAwareFromTables builds the policy over already-built per-slot
+// cost tables (slot i of the rack uses tables[i]). Callers that have
+// LUTs for the rack's fan controllers anyway — the rack experiment — can
+// hand the same tables in instead of paying for a second grid of
+// steady-state solves.
+func NewLeakageAwareFromTables(tables []*lut.Table) (*LeakageAware, error) {
+	if len(tables) == 0 {
+		return nil, fmt.Errorf("sched: leakage-aware needs at least one table")
+	}
+	for i, t := range tables {
+		if t == nil || len(t.Entries) == 0 {
+			return nil, fmt.Errorf("sched: leakage-aware table %d is empty", i)
+		}
+	}
+	return &LeakageAware{tables: tables}, nil
+}
+
+// Name implements Policy.
+func (p *LeakageAware) Name() string { return "leakage-aware" }
+
+// Reset implements Policy.
+func (p *LeakageAware) Reset() {}
+
+// marginal returns the predicted steady-state fan+leakage increase of
+// placing demand d on server i currently loaded at u.
+func (p *LeakageAware) marginal(i int, u, d units.Percent) (units.Watts, error) {
+	before, err := p.tables[i].EntryFor(u)
+	if err != nil {
+		return 0, err
+	}
+	after, err := p.tables[i].EntryFor(u + d)
+	if err != nil {
+		return 0, err
+	}
+	return after.FanLeakPower - before.FanLeakPower, nil
+}
+
+// Place implements Policy.
+func (p *LeakageAware) Place(j Job, views []ServerView) int {
+	best := -1
+	var bestCost units.Watts
+	for _, v := range views {
+		if !fits(v, j) {
+			continue
+		}
+		cost, err := p.marginal(v.Index, v.Load, j.Demand)
+		if err != nil {
+			continue
+		}
+		if best < 0 || cost < bestCost {
+			best = v.Index
+			bestCost = cost
+		}
+	}
+	return best
+}
+
+// ---------------------------------------------------------------------------
+// Trace runner
+
+// Result summarizes the scheduling outcome of one trace run; the physics
+// outcome lives in the rack's Telemetry.
+type Result struct {
+	Submitted   int
+	Completed   int     // jobs that finished within the horizon
+	Placed      int     // jobs that started (Completed plus still-running)
+	MeanWaitSec float64 // mean queueing delay of placed jobs
+	MaxQueueLen int     // worst backlog observed
+}
+
+// active is a placed job with its completion time.
+type active struct {
+	end    float64
+	slot   int
+	demand units.Percent
+}
+
+// RunTrace drives the rack through the job trace under the policy with a
+// fixed step dt, from rack-time start for horizon seconds. Jobs are placed
+// FIFO — the queue head blocks until it fits, preserving arrival fairness
+// and keeping placement order deterministic. Loads are applied before each
+// step, so a job's demand is charged from the step after its placement.
+// The step count is computed up front and elapsed time as k·dt, so a
+// non-integer dt cannot drift the window length or event timing the way an
+// accumulated `elapsed += dt` would (cf. the thermal RK4 substep fix).
+func RunTrace(r *rack.Rack, jobs []Job, p Policy, dt, horizon float64) (Result, error) {
+	if dt <= 0 || horizon <= 0 {
+		return Result{}, fmt.Errorf("sched: dt and horizon must be positive")
+	}
+	if !sort.SliceIsSorted(jobs, func(a, b int) bool { return jobs[a].Arrival < jobs[b].Arrival }) {
+		return Result{}, fmt.Errorf("sched: jobs must be sorted by arrival time")
+	}
+	p.Reset()
+
+	res := Result{Submitted: len(jobs)}
+	loads := make([]units.Percent, r.NumServers())
+	views := make([]ServerView, r.NumServers())
+	var pending []Job
+	var running []active
+	var totalWait float64
+	nextJob := 0
+	start := r.Now()
+
+	steps := int(math.Ceil(horizon/dt - 1e-9))
+	for k := 0; k < steps; k++ {
+		elapsed := float64(k) * dt
+		now := start + elapsed
+
+		// Completions first: capacity freed this instant is placeable now.
+		keep := running[:0]
+		for _, a := range running {
+			if a.end <= now {
+				loads[a.slot] -= a.demand
+				res.Completed++
+				continue
+			}
+			keep = append(keep, a)
+		}
+		running = keep
+
+		// Arrivals join the FIFO backlog. A job is admitted at the tick of
+		// the step interval [elapsed, elapsed+dt) containing its arrival —
+		// the standard event-to-fixed-step collapse (anticipation < dt) —
+		// so every job with Arrival < horizon is admitted; an
+		// `Arrival <= elapsed` rule would silently drop arrivals in the
+		// final step of the window.
+		for nextJob < len(jobs) && jobs[nextJob].Arrival < elapsed+dt {
+			pending = append(pending, jobs[nextJob])
+			nextJob++
+		}
+		if len(pending) > res.MaxQueueLen {
+			res.MaxQueueLen = len(pending)
+		}
+
+		// Place from the head while the policy accepts.
+		for len(pending) > 0 {
+			for i := range views {
+				views[i] = ServerView{
+					Index:      i,
+					Name:       r.Name(i),
+					Load:       loads[i],
+					Free:       100 - loads[i],
+					MaxCPUTemp: r.Server(i).MaxCPUTemp(),
+					InletTemp:  r.Server(i).InletTemp(),
+				}
+			}
+			j := pending[0]
+			slot := p.Place(j, views)
+			if slot < 0 {
+				break
+			}
+			if slot >= len(loads) || loads[slot]+j.Demand > 100 {
+				return res, fmt.Errorf("sched: policy %s placed job %d on invalid/overloaded server %d", p.Name(), j.ID, slot)
+			}
+			loads[slot] += j.Demand
+			running = append(running, active{end: now + j.Duration, slot: slot, demand: j.Demand})
+			// Clamp at zero: admission rounds an arrival down to its step's
+			// tick (anticipation < dt), which is not a queueing delay.
+			if wait := elapsed - j.Arrival; wait > 0 {
+				totalWait += wait
+			}
+			res.Placed++
+			pending = pending[1:]
+		}
+
+		for i, u := range loads {
+			r.SetLoad(i, u)
+		}
+		r.Step(dt)
+	}
+	if res.Placed > 0 {
+		res.MeanWaitSec = totalWait / float64(res.Placed)
+	}
+	return res, nil
+}

@@ -293,6 +293,13 @@ func (s *Server) MaxCPUTemp() units.Celsius {
 	return m
 }
 
+// InletTemp returns the true CPU inlet air temperature: the configured
+// ambient plus the DIMM preheat at the current utilization and fan speed.
+// Rack-level telemetry aggregates this across heterogeneous servers.
+func (s *Server) InletTemp() units.Celsius {
+	return s.cfg.Ambient + s.mem.InletPreheat(s.cpu.Utilization(), s.fans.MeanRPM())
+}
+
 // CPUTempSensors returns the paper's four CPU temperature readings (two
 // thermal sensors per die: one near the hot spot, one near the die edge)
 // including sensor noise.
@@ -328,17 +335,11 @@ func (s *Server) MeasuredSystemPower() units.Watts {
 // MeasuredCPUPower reconstructs total CPU power (active + leakage) from the
 // per-core voltage/current sensors, with rail-measurement noise. This is
 // the channel that lets the paper isolate Pactive+Pleak from the rest of
-// the system.
+// the system. The readout is a single O(cores) pass (bit-identical to
+// summing VI per core, which would be O(cores²)).
 func (s *Server) MeasuredCPUPower() units.Watts {
 	truth := s.cfg.Power.CPUHeat(s.cpu.Utilization(), s.MaxCPUTemp())
-	var total float64
-	for core := 0; core < s.cpu.Topology().Cores(); core++ {
-		v, a, err := s.cpu.VI(core, truth)
-		if err != nil {
-			continue
-		}
-		total += v * a
-	}
+	total := s.cpu.SensorPowerSum(truth)
 	total += s.noise.Normal(0, s.cfg.PowerNoise)
 	if total < 0 {
 		total = 0
@@ -381,13 +382,15 @@ func (s *Server) ResetAccounting() {
 
 // SteadyTemp predicts the equilibrium die temperature at utilization u and
 // fan speed r by fixed-point iteration over the leakage feedback. It returns
-// an error when the operating point is thermally unstable (runaway).
+// an error when the operating point is thermally unstable (runaway). The
+// inlet preheat is computed directly from the memory configuration — no
+// per-call mem.Bank construction — which keeps lut.Build (a grid of these
+// queries, also behind the leakage-aware rack placement policy) cheap.
 func SteadyTemp(cfg Config, u units.Percent, r units.RPM) (units.Celsius, error) {
-	memBank, err := mem.NewBank(cfg.Mem, cfg.Ambient)
-	if err != nil {
+	if err := cfg.Mem.Validate(); err != nil {
 		return 0, err
 	}
-	preheat := float64(memBank.InletPreheat(u, r))
+	preheat := float64(cfg.Mem.InletPreheat(u, r))
 	rth := cfg.RthServer(r)
 	active := float64(cfg.Power.Active.Power(u))
 	f := func(t float64) float64 {

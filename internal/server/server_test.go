@@ -354,3 +354,21 @@ func TestRthServerShape(t *testing.T) {
 		t.Fatalf("Rth(0) = %g", got)
 	}
 }
+
+// TestSteadyTempRejectsInvalidMemConfig guards the validation that used to
+// come from the per-call mem.Bank construction: an invalid airflow model
+// must fail loudly, not silently saturate the preheat.
+func TestSteadyTempRejectsInvalidMemConfig(t *testing.T) {
+	for _, mutate := range []func(*Config){
+		func(c *Config) { c.Mem.AirflowPerRPM = 0 },
+		func(c *Config) { c.Mem.AirCp = -1 },
+		func(c *Config) { c.Mem.NumDIMMs = 0 },
+		func(c *Config) { c.Mem.TimeConstant = 0 },
+	} {
+		cfg := T3Config()
+		mutate(&cfg)
+		if _, err := SteadyTemp(cfg, 50, 2400); err == nil {
+			t.Errorf("SteadyTemp accepted invalid mem config %+v", cfg.Mem)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+)
+
+// twoNodeNet builds the standard two-node test network used by the LRU
+// tests and returns it with its links.
+func twoNodeNet(t *testing.T) (*Network, []LinkID) {
+	t.Helper()
+	n := NewNetwork(0.01)
+	a, _ := n.AddNode("a", 30, 50)
+	b, _ := n.AddNode("b", 200, 30)
+	amb := n.AddBoundary("amb", 24)
+	l0, err := n.ConnectNodes(a, b, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1, err := n.ConnectBoundary(b, amb, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = n.SetPower(a, 80)
+	return n, []LinkID{l0, l1}
+}
+
+// TestPropagatorLRUAlternatingDt is the cache contract the ROADMAP open
+// item asked for: alternating between two step sizes must build each
+// propagator exactly once, not rebuild on every switch.
+func TestPropagatorLRUAlternatingDt(t *testing.T) {
+	n, _ := twoNodeNet(t)
+	for i := 0; i < 50; i++ {
+		n.Step(1)
+		n.Step(5)
+	}
+	if n.propBuilds != 2 {
+		t.Fatalf("alternating dt built %d propagators, want 2", n.propBuilds)
+	}
+}
+
+// TestPropagatorLRUAlternatingConductance covers the rack/holdoff scenario:
+// fans toggling between two speeds alternate the sink conductance, and each
+// (conductance-set, h) pair must be built exactly once.
+func TestPropagatorLRUAlternatingConductance(t *testing.T) {
+	n, links := twoNodeNet(t)
+	for i := 0; i < 50; i++ {
+		g := 0.8
+		if i%2 == 1 {
+			g = 1.4
+		}
+		if err := n.SetConductance(links[1], g); err != nil {
+			t.Fatal(err)
+		}
+		n.Step(1)
+	}
+	if n.propBuilds != 2 {
+		t.Fatalf("alternating conductance built %d propagators, want 2", n.propBuilds)
+	}
+}
+
+// TestPropagatorLRUEviction: a working set larger than the cache must evict
+// and rebuild, but still produce temperatures identical to a fresh network
+// stepped through the same schedule (cached entries are bit-identical to
+// freshly built ones).
+func TestPropagatorLRUEviction(t *testing.T) {
+	run := func(rounds int) (*Network, float64) {
+		n, links := twoNodeNet(t)
+		for r := 0; r < rounds; r++ {
+			for k := 0; k < propCacheSize+3; k++ {
+				if err := n.SetConductance(links[1], 0.5+0.1*float64(k)); err != nil {
+					t.Fatal(err)
+				}
+				n.Step(1)
+			}
+		}
+		return n, n.Temp(0)
+	}
+	nOnce, tOnce := run(1)
+	nTwice, tTwice := run(2)
+	if len(nOnce.props) != propCacheSize || len(nTwice.props) != propCacheSize {
+		t.Fatalf("cache sizes %d/%d, want %d", len(nOnce.props), len(nTwice.props), propCacheSize)
+	}
+	// Round-robin over a working set one larger than the cache defeats an
+	// LRU entirely, so every step of every round rebuilds.
+	if want := 2 * (propCacheSize + 3); nTwice.propBuilds != want {
+		t.Fatalf("eviction rounds built %d propagators, want %d", nTwice.propBuilds, want)
+	}
+	if math.IsNaN(tOnce) || math.IsNaN(tTwice) {
+		t.Fatal("NaN temperature after eviction churn")
+	}
+}
+
+// TestPropagatorLRUTopologyChangeInvalidates: adding a node must drop all
+// cached entries, since the conductance-vector key is only meaningful for a
+// fixed topology.
+func TestPropagatorLRUTopologyChangeInvalidates(t *testing.T) {
+	n, _ := twoNodeNet(t)
+	n.Step(1)
+	n.Step(5)
+	if len(n.props) != 2 {
+		t.Fatalf("expected 2 cached entries, got %d", len(n.props))
+	}
+	c, err := n.AddNode("c", 50, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.props) != 0 {
+		t.Fatalf("AddNode left %d cached entries, want 0", len(n.props))
+	}
+	if _, err := n.ConnectNodes(NodeID(0), c, 1.2); err != nil {
+		t.Fatal(err)
+	}
+	n.Step(1)
+	if len(n.props) != 1 {
+		t.Fatalf("expected 1 rebuilt entry, got %d", len(n.props))
+	}
+}
+
+// TestPropagatorLRUMatchesRK4UnderChurn pins the LRU path to RK4 ground
+// truth while both dt and conductances alternate — the exact scenario the
+// single-slot cache used to thrash on.
+func TestPropagatorLRUMatchesRK4UnderChurn(t *testing.T) {
+	exact, elinks := twoNodeNet(t)
+	ref, rlinks := twoNodeNet(t)
+	ref.SetIntegrator(IntegratorRK4)
+	dts := []float64{1, 5, 1, 2, 5, 1}
+	for i := 0; i < 60; i++ {
+		g := 0.8 + 0.3*float64(i%3)
+		if err := exact.SetConductance(elinks[1], g); err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.SetConductance(rlinks[1], g); err != nil {
+			t.Fatal(err)
+		}
+		dt := dts[i%len(dts)]
+		exact.Step(dt)
+		ref.Step(dt)
+		for id := NodeID(0); id < 2; id++ {
+			if diff := math.Abs(exact.Temp(id) - ref.Temp(id)); diff > 1e-6 {
+				t.Fatalf("step %d node %d: |Δ|=%.3g", i, id, diff)
+			}
+		}
+	}
+	// The g cycle (period 3) and dt cycle (period 6) produce 4 distinct
+	// (conductance-set, h) keys; each must be built exactly once across all
+	// 60 steps — the single-slot cache rebuilt on every switch.
+	if exact.propBuilds != 4 {
+		t.Fatalf("churn built %d propagators, want 4", exact.propBuilds)
+	}
+}

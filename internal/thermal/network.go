@@ -65,20 +65,27 @@ type link struct {
 	g          float64 // conductance W/°C
 }
 
-// propagator caches the exact discretization of the current linear system
-// for one step size: next = ad·T + phi·u with u the per-capacitance affine
-// input (injected power plus boundary inflow). Power and boundary
-// temperatures enter only through u, recomputed each step, so the cache
-// survives them; it is invalidated by anything that changes −C⁻¹G (adding
-// nodes or links, changing a conductance) or the step size.
+// propagator caches the exact discretization of one linear system for one
+// step size: next = ad·T + phi·u with u the per-capacitance affine input
+// (injected power plus boundary inflow). Power and boundary temperatures
+// enter only through u, recomputed each step, so a cached entry survives
+// them. Each entry is keyed on (conductance-set, h): gs is a snapshot of
+// every link's conductance at build time, so a step matches an entry only
+// when the system matrix −C⁻¹G it was built from is the current one.
 type propagator struct {
-	valid  bool
-	failed bool // last build attempt failed; don't retry until invalidated
+	failed bool // build attempt failed for this key; don't retry it
 	h      float64
 	m      int
+	gs     []float64 // per-link conductances this entry was built for
 	ad     []float64 // m×m row-major exp(−C⁻¹G·h)
 	phi    []float64 // m×m row-major ∫₀ʰ exp(−C⁻¹G·s) ds
 }
+
+// propCacheSize bounds the propagator LRU. A server alternates between a
+// handful of operating points (a few fan speeds × at most a couple of step
+// sizes), so a small cache captures the working set without letting a
+// sweeping workload hold stale matrices alive.
+const propCacheSize = 8
 
 // Network is a mutable RC thermal network. Steps use the cached exact
 // exponential propagator by default, with fixed-step RK4 as the selectable
@@ -89,8 +96,9 @@ type Network struct {
 	links      []link
 
 	integrator Integrator
-	prop       propagator
-	u, next    []float64 // exact-step scratch
+	props      []*propagator // LRU of exact propagators, most recent first
+	propBuilds int           // lifetime build count, observable in tests
+	u, next    []float64     // exact-step scratch
 
 	// RK4 integration scratch
 	state   []float64
@@ -119,11 +127,14 @@ func (n *Network) SetIntegrator(i Integrator) { n.integrator = i }
 // IntegratorInUse returns the currently selected stepping scheme.
 func (n *Network) IntegratorInUse() Integrator { return n.integrator }
 
-// invalidate drops the cached propagator; called by every mutation that
-// changes the system matrix −C⁻¹G.
+// invalidate drops every cached propagator; called on topology mutations
+// (node or link additions), which change the meaning of the conductance
+// vector the cache entries are keyed on. Plain conductance changes do NOT
+// invalidate: entries carry their own conductance snapshot, so a changed
+// value simply stops matching and the previous operating point's entry
+// stays warm for when the fans switch back.
 func (n *Network) invalidate() {
-	n.prop.valid = false
-	n.prop.failed = false
+	n.props = n.props[:0]
 }
 
 // AddNode adds a capacitive node with the given heat capacity (J/°C) and
@@ -191,13 +202,10 @@ func (n *Network) SetConductance(id LinkID, g float64) error {
 	if g < 0 {
 		return fmt.Errorf("thermal: negative conductance %g", g)
 	}
-	// The server layer re-applies the fan-dependent conductance every step;
-	// only a genuine change may drop the cached propagator, otherwise the
-	// cache would never hit.
-	if n.links[id].g != g {
-		n.links[id].g = g
-		n.invalidate()
-	}
+	// No cache invalidation here: propagator entries are keyed on the full
+	// conductance vector, so a change merely selects a different entry (or
+	// triggers one build) while entries for other operating points survive.
+	n.links[id].g = g
 	return nil
 }
 
@@ -276,14 +284,12 @@ func (n *Network) Step(dt float64) {
 // if the propagator could not be built (the caller then falls back to RK4).
 func (n *Network) stepExact(dt float64) bool {
 	m := len(n.nodes)
-	if n.prop.failed {
-		return false // a doomed system stays on RK4 until something changes
+	p := n.lookupPropagator(dt)
+	if p == nil {
+		p = n.buildPropagator(dt)
 	}
-	if !n.prop.valid || n.prop.h != dt || n.prop.m != m {
-		if !n.buildPropagator(dt) {
-			n.prop.failed = true
-			return false
-		}
+	if p.failed {
+		return false // a doomed operating point stays on RK4 until its key changes
 	}
 	if len(n.u) != m {
 		n.u = make([]float64, m)
@@ -303,8 +309,8 @@ func (n *Network) stepExact(dt float64) bool {
 		n.u[i] /= n.nodes[i].capac
 	}
 	for i := 0; i < m; i++ {
-		ad := n.prop.ad[i*m : (i+1)*m]
-		phi := n.prop.phi[i*m : (i+1)*m]
+		ad := p.ad[i*m : (i+1)*m]
+		phi := p.phi[i*m : (i+1)*m]
 		s := 0.0
 		for j := 0; j < m; j++ {
 			s += ad[j]*n.nodes[j].temp + phi[j]*n.u[j]
@@ -317,12 +323,54 @@ func (n *Network) stepExact(dt float64) bool {
 	return true
 }
 
-// buildPropagator assembles A = −C⁻¹G from the current links and computes
-// the exact discretization pair for step h. This is the cold path: it runs
-// only after a conductance or topology change (fan-speed updates are
-// holdoff-gated upstream, so steady operation hits the cache).
-func (n *Network) buildPropagator(h float64) bool {
+// lookupPropagator returns the cached entry matching the current
+// (conductance-set, h) key, promoting it to the front of the LRU, or nil.
+// The comparison walks at most propCacheSize entries × len(links) floats,
+// negligible next to the matvec it guards.
+func (n *Network) lookupPropagator(h float64) *propagator {
 	m := len(n.nodes)
+	for k, p := range n.props {
+		if p.h != h || p.m != m || len(p.gs) != len(n.links) {
+			continue
+		}
+		match := true
+		for j := range n.links {
+			if p.gs[j] != n.links[j].g {
+				match = false
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		if k > 0 { // move to front
+			copy(n.props[1:k+1], n.props[:k])
+			n.props[0] = p
+		}
+		return p
+	}
+	return nil
+}
+
+// buildPropagator assembles A = −C⁻¹G from the current links, computes the
+// exact discretization pair for step h and inserts it at the front of the
+// LRU, evicting the least recently used entry when the cache is full. This
+// is the cold path: it runs once per (conductance-set, h) operating point
+// in the working set (fan-speed updates are holdoff-gated upstream, so
+// steady operation hits the cache). A system the Padé evaluation rejects is
+// cached as failed, keeping the RK4 fallback from re-attempting the build
+// every step.
+func (n *Network) buildPropagator(h float64) *propagator {
+	m := len(n.nodes)
+	n.propBuilds++
+	p := &propagator{
+		h:  h,
+		m:  m,
+		gs: make([]float64, len(n.links)),
+	}
+	for j := range n.links {
+		p.gs[j] = n.links[j].g
+	}
 	a := make([][]float64, m)
 	for i := range a {
 		a[i] = make([]float64, m)
@@ -340,20 +388,22 @@ func (n *Network) buildPropagator(h float64) bool {
 	}
 	ad, phi, err := mathx.ExpmIntegral(a, h)
 	if err != nil {
-		return false
+		p.failed = true
+	} else {
+		p.ad = make([]float64, m*m)
+		p.phi = make([]float64, m*m)
+		for i := 0; i < m; i++ {
+			copy(p.ad[i*m:(i+1)*m], ad[i])
+			copy(p.phi[i*m:(i+1)*m], phi[i])
+		}
 	}
-	if len(n.prop.ad) != m*m {
-		n.prop.ad = make([]float64, m*m)
-		n.prop.phi = make([]float64, m*m)
+	if len(n.props) == propCacheSize {
+		n.props = n.props[:propCacheSize-1]
 	}
-	for i := 0; i < m; i++ {
-		copy(n.prop.ad[i*m:(i+1)*m], ad[i])
-		copy(n.prop.phi[i*m:(i+1)*m], phi[i])
-	}
-	n.prop.valid = true
-	n.prop.h = h
-	n.prop.m = m
-	return true
+	n.props = append(n.props, nil)
+	copy(n.props[1:], n.props[:len(n.props)-1])
+	n.props[0] = p
+	return p
 }
 
 // stepRK4 advances by dt using classical RK4 over an integer number of equal

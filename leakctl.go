@@ -41,7 +41,9 @@ import (
 	"repro/internal/loadgen"
 	"repro/internal/lut"
 	"repro/internal/plot"
+	"repro/internal/rack"
 	"repro/internal/reliability"
+	"repro/internal/sched"
 	"repro/internal/server"
 	"repro/internal/thermal"
 	"repro/internal/units"
@@ -262,6 +264,77 @@ func Fig2b(cfg ServerConfig) ([]TradeoffCurve, error) { return experiments.Fig2b
 // Fig3 regenerates Figure 3: Test-3 temperature traces per controller.
 func Fig3(cfg ServerConfig, seed int64, ec EvalConfig) ([]Series, error) {
 	return experiments.Fig3(cfg, seed, ec)
+}
+
+// Rack-scale simulation and thermal-aware job scheduling.
+type (
+	// Rack is a set of heterogeneous simulated servers stepped in lockstep
+	// over the bounded worker pool.
+	Rack = rack.Rack
+	// RackConfig parameterizes a Rack.
+	RackConfig = rack.Config
+	// RackServerSpec configures one rack slot (config + fan controller).
+	RackServerSpec = rack.ServerSpec
+	// RackTelemetry is the rack-level aggregate view.
+	RackTelemetry = rack.Telemetry
+	// Job is one schedulable unit of rack work.
+	Job = sched.Job
+	// PlacementPolicy decides which server runs a job.
+	PlacementPolicy = sched.Policy
+	// SchedResult summarizes a trace run's scheduling outcome.
+	SchedResult = sched.Result
+	// JobSpec is one job of a loadgen-synthesized trace.
+	JobSpec = loadgen.JobSpec
+	// PoissonTraceConfig parameterizes the Poisson job-trace generator.
+	PoissonTraceConfig = loadgen.PoissonTraceConfig
+	// RackEval parameterizes the rack policy-comparison experiment.
+	RackEval = experiments.RackEval
+	// RackPolicyResult is one row of the policy×metric comparison.
+	RackPolicyResult = experiments.RackPolicyResult
+)
+
+// NewRack builds a rack of simulated servers.
+func NewRack(cfg RackConfig) (*Rack, error) { return rack.New(cfg) }
+
+// PoissonJobTrace synthesizes a seeded Poisson job trace.
+func PoissonJobTrace(cfg PoissonTraceConfig) ([]JobSpec, error) { return loadgen.PoissonTrace(cfg) }
+
+// JobsFromSpecs converts a loadgen job trace into scheduler jobs.
+func JobsFromSpecs(specs []JobSpec) []Job { return sched.JobsFromSpecs(specs) }
+
+// RunJobTrace drives a rack through a job trace under a placement policy.
+func RunJobTrace(r *Rack, jobs []Job, p PlacementPolicy, dt, horizon float64) (SchedResult, error) {
+	return sched.RunTrace(r, jobs, p, dt, horizon)
+}
+
+// NewRoundRobinPolicy returns the rotating placement baseline.
+func NewRoundRobinPolicy() PlacementPolicy { return sched.NewRoundRobin() }
+
+// NewLeastUtilizedPolicy returns the load-balancing placement policy.
+func NewLeastUtilizedPolicy() PlacementPolicy { return sched.NewLeastUtilized() }
+
+// NewCoolestFirstPolicy returns the reactive thermal placement policy.
+func NewCoolestFirstPolicy() PlacementPolicy { return sched.NewCoolestFirst() }
+
+// NewLeakageAwarePolicy returns the proactive policy that places each job
+// where the predicted marginal leakage+fan power is lowest, precomputing
+// per-server cost curves with the paper's LUT machinery.
+func NewLeakageAwarePolicy(cfgs []ServerConfig, build LUTBuildConfig) (PlacementPolicy, error) {
+	return sched.NewLeakageAware(cfgs, build)
+}
+
+// DefaultRackEval returns the standard 8-server rack comparison setup.
+func DefaultRackEval() RackEval { return experiments.DefaultRackEval() }
+
+// RackPolicyComparison runs one Poisson trace across all four placement
+// policies on identical heterogeneous racks.
+func RackPolicyComparison(base ServerConfig, ev RackEval) ([]RackPolicyResult, error) {
+	return experiments.RackPolicyComparison(base, ev)
+}
+
+// FormatRackTable renders the policy×metric comparison table.
+func FormatRackTable(w io.Writer, rows []RackPolicyResult) error {
+	return experiments.FormatRackTable(w, rows)
 }
 
 // Extensions beyond the paper (DESIGN.md §6).
