@@ -15,6 +15,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/loadgen"
 	"repro/internal/lut"
+	"repro/internal/power"
 	"repro/internal/rack"
 	"repro/internal/reliability"
 	"repro/internal/thermal"
@@ -636,6 +637,67 @@ func BenchmarkRackTrace(b *testing.B) {
 		case "leakage-aware":
 			b.ReportMetric(r.TotalWh(), "leakageAwareWh")
 			b.ReportMetric(float64(r.Rack.FanChanges), "leakageAwareFanChanges")
+		}
+	}
+}
+
+// BenchmarkRackStepWall is BenchmarkRackStep/servers=16 with the full
+// power-delivery chain attached (per-server PSU + shared PDU): the wall
+// roll-up is a per-step serial reduction, so its overhead over the plain
+// DC step bounds what AC accounting costs.
+func BenchmarkRackStepWall(b *testing.B) {
+	n := 16
+	cfgs := experiments.RackServerConfigs(T3Config(), n)
+	psu, pdu := power.DefaultPSU(), power.DefaultPDU()
+	specs := make([]rack.ServerSpec, n)
+	for i := range specs {
+		specs[i] = rack.ServerSpec{Config: cfgs[i]}
+	}
+	r, err := rack.New(rack.Config{Servers: specs, Workers: 1, PSU: &psu, PDU: &pdu})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		r.SetLoad(i, 70)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Step(1)
+	}
+	b.ReportMetric(float64(r.WallPower()), "wallW")
+	b.ReportMetric(float64(r.DCPower()), "dcW")
+}
+
+// BenchmarkRackACTrace regenerates the AC-side rack experiment — five
+// policies, uncapped and capped halves, PSU/PDU losses at the wall — and
+// reports the headline wall-side quantities.
+func BenchmarkRackACTrace(b *testing.B) {
+	base := T3Config()
+	ev := experiments.DefaultRackEval()
+	psu, pdu := power.DefaultPSU(), power.DefaultPDU()
+	ev.PSU, ev.PDU = &psu, &pdu
+	var res *experiments.RackACResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.RackACComparison(base, ev)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.CapW, "autoCapW")
+	for _, r := range res.Uncapped {
+		switch r.Policy {
+		case "round-robin":
+			b.ReportMetric(r.WallWh(), "roundRobinWallWh")
+			b.ReportMetric(r.LossWh(), "roundRobinLossWh")
+		case "cap-aware":
+			b.ReportMetric(r.WallWh(), "capAwareWallWh")
+		}
+	}
+	for _, r := range res.Capped {
+		if r.Policy == "cap-aware" {
+			b.ReportMetric(float64(r.Sched.Deferrals), "capAwareDeferrals")
+			b.ReportMetric(r.Rack.PeakWallPowerW, "capAwareCappedPeakWallW")
 		}
 	}
 }

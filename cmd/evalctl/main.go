@@ -11,6 +11,9 @@
 //	evalctl -csv            # Fig 3 traces as CSV
 //	evalctl -rack           # rack-scale placement-policy comparison
 //	evalctl -rack -servers 16 -horizon 7200
+//	evalctl -rack -cap 2500 # wall-power budget for the capped runs
+//	evalctl -rack -ideal    # lossless delivery chain (wall == DC)
+//	evalctl -rack -lutcache /tmp/luts   # reuse LUTs across processes
 package main
 
 import (
@@ -20,6 +23,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/plot"
+	"repro/internal/power"
 	"repro/internal/server"
 	"repro/internal/workload"
 )
@@ -52,6 +56,9 @@ func main() {
 	rackCmp := flag.Bool("rack", false, "run the rack-scale placement-policy comparison")
 	servers := flag.Int("servers", 0, "rack size for -rack (0 = default)")
 	horizon := flag.Float64("horizon", 0, "measured window in seconds for -rack (0 = default)")
+	capW := flag.Float64("cap", 0, "wall-power budget in W for -rack's capped runs (0 = auto)")
+	ideal := flag.Bool("ideal", false, "lossless delivery chain for -rack: no PSU/PDU, wall == DC")
+	lutCache := flag.String("lutcache", "", "directory for the cross-process LUT disk cache")
 	flag.Parse()
 
 	cfg := server.T3Config()
@@ -66,7 +73,13 @@ func main() {
 		if *horizon > 0 {
 			ev.Horizon = *horizon
 		}
-		rows, err := experiments.RackPolicyComparison(cfg, ev)
+		ev.WallCapW = *capW
+		ev.LUTCacheDir = *lutCache
+		if !*ideal {
+			psu, pdu := power.DefaultPSU(), power.DefaultPDU()
+			ev.PSU, ev.PDU = &psu, &pdu
+		}
+		res, err := experiments.RackACComparison(cfg, ev)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "evalctl:", err)
 			os.Exit(1)
@@ -74,12 +87,31 @@ func main() {
 		fmt.Printf("Rack policy comparison: %d servers (ambients %s °C), "+
 			"%.0f min Poisson trace (seed %d)\n\n",
 			ev.Servers, ambientList(cfg, ev.Servers), ev.Horizon/60, ev.TraceSeed)
-		if err := experiments.FormatRackTable(os.Stdout, rows); err != nil {
+		if err := experiments.FormatRackTable(os.Stdout, res.Uncapped); err != nil {
 			fmt.Fprintln(os.Stderr, "evalctl:", err)
 			os.Exit(1)
 		}
 		fmt.Println("\nall policies serve the identical job trace; Total(Wh) differences are the")
 		fmt.Println("placement's leakage+fan cost — thermally aware policies should be lowest")
+
+		chain := "ideal (lossless) delivery chain: Wh(AC) == Wh(DC)"
+		if ev.PSU != nil && ev.PDU != nil {
+			chain = fmt.Sprintf("PSU %.0f%%/%.0fW knee per server + rack PDU %.0f%%/%.0fW knee",
+				100*ev.PSU.Eta0, ev.PSU.Knee, 100*ev.PDU.Eta0, ev.PDU.Knee)
+		}
+		capNote := fmt.Sprintf("configured %.0f W", res.CapW)
+		if res.AutoCap {
+			capNote = fmt.Sprintf("auto: %.0f%% of round-robin's uncapped peak wall = %.0f W",
+				100*experiments.AutoCapFraction, res.CapW)
+		}
+		fmt.Printf("\nWall-side (AC) accounting — %s\nwall budget of the capped runs: %s\n\n", chain, capNote)
+		if err := experiments.FormatRackACTable(os.Stdout, res); err != nil {
+			fmt.Fprintln(os.Stderr, "evalctl:", err)
+			os.Exit(1)
+		}
+		fmt.Println("\nPSU/PDU losses are monotone in load, so every DC watt a placement saves is")
+		fmt.Println("amplified at the wall; under the cap, Defer counts placements the runner held")
+		fmt.Println("back to keep the predicted wall draw within budget")
 		return
 	}
 

@@ -9,6 +9,7 @@
 //	genlut -truth              # build from the ground-truth model instead
 //	genlut -o table.json       # write JSON to a file
 //	genlut -maxtemp 70         # tighter reliability cap
+//	genlut -truth -cache DIR   # disk-cache ground-truth builds by config hash
 package main
 
 import (
@@ -28,6 +29,7 @@ func main() {
 	truth := flag.Bool("truth", false, "build from the ground-truth model, skipping the fit")
 	maxTemp := flag.Float64("maxtemp", 75, "reliability temperature cap, °C (0 disables)")
 	quick := flag.Bool("quick", false, "reduced characterization grid")
+	cache := flag.String("cache", "", "directory for the cross-process LUT disk cache (-truth builds only: fitted models differ per run)")
 	flag.Parse()
 
 	build := lut.DefaultBuild()
@@ -36,7 +38,7 @@ func main() {
 	var table *lut.Table
 	var err error
 	if *truth {
-		table, err = lut.Build(server.T3Config(), build)
+		table, err = lut.DiskCache{Dir: *cache}.Build(server.T3Config(), build)
 	} else {
 		cfg := core.DefaultPipeline()
 		cfg.Build = build

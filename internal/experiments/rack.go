@@ -10,6 +10,7 @@ import (
 	"repro/internal/lut"
 	"repro/internal/par"
 	"repro/internal/plot"
+	"repro/internal/power"
 	"repro/internal/rack"
 	"repro/internal/sched"
 	"repro/internal/server"
@@ -34,11 +35,29 @@ type RackEval struct {
 	// Workers bounds the experiment's fan-outs — the per-policy runs and
 	// the LUT table builds: ≤ 0 = GOMAXPROCS, 1 = the serial reference
 	// path. Rack stepping inside the comparison is deliberately serial
-	// per policy: the four concurrent policy runs already saturate the
+	// per policy: the concurrent policy runs already saturate the
 	// pool, and a nested per-step fan-out would only multiply goroutines
 	// (Workers²) without adding parallelism. Results are identical for
 	// every value.
 	Workers int
+
+	// Power-delivery chain. PSU, when non-nil, is applied to every slot;
+	// PDU is the shared rack distribution unit. Both nil (the default)
+	// keeps the chain ideal: wall telemetry mirrors the DC side and every
+	// physics metric is bit-identical to the chain-less experiment.
+	PSU *power.PSUModel
+	PDU *power.PDUModel
+
+	// WallCapW, when positive, enforces a rack-level wall-power budget in
+	// RackPolicyComparison runs and fixes the capped half of
+	// RackACComparison; zero means uncapped runs and an automatically
+	// derived cap for the AC table (see AutoCapFraction).
+	WallCapW float64
+
+	// LUTCacheDir, when non-empty, persists built LUTs to disk keyed by
+	// config hash (lut.DiskCache), so repeated processes stop rebuilding
+	// identical per-ambient tables.
+	LUTCacheDir string
 }
 
 // DefaultRackEval returns an 8-server rack under a one-hour trace with
@@ -82,10 +101,11 @@ func RackServerConfigs(base server.Config, n int) []server.Config {
 
 // rackFor assembles a fresh rack over cfgs, each server under its own LUT
 // fan controller built from that server's configuration (tables shared
-// read-only across servers with identical steady-state physics). The rack
-// steps serially: within the comparison, parallelism lives at the policy
-// level (see RackEval.Workers).
-func rackFor(cfgs []server.Config, tables []*lut.Table) (*rack.Rack, error) {
+// read-only across servers with identical steady-state physics), with the
+// experiment's power-delivery chain attached. The rack steps serially:
+// within the comparison, parallelism lives at the policy level (see
+// RackEval.Workers).
+func rackFor(cfgs []server.Config, tables []*lut.Table, ev RackEval) (*rack.Rack, error) {
 	specs := make([]rack.ServerSpec, len(cfgs))
 	for i, cfg := range cfgs {
 		lc, err := control.NewLUT(tables[i], control.DefaultLUT())
@@ -98,15 +118,16 @@ func rackFor(cfgs []server.Config, tables []*lut.Table) (*rack.Rack, error) {
 			Controller: lc,
 		}
 	}
-	return rack.New(rack.Config{Servers: specs, Workers: 1})
+	return rack.New(rack.Config{Servers: specs, Workers: 1, PSU: ev.PSU, PDU: ev.PDU})
 }
 
 // buildRackTables builds one LUT per distinct server configuration
-// (ignoring noise seeds), in slot order.
-func buildRackTables(cfgs []server.Config, workers int) ([]*lut.Table, error) {
+// (ignoring noise seeds), in slot order, consulting the on-disk cache
+// when the eval names a directory.
+func buildRackTables(cfgs []server.Config, ev RackEval) ([]*lut.Table, error) {
 	bc := lut.DefaultBuild()
-	bc.Workers = workers
-	tables, err := lut.BuildPerConfig(cfgs, bc)
+	bc.Workers = ev.Workers
+	tables, err := lut.DiskCache{Dir: ev.LUTCacheDir}.BuildPerConfig(cfgs, bc)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: rack LUTs: %w", err)
 	}
@@ -116,22 +137,38 @@ func buildRackTables(cfgs []server.Config, workers int) ([]*lut.Table, error) {
 // RackPolicyResult is one row of the policy×metric comparison table.
 type RackPolicyResult struct {
 	Policy string
+	CapW   float64 // enforced wall budget of this run; 0 = uncapped
 	Sched  sched.Result
 	Rack   rack.Telemetry
 }
 
-// TotalWh returns the rack energy in watt-hours over the measured window.
+// TotalWh returns the rack DC energy in watt-hours over the measured window.
 func (r RackPolicyResult) TotalWh() float64 { return r.Rack.TotalEnergyKWh * 1000 }
 
 // FanWh returns the fan-only energy in watt-hours.
 func (r RackPolicyResult) FanWh() float64 { return r.Rack.FanEnergyKWh * 1000 }
 
-// RackPolicies returns the four placement policies under comparison, in
-// table order. The leakage-aware policy reuses the per-slot tables the
-// rack's fan controllers are built from — one grid of steady-state solves
-// serves both.
-func RackPolicies(tables []*lut.Table) ([]sched.Policy, error) {
+// WallWh returns the AC energy drawn at the utility feed in watt-hours.
+func (r RackPolicyResult) WallWh() float64 { return r.Rack.WallEnergyKWh * 1000 }
+
+// LossWh returns the PSU+PDU conversion losses in watt-hours.
+func (r RackPolicyResult) LossWh() float64 { return r.Rack.LossEnergyKWh * 1000 }
+
+// RackPolicies returns the five placement policies under comparison, in
+// table order. The leakage-aware and cap-aware policies reuse the per-slot
+// tables the rack's fan controllers are built from — one grid of
+// steady-state solves serves all three consumers; cap-aware additionally
+// sees each slot's PSU so it can rank placements by marginal wall power.
+func RackPolicies(cfgs []server.Config, tables []*lut.Table, psus []*power.PSUModel) ([]sched.Policy, error) {
 	la, err := sched.NewLeakageAwareFromTables(tables)
+	if err != nil {
+		return nil, err
+	}
+	models := make([]power.ServerModel, len(cfgs))
+	for i, cfg := range cfgs {
+		models[i] = cfg.Power
+	}
+	ca, err := sched.NewCapAwareFromTables(tables, models, psus)
 	if err != nil {
 		return nil, err
 	}
@@ -140,24 +177,35 @@ func RackPolicies(tables []*lut.Table) ([]sched.Policy, error) {
 		sched.NewLeastUtilized(),
 		sched.NewCoolestFirst(),
 		la,
+		ca,
 	}, nil
 }
 
-// RackPolicyComparison runs the same Poisson job trace across all four
-// placement policies on identical fresh racks and returns one result row
-// per policy. Policy runs fan out over the worker pool (slot-per-policy);
-// each run's rack steps serially. All scheduling decisions are serial, so
-// rows are byte-identical for every worker count.
-func RackPolicyComparison(base server.Config, ev RackEval) ([]RackPolicyResult, error) {
+// rackSetup is the shared read-only state of one comparison: per-slot
+// configurations and tables, the per-slot PSU view, the policy set, and
+// the job trace every run serves.
+type rackSetup struct {
+	cfgs     []server.Config
+	tables   []*lut.Table
+	policies []sched.Policy
+	jobs     []sched.Job
+}
+
+// prepareRackEval validates the eval and builds the shared setup.
+func prepareRackEval(base server.Config, ev RackEval) (*rackSetup, error) {
 	if ev.Servers <= 0 || ev.Dt <= 0 || ev.Horizon <= 0 {
 		return nil, fmt.Errorf("experiments: rack eval needs positive servers/dt/horizon, got %+v", ev)
 	}
 	cfgs := RackServerConfigs(base, ev.Servers)
-	tables, err := buildRackTables(cfgs, ev.Workers)
+	tables, err := buildRackTables(cfgs, ev)
 	if err != nil {
 		return nil, err
 	}
-	policies, err := RackPolicies(tables)
+	psus := make([]*power.PSUModel, len(cfgs))
+	for i := range psus {
+		psus[i] = ev.PSU
+	}
+	policies, err := RackPolicies(cfgs, tables, psus)
 	if err != nil {
 		return nil, err
 	}
@@ -171,25 +219,87 @@ func RackPolicyComparison(base server.Config, ev RackEval) ([]RackPolicyResult, 
 	if err != nil {
 		return nil, err
 	}
-	jobs := sched.JobsFromSpecs(specs)
+	return &rackSetup{cfgs: cfgs, tables: tables, policies: policies, jobs: sched.JobsFromSpecs(specs)}, nil
+}
 
-	results := make([]RackPolicyResult, len(policies))
-	errs := make([]error, len(policies))
-	par.ForEach(len(policies), ev.Workers, func(i int) {
-		results[i], errs[i] = runRackPolicy(cfgs, tables, jobs, policies[i], ev)
+// runRackPolicies runs every policy at one cap setting. Policy runs fan
+// out over the worker pool (slot-per-policy); each run's rack steps
+// serially. All scheduling decisions are serial, so rows are
+// byte-identical for every worker count.
+func (s *rackSetup) runRackPolicies(ev RackEval, capW float64) ([]RackPolicyResult, error) {
+	results := make([]RackPolicyResult, len(s.policies))
+	errs := make([]error, len(s.policies))
+	par.ForEach(len(s.policies), ev.Workers, func(i int) {
+		results[i], errs[i] = s.runRackPolicy(s.policies[i], ev, capW)
 	})
 	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("experiments: rack policy %s: %w", policies[i].Name(), err)
+			return nil, fmt.Errorf("experiments: rack policy %s: %w", s.policies[i].Name(), err)
 		}
 	}
 	return results, nil
 }
 
+// RackPolicyComparison runs the same Poisson job trace across all five
+// placement policies on identical fresh racks and returns one result row
+// per policy, honoring the eval's PSU/PDU chain and wall cap (if any).
+func RackPolicyComparison(base server.Config, ev RackEval) ([]RackPolicyResult, error) {
+	s, err := prepareRackEval(base, ev)
+	if err != nil {
+		return nil, err
+	}
+	return s.runRackPolicies(ev, ev.WallCapW)
+}
+
+// AutoCapFraction scales the uncapped round-robin peak wall draw into the
+// automatic budget of RackACComparison's capped half when the eval does
+// not fix one: tight enough that placements defer around the peak, loose
+// enough that the trace still completes.
+const AutoCapFraction = 0.97
+
+// RackACResult is the AC-side comparison: every policy uncapped and under
+// the wall budget, over the identical job trace.
+type RackACResult struct {
+	Uncapped []RackPolicyResult
+	Capped   []RackPolicyResult
+	CapW     float64 // the enforced budget of the capped half
+	AutoCap  bool    // CapW was derived, not configured
+}
+
+// Rows returns all result rows, uncapped first — the AC table's order.
+func (r *RackACResult) Rows() []RackPolicyResult {
+	return append(append([]RackPolicyResult(nil), r.Uncapped...), r.Capped...)
+}
+
+// RackACComparison runs the full AC-side experiment: all five policies
+// uncapped, then all five under the wall budget (ev.WallCapW, or the
+// automatic AutoCapFraction of round-robin's uncapped peak wall draw).
+// One LUT grid and one job trace serve all ten runs.
+func RackACComparison(base server.Config, ev RackEval) (*RackACResult, error) {
+	s, err := prepareRackEval(base, ev)
+	if err != nil {
+		return nil, err
+	}
+	uncapped, err := s.runRackPolicies(ev, 0)
+	if err != nil {
+		return nil, err
+	}
+	res := &RackACResult{Uncapped: uncapped, CapW: ev.WallCapW}
+	if res.CapW <= 0 {
+		res.CapW = AutoCapFraction * uncapped[0].Rack.PeakWallPowerW
+		res.AutoCap = true
+	}
+	res.Capped, err = s.runRackPolicies(ev, res.CapW)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
 // runRackPolicy is one policy's full run: fresh rack, idle stabilization,
-// accounting reset, then the measured trace window.
-func runRackPolicy(cfgs []server.Config, tables []*lut.Table, jobs []sched.Job, p sched.Policy, ev RackEval) (RackPolicyResult, error) {
-	r, err := rackFor(cfgs, tables)
+// accounting reset, then the measured trace window under the cap.
+func (s *rackSetup) runRackPolicy(p sched.Policy, ev RackEval, capW float64) (RackPolicyResult, error) {
+	r, err := rackFor(s.cfgs, s.tables, ev)
 	if err != nil {
 		return RackPolicyResult{}, err
 	}
@@ -198,11 +308,42 @@ func runRackPolicy(cfgs []server.Config, tables []*lut.Table, jobs []sched.Job, 
 		r.Step(ev.Dt)
 	}
 	r.ResetAccounting()
-	sres, err := sched.RunTrace(r, jobs, p, ev.Dt, ev.Horizon)
+	sres, err := sched.RunTraceCfg(r, s.jobs, p, sched.TraceConfig{Dt: ev.Dt, Horizon: ev.Horizon, WallCapW: capW})
 	if err != nil {
 		return RackPolicyResult{}, err
 	}
-	return RackPolicyResult{Policy: p.Name(), Sched: sres, Rack: r.Telemetry()}, nil
+	return RackPolicyResult{Policy: p.Name(), CapW: capW, Sched: sres, Rack: r.Telemetry()}, nil
+}
+
+// FormatRackACTable renders the AC-side comparison: DC vs wall energy,
+// conversion losses, peak wall draw and cap behaviour per policy, for the
+// uncapped rows followed by the capped rows.
+func FormatRackACTable(w io.Writer, res *RackACResult) error {
+	headers := []string{
+		"Policy", "Cap(W)", "Wh(DC)", "Wh(AC)", "Loss(Wh)",
+		"PeakDC(W)", "PeakWall(W)", "Defer", "Placed", "Done", "Wait(s)",
+	}
+	var cells [][]string
+	for _, r := range res.Rows() {
+		capCell := "-"
+		if r.CapW > 0 {
+			capCell = fmt.Sprintf("%.0f", r.CapW)
+		}
+		cells = append(cells, []string{
+			r.Policy,
+			capCell,
+			fmt.Sprintf("%.2f", r.TotalWh()),
+			fmt.Sprintf("%.2f", r.WallWh()),
+			fmt.Sprintf("%.2f", r.LossWh()),
+			fmt.Sprintf("%.0f", r.Rack.PeakPowerW),
+			fmt.Sprintf("%.0f", r.Rack.PeakWallPowerW),
+			fmt.Sprintf("%d", r.Sched.Deferrals),
+			fmt.Sprintf("%d/%d", r.Sched.Placed, r.Sched.Submitted),
+			fmt.Sprintf("%d", r.Sched.Completed),
+			fmt.Sprintf("%.1f", r.Sched.MeanWaitSec),
+		})
+	}
+	return plot.Table(w, headers, cells)
 }
 
 // FormatRackTable renders the policy×metric comparison.

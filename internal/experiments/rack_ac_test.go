@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/power"
+	"repro/internal/server"
+)
+
+// acEval returns a small chained eval for the AC-side tests.
+func acEval(workers int) RackEval {
+	ev := DefaultRackEval()
+	ev.Servers = 4
+	ev.Horizon = 900
+	ev.Stabilize = 60
+	ev.Workers = workers
+	psu, pdu := power.DefaultPSU(), power.DefaultPDU()
+	ev.PSU, ev.PDU = &psu, &pdu
+	return ev
+}
+
+// TestRackACComparisonGoldenAcrossWorkers is the AC-side golden-table
+// contract: serial and parallel runs must produce structurally identical
+// rows and a byte-identical rendered table. Under -race this also
+// exercises the ten concurrent policy runs.
+func TestRackACComparisonGoldenAcrossWorkers(t *testing.T) {
+	base := server.T3Config()
+	serial, err := RackACComparison(base, acEval(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RackACComparison(base, acEval(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("parallel AC rows differ from serial:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+	var a, b bytes.Buffer
+	if err := FormatRackACTable(&a, serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := FormatRackACTable(&b, parallel); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("rendered AC tables differ:\nserial:\n%s\nparallel:\n%s", a.String(), b.String())
+	}
+	for _, col := range []string{"Wh(AC)", "Loss(Wh)", "PeakWall(W)", "cap-aware", "Defer"} {
+		if !strings.Contains(a.String(), col) {
+			t.Fatalf("AC table missing %q:\n%s", col, a.String())
+		}
+	}
+}
+
+// TestRackACComparisonAccounting pins the wall-side arithmetic: every
+// policy's AC energy strictly exceeds its DC energy by the reported loss,
+// the capped half enforces a positive budget, and the auto cap derives
+// from round-robin's uncapped peak.
+func TestRackACComparisonAccounting(t *testing.T) {
+	res, err := RackACComparison(server.T3Config(), acEval(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Uncapped) != 5 || len(res.Capped) != 5 {
+		t.Fatalf("want 5+5 rows, got %d+%d", len(res.Uncapped), len(res.Capped))
+	}
+	if !res.AutoCap || res.CapW <= 0 {
+		t.Fatalf("auto cap not derived: %+v", res)
+	}
+	want := AutoCapFraction * res.Uncapped[0].Rack.PeakWallPowerW
+	if math.Abs(res.CapW-want) > 1e-9 {
+		t.Fatalf("auto cap %g, want %g", res.CapW, want)
+	}
+	for _, r := range res.Rows() {
+		if r.WallWh() <= r.TotalWh() {
+			t.Fatalf("%s: Wh(AC) %g must exceed Wh(DC) %g", r.Policy, r.WallWh(), r.TotalWh())
+		}
+		if diff := math.Abs((r.WallWh() - r.TotalWh()) - r.LossWh()); diff > r.LossWh()*1e-6 {
+			t.Fatalf("%s: loss %g inconsistent with wall−dc %g", r.Policy, r.LossWh(), r.WallWh()-r.TotalWh())
+		}
+		if r.Rack.PeakWallPowerW <= r.Rack.PeakPowerW {
+			t.Fatalf("%s: peak wall must exceed peak DC", r.Policy)
+		}
+	}
+	for _, r := range res.Capped {
+		if r.CapW != res.CapW {
+			t.Fatalf("%s: capped row carries cap %g, want %g", r.Policy, r.CapW, res.CapW)
+		}
+		if r.Sched.Placed != r.Sched.Submitted {
+			t.Fatalf("%s: capped run starved: placed %d of %d", r.Policy, r.Sched.Placed, r.Sched.Submitted)
+		}
+	}
+	// The cap binds somewhere: across the capped half placements deferred
+	// and the peak wall draw came down versus the uncapped runs.
+	var deferred int
+	for i, r := range res.Capped {
+		deferred += r.Sched.Deferrals
+		if r.Rack.PeakWallPowerW > res.Uncapped[i].Rack.PeakWallPowerW {
+			t.Fatalf("%s: capped peak wall %g exceeds uncapped %g",
+				r.Policy, r.Rack.PeakWallPowerW, res.Uncapped[i].Rack.PeakWallPowerW)
+		}
+	}
+	if deferred == 0 {
+		t.Fatal("auto cap below round-robin's peak must defer at least one placement")
+	}
+}
+
+// TestRackACComparisonIdealChainMatchesDC: with no PSU/PDU the AC side
+// must collapse onto the DC side — zero loss, identical peaks — and the
+// uncapped physics metrics must be bit-identical to RackPolicyComparison
+// (the acceptance criterion that the chain is pure accounting).
+func TestRackACComparisonIdealChainMatchesDC(t *testing.T) {
+	ev := acEval(1)
+	ev.PSU, ev.PDU = nil, nil
+	res, err := RackACComparison(server.T3Config(), ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Uncapped {
+		if r.Rack.LossEnergyKWh != 0 {
+			t.Fatalf("%s: ideal chain loss %g, want exactly 0", r.Policy, r.Rack.LossEnergyKWh)
+		}
+		if r.Rack.PeakWallPowerW != r.Rack.PeakPowerW {
+			t.Fatalf("%s: ideal chain peaks differ", r.Policy)
+		}
+	}
+	rows, err := RackPolicyComparison(server.T3Config(), ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rows, res.Uncapped) {
+		t.Fatalf("RackPolicyComparison differs from the uncapped AC half:\n%+v\n%+v", rows, res.Uncapped)
+	}
+}

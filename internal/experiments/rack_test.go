@@ -72,8 +72,8 @@ func TestRackPolicyComparisonOrdering(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 4 {
-		t.Fatalf("got %d rows, want 4", len(rows))
+	if len(rows) != 5 {
+		t.Fatalf("got %d rows, want 5", len(rows))
 	}
 	rr := rackRow(t, rows, "round-robin")
 	cool := rackRow(t, rows, "coolest-first")

@@ -1,0 +1,164 @@
+package lut
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/server"
+	"repro/internal/units"
+)
+
+// quickBuild is a reduced grid so cache tests stay fast.
+func quickBuild() BuildConfig {
+	return BuildConfig{
+		Utils:   []units.Percent{0, 50, 100},
+		Levels:  []units.RPM{1800, 3000, 4200},
+		MaxTemp: 75,
+	}
+}
+
+// TestDiskCacheRoundTrip: a cold build writes one file; a second build
+// with the same key reads it back identically without re-solving.
+func TestDiskCacheRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c := DiskCache{Dir: dir}
+	cfg := server.T3Config()
+	b := quickBuild()
+
+	cold, err := c.Build(cfg, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "lut-*.json"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("want exactly one cache file, got %v (%v)", files, err)
+	}
+
+	warm, err := c.Build(cfg, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Fatalf("cache hit differs from cold build:\ncold: %+v\nwarm: %+v", cold, warm)
+	}
+	direct, err := Build(cfg, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(direct, warm) {
+		t.Fatal("cached table differs from an uncached build")
+	}
+}
+
+// TestDiskCacheKeySensitivity: the key must ignore the sensor noise seed
+// (noise cannot move equilibria) but change with any physics or grid edit.
+func TestDiskCacheKeySensitivity(t *testing.T) {
+	cfg := server.T3Config()
+	b := quickBuild()
+	base := CacheKey(cfg, b)
+
+	noisy := cfg
+	noisy.NoiseSeed = 999
+	if CacheKey(noisy, b) != base {
+		t.Fatal("noise seed must not change the cache key")
+	}
+
+	// Worker counts change how the grid is computed, never what: the
+	// determinism contract keeps the table identical, so serial and
+	// parallel builds must share one cache entry.
+	fanned := b
+	fanned.Workers = 8
+	if CacheKey(cfg, fanned) != base {
+		t.Fatal("worker bound must not change the cache key")
+	}
+
+	hot := cfg
+	hot.Ambient = 30
+	if CacheKey(hot, b) == base {
+		t.Fatal("ambient change must change the cache key")
+	}
+
+	wider := b
+	wider.MaxTemp = 0
+	if CacheKey(cfg, wider) == base {
+		t.Fatal("build-grid change must change the cache key")
+	}
+}
+
+// TestDiskCacheCorruptEntryRebuilds: a truncated cache file must be
+// rebuilt, not returned or fatal.
+func TestDiskCacheCorruptEntryRebuilds(t *testing.T) {
+	dir := t.TempDir()
+	c := DiskCache{Dir: dir}
+	cfg := server.T3Config()
+	b := quickBuild()
+	want, err := c.Build(cfg, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := c.path(CacheKey(cfg, b))
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Build(cfg, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("rebuild after corruption differs")
+	}
+}
+
+// TestDiskCacheEmptyDirBypasses: the zero value must behave exactly like
+// lut.Build with no filesystem traffic.
+func TestDiskCacheEmptyDirBypasses(t *testing.T) {
+	var c DiskCache
+	got, err := c.Build(server.T3Config(), quickBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Build(server.T3Config(), quickBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("zero-value cache differs from direct build")
+	}
+}
+
+// TestDiskCacheBuildPerConfig: per-ambient rack configs produce one cache
+// file per distinct physics, and a second process-equivalent call serves
+// every slot from disk.
+func TestDiskCacheBuildPerConfig(t *testing.T) {
+	dir := t.TempDir()
+	c := DiskCache{Dir: dir}
+	b := quickBuild()
+	cfgs := make([]server.Config, 4)
+	for i := range cfgs {
+		cfgs[i] = server.T3Config()
+		cfgs[i].Ambient = units.Celsius(21 + 3*(i%2)) // two distinct ambients
+		cfgs[i].NoiseSeed = int64(i)                  // must not split the cache
+	}
+	tables, err := c.BuildPerConfig(cfgs, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tables[0] != tables[2] || tables[1] != tables[3] {
+		t.Fatal("identical-physics slots must share in-process tables")
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "lut-*.json"))
+	if len(files) != 2 {
+		t.Fatalf("want 2 cache files (two ambients), got %d", len(files))
+	}
+	again, err := c.BuildPerConfig(cfgs, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tables {
+		if !reflect.DeepEqual(tables[i], again[i]) {
+			t.Fatalf("slot %d differs on warm rebuild", i)
+		}
+	}
+}

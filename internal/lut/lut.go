@@ -115,6 +115,12 @@ func Build(cfg server.Config, b BuildConfig) (*Table, error) {
 // physics are identical share a single build; the sensor NoiseSeed is
 // ignored in the comparison because noise cannot affect equilibria.
 func BuildPerConfig(cfgs []server.Config, b BuildConfig) ([]*Table, error) {
+	return buildPerConfig(cfgs, b, Build)
+}
+
+// buildPerConfig is the shared per-slot dedup layer over a build function
+// (plain Build, or DiskCache.Build for the cross-process cache).
+func buildPerConfig(cfgs []server.Config, b BuildConfig, build func(server.Config, BuildConfig) (*Table, error)) ([]*Table, error) {
 	tables := make([]*Table, len(cfgs))
 	cache := map[server.Config]*Table{}
 	for i, cfg := range cfgs {
@@ -123,7 +129,7 @@ func BuildPerConfig(cfgs []server.Config, b BuildConfig) ([]*Table, error) {
 		t, ok := cache[key]
 		if !ok {
 			var err error
-			t, err = Build(cfg, b)
+			t, err = build(cfg, b)
 			if err != nil {
 				return nil, fmt.Errorf("lut: build for config %d: %w", i, err)
 			}

@@ -1,0 +1,23 @@
+// Package par provides the bounded worker pool shared by every fan-out in
+// the repository: the experiment harness, the LUT table builders, and the
+// rack stepper.
+//
+// # The determinism contract
+//
+// Every fan-out in this codebase follows one rule:
+//
+//	job i writes only state owned by index i; every cross-index
+//	reduction runs serially in index order after the fan-out barrier.
+//
+// Under this contract results are byte-identical to the serial order for
+// any worker count and any goroutine schedule — there is no floating-point
+// reassociation, no map iteration, no racing append. ForEach(n, 1, fn) is
+// the serial reference path; race-enabled tests across the repository
+// (internal/rack, internal/experiments) assert that workers=N reproduces
+// workers=1 bitwise.
+//
+// Callers that need a reduction (energy sums, peak power, temperature
+// maxima) must collect per-index results into a pre-sized slice inside the
+// fan-out and fold them in a plain loop afterwards; they must not share
+// accumulators across jobs.
+package par

@@ -1,8 +1,3 @@
-// Package par provides the bounded worker pool shared by the experiment
-// harness and the table builders. Every fan-out in the repository follows
-// the same contract: job i writes only state owned by index i, so results
-// are deterministic and identical to the serial order regardless of worker
-// count or scheduling.
 package par
 
 import (

@@ -1,19 +1,3 @@
-// Package power contains the power model components of the simulated server.
-//
-// The decomposition follows Eqn. (1) of the paper:
-//
-//	Ptotal = Pactive + Pleak + Pfan
-//
-// with Pactive = k1·U and Pleak = C + k2·e^(k3·T) (Eqn. 2). These models are
-// the simulator's ground truth; the fitting pipeline in internal/fitting
-// must recover the constants from telemetry alone, which closes the loop on
-// the paper's Section IV.
-//
-// Two additional components the paper folds into its "idle energy" are
-// modelled explicitly so Table I energy magnitudes land in the right range:
-// a constant non-CPU idle floor and a utilization-proportional memory/IO
-// component (both are excluded from the leakage analysis, exactly as the
-// paper excludes idle energy from its net-savings computation).
 package power
 
 import (
@@ -78,6 +62,24 @@ func (m MemoryModel) Power(u units.Percent) units.Watts {
 	return units.Watts(m.Idle + m.KU*float64(u.Clamp()))
 }
 
+// convEfficiency is the shared load-dependent efficiency curve of the
+// power-delivery stages: eta(load) = eta0 − droop/(1+load/knee), rising
+// from (eta0−droop) at zero load toward eta0 at high load, floored at 5%
+// so a degenerate parameterization cannot divide wall power by ~0.
+func convEfficiency(load, eta0, droop, knee float64) float64 {
+	if load < 0 {
+		load = 0
+	}
+	if knee <= 0 {
+		knee = 1
+	}
+	eta := eta0 - droop/(1+load/knee)
+	if eta < 0.05 {
+		eta = 0.05
+	}
+	return eta
+}
+
 // PSUModel converts DC load power to AC wall power through a load-dependent
 // efficiency curve (efficiency sags at very low load). Efficiency is modelled
 // as Eta0 - Droop/(1+load/Knee) which rises from (Eta0-Droop) at zero load
@@ -88,30 +90,50 @@ type PSUModel struct {
 	Knee  float64 // load (W) where half of the droop is recovered
 }
 
+// DefaultPSU returns an 80-Plus-class server supply sized for the T3
+// server's 400-1100 W DC envelope: 94% asymptotic efficiency, sagging
+// toward 84% at no load, with half the droop recovered by 150 W.
+func DefaultPSU() PSUModel { return PSUModel{Eta0: 0.94, Droop: 0.10, Knee: 150} }
+
 // Wall returns the AC input power needed to deliver dc Watts.
 func (p PSUModel) Wall(dc units.Watts) units.Watts {
 	if dc <= 0 {
 		return 0
 	}
-	eta := p.Efficiency(dc)
-	return units.Watts(float64(dc) / eta)
+	return units.Watts(float64(dc) / p.Efficiency(dc))
 }
 
 // Efficiency returns the conversion efficiency at the given DC load.
 func (p PSUModel) Efficiency(dc units.Watts) float64 {
-	load := float64(dc)
-	if load < 0 {
-		load = 0
+	return convEfficiency(float64(dc), p.Eta0, p.Droop, p.Knee)
+}
+
+// PDUModel is the rack-level power distribution unit: every server PSU's
+// AC input is fed from one PDU whose own losses (breakers, transformer,
+// cabling) are load-dependent with the same curve family as the PSU. Its
+// input is the rack's wall draw at the utility feed.
+type PDUModel struct {
+	Eta0  float64 // asymptotic efficiency, e.g. 0.98
+	Droop float64 // efficiency loss at zero load, e.g. 0.04
+	Knee  float64 // load (W) where half of the droop is recovered
+}
+
+// DefaultPDU returns a rack PDU sized for tens of servers: 98% asymptotic
+// efficiency with a small low-load droop and a 2 kW knee.
+func DefaultPDU() PDUModel { return PDUModel{Eta0: 0.98, Droop: 0.04, Knee: 2000} }
+
+// Wall returns the utility-side input power needed to deliver load Watts
+// to the PDU's outlets (the summed PSU inputs).
+func (p PDUModel) Wall(load units.Watts) units.Watts {
+	if load <= 0 {
+		return 0
 	}
-	knee := p.Knee
-	if knee <= 0 {
-		knee = 1
-	}
-	eta := p.Eta0 - p.Droop/(1+load/knee)
-	if eta < 0.05 {
-		eta = 0.05
-	}
-	return eta
+	return units.Watts(float64(load) / p.Efficiency(load))
+}
+
+// Efficiency returns the conversion efficiency at the given outlet load.
+func (p PDUModel) Efficiency(load units.Watts) float64 {
+	return convEfficiency(float64(load), p.Eta0, p.Droop, p.Knee)
 }
 
 // Breakdown attributes one instant of server power to its components, in

@@ -177,6 +177,96 @@ func TestPSUModel(t *testing.T) {
 	}
 }
 
+func TestPSUZeroLoadEfficiency(t *testing.T) {
+	p := DefaultPSU()
+	// The curve's zero-load limit is Eta0−Droop, well above the 5% floor.
+	want := p.Eta0 - p.Droop
+	if got := p.Efficiency(0); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Efficiency(0) = %g, want %g", got, want)
+	}
+	// Zero (and negative) DC load draws nothing from the wall: an off
+	// server cannot consume AC power through the efficiency curve.
+	if p.Wall(0) != 0 || p.Wall(-5) != 0 {
+		t.Fatal("zero/negative load must draw zero wall power")
+	}
+	// Negative load clamps to the zero-load efficiency, not beyond.
+	if got := p.Efficiency(-100); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Efficiency(-100) = %g, want clamp to %g", got, want)
+	}
+}
+
+func TestPSUKneeCrossover(t *testing.T) {
+	p := DefaultPSU()
+	// At exactly the knee, half the droop is recovered:
+	// eta(Knee) = Eta0 − Droop/2.
+	want := p.Eta0 - p.Droop/2
+	if got := p.Efficiency(units.Watts(p.Knee)); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Efficiency(knee) = %g, want %g", got, want)
+	}
+	// The curve is strictly increasing through the knee and approaches
+	// Eta0 from below at high load.
+	below := p.Efficiency(units.Watts(p.Knee / 2))
+	at := p.Efficiency(units.Watts(p.Knee))
+	above := p.Efficiency(units.Watts(p.Knee * 2))
+	if !(below < at && at < above && above < p.Eta0) {
+		t.Fatalf("knee crossover not monotone: %g %g %g (eta0 %g)", below, at, above, p.Eta0)
+	}
+}
+
+func TestPSUWallMonotoneInLoad(t *testing.T) {
+	// More DC out always needs more AC in — the property power-capped
+	// placement relies on (a deferred job can never lower the wall draw).
+	p := DefaultPSU()
+	prev := p.Wall(0)
+	for dc := units.Watts(10); dc <= 1200; dc += 10 {
+		cur := p.Wall(dc)
+		if cur <= prev {
+			t.Fatalf("wall draw not increasing at %v", dc)
+		}
+		prev = cur
+	}
+}
+
+func TestPDUModel(t *testing.T) {
+	d := DefaultPDU()
+	if d.Wall(0) != 0 {
+		t.Fatal("idle PDU must draw nothing")
+	}
+	// Same curve family as the PSU: zero-load limit, knee crossover.
+	if got, want := d.Efficiency(0), d.Eta0-d.Droop; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Efficiency(0) = %g, want %g", got, want)
+	}
+	if got, want := d.Efficiency(units.Watts(d.Knee)), d.Eta0-d.Droop/2; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Efficiency(knee) = %g, want %g", got, want)
+	}
+	// A rack-scale load passes with low single-digit losses.
+	if eta := d.Efficiency(8000); eta < 0.95 || eta >= d.Eta0 {
+		t.Fatalf("Efficiency(8kW) = %g, want in [0.95, %g)", eta, d.Eta0)
+	}
+	for _, w := range []units.Watts{100, 2000, 10000} {
+		if d.Wall(w) <= w {
+			t.Fatalf("PDU wall %v <= load %v", d.Wall(w), w)
+		}
+	}
+}
+
+func TestDefaultChainComposition(t *testing.T) {
+	// A typical 8-server rack point: per-server DC through the PSU, summed,
+	// through the PDU. The wall draw must exceed DC by the compounded
+	// losses — between ~6% (asymptotes) and ~20% (floors) overall.
+	psu, pdu := DefaultPSU(), DefaultPDU()
+	perServer := units.Watts(550)
+	var acIn units.Watts
+	for i := 0; i < 8; i++ {
+		acIn += psu.Wall(perServer)
+	}
+	wall := float64(pdu.Wall(acIn))
+	dc := float64(perServer) * 8
+	if ratio := wall / dc; ratio < 1.06 || ratio > 1.20 {
+		t.Fatalf("chain amplification %g, want in [1.06, 1.20]", ratio)
+	}
+}
+
 func TestLeakageTradeoffConvexity(t *testing.T) {
 	// The core insight of Fig 2(a): over the operating range there is an
 	// interior minimum of fan+leakage power. Emulate with the calibrated

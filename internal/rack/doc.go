@@ -1,0 +1,36 @@
+// Package rack scales the simulation from one server to a rack of them:
+// N independently configured server.Server instances (heterogeneous
+// ambients, fan banks, DIMM counts), each optionally under its own fan
+// controller, stepped together for a shared dt and aggregated into
+// rack-level telemetry.
+//
+// # Determinism contract
+//
+// Stepping fans out over the shared internal/par worker pool under the
+// repository's contract: job i writes only the state owned by server i
+// (its server, controller and fan-change counter), and every cross-server
+// reduction — energy sums, the simultaneous power peak, inlet/DIMM/CPU
+// temperature maxima, the wall-power roll-up — runs serially in index
+// order after the fan-out barrier. Rack telemetry is therefore byte
+// identical for any worker count, which the race-enabled tests in this
+// package and in internal/experiments assert. Workers = 1 is the serial
+// reference path.
+//
+// # Power-delivery chain
+//
+// Each slot may carry a power.PSUModel (per-spec, or a rack-wide default)
+// and the rack a shared power.PDUModel: after every step the per-server
+// DC draws are lifted through their PSU efficiency curves, summed, and
+// passed through the PDU to the instantaneous wall draw at the utility
+// feed. Telemetry tracks wall energy, conversion-loss energy and the peak
+// wall draw next to the DC-side metrics; WallPowerWith answers the
+// what-if query ("what would the wall draw if slot i carried extra DC
+// load?") behind power-capped placement. With no PSUs and no PDU the
+// chain is the identity: wall telemetry mirrors the DC side exactly and
+// the loss is exactly zero, so attaching the chain never perturbs the
+// physics.
+//
+// The rack is the substrate for internal/sched: a dispatcher places jobs
+// onto servers, the rack advances the physics, and the telemetry says
+// which placement policy heated the room — and loaded the wall — least.
+package rack

@@ -1,18 +1,3 @@
-// Package rack scales the simulation from one server to a rack of them:
-// N independently configured server.Server instances (heterogeneous
-// ambients, fan banks, DIMM counts) stepped together for a shared dt and
-// aggregated into rack-level telemetry.
-//
-// Stepping fans out over the shared internal/par worker pool under the
-// repository's determinism contract: job i writes only the state owned by
-// server i, and every cross-server reduction happens serially in index
-// order after the fan-out barrier. Rack results are therefore byte
-// identical for any worker count, which the race-enabled tests in this
-// package and in internal/experiments assert.
-//
-// The rack is the substrate for internal/sched: a dispatcher places jobs
-// onto servers, the rack advances the physics, and the telemetry says
-// which placement policy heated the room least.
 package rack
 
 import (
@@ -20,6 +5,7 @@ import (
 
 	"repro/internal/control"
 	"repro/internal/par"
+	"repro/internal/power"
 	"repro/internal/server"
 	"repro/internal/units"
 )
@@ -30,6 +16,12 @@ import (
 type ServerSpec struct {
 	Name   string
 	Config server.Config
+	// PSU, when non-nil, is this slot's power supply: the server's DC draw
+	// is converted to AC input through its load-dependent efficiency curve
+	// before being summed into the rack's PDU. nil falls back to the rack
+	// Config.PSU default; if that is nil too the slot's supply is ideal
+	// (lossless), which keeps wall-side telemetry equal to the DC side.
+	PSU *power.PSUModel
 	// Controller, when non-nil, is the per-server fan-control policy,
 	// ticked once per rack step. Unlike the single-server harness — which
 	// feeds controllers a sar-style moving average because PWM toggles the
@@ -48,6 +40,13 @@ type Config struct {
 	// Workers bounds the per-server step fan-out: ≤ 0 means GOMAXPROCS,
 	// 1 is the serial reference path the parallel runs are tested against.
 	Workers int
+	// PSU, when non-nil, is the default per-server power supply applied to
+	// every slot that does not carry its own ServerSpec.PSU.
+	PSU *power.PSUModel
+	// PDU, when non-nil, is the shared rack-level distribution unit: the
+	// summed PSU inputs pass through its efficiency curve to become the
+	// wall draw at the utility feed. nil means an ideal (lossless) PDU.
+	PDU *power.PDUModel
 }
 
 // serverState is the slot-i state a step job owns exclusively.
@@ -55,14 +54,25 @@ type serverState struct {
 	name       string
 	srv        *server.Server
 	ctrl       control.Controller
+	psu        *power.PSUModel // nil = ideal (lossless) supply
 	load       units.Percent
 	fanChanges int
+}
+
+// psuIn returns the AC power this slot draws from the PDU to deliver its
+// current DC load — the identity when no PSU is configured.
+func (st *serverState) psuIn(dc float64) float64 {
+	if st.psu == nil {
+		return dc
+	}
+	return float64(st.psu.Wall(units.Watts(dc)))
 }
 
 // Rack is a set of simulated servers stepped in lockstep.
 type Rack struct {
 	servers []*serverState
 	workers int
+	pdu     *power.PDUModel // nil = ideal (lossless) distribution
 	clock   float64
 
 	// Rack-level running aggregates, reduced serially after each step.
@@ -70,6 +80,16 @@ type Rack struct {
 	maxCPUC    float64
 	maxDIMMC   float64
 	maxInletC  float64
+
+	// Wall-side (AC) accounting through the PSU/PDU delivery chain. The
+	// last* pair is the instantaneous draw at the most recent observation;
+	// the energies integrate it per step in index order, so wall telemetry
+	// inherits the determinism contract unchanged.
+	lastDCW     float64
+	lastWallW   float64
+	peakWallW   float64
+	dcEnergyJ   float64
+	wallEnergyJ float64
 }
 
 // New builds a rack, constructing every server from its spec.
@@ -77,7 +97,7 @@ func New(cfg Config) (*Rack, error) {
 	if len(cfg.Servers) == 0 {
 		return nil, fmt.Errorf("rack: need at least one server")
 	}
-	r := &Rack{workers: cfg.Workers}
+	r := &Rack{workers: cfg.Workers, pdu: cfg.PDU}
 	for i, spec := range cfg.Servers {
 		srv, err := server.New(spec.Config)
 		if err != nil {
@@ -90,7 +110,11 @@ func New(cfg Config) (*Rack, error) {
 		if spec.Controller != nil {
 			spec.Controller.Reset()
 		}
-		r.servers = append(r.servers, &serverState{name: name, srv: srv, ctrl: spec.Controller})
+		psu := spec.PSU
+		if psu == nil {
+			psu = cfg.PSU
+		}
+		r.servers = append(r.servers, &serverState{name: name, srv: srv, ctrl: spec.Controller, psu: psu})
 	}
 	r.resetPeaks()
 	return r, nil
@@ -101,6 +125,7 @@ func New(cfg Config) (*Rack, error) {
 // reset reports the present temperatures and power rather than sentinels.
 func (r *Rack) resetPeaks() {
 	r.peakPowerW = 0
+	r.peakWallW = 0
 	r.maxCPUC = -1e9
 	r.maxDIMMC = -1e9
 	r.maxInletC = -1e9
@@ -108,11 +133,16 @@ func (r *Rack) resetPeaks() {
 }
 
 // observe folds the servers' instantaneous power and temperatures into
-// the rack aggregates, serially in index order.
+// the rack aggregates, serially in index order, and rolls the DC draw up
+// the delivery chain (per-slot PSU, then the shared PDU) into the
+// instantaneous wall draw. With no PSUs and no PDU the chain is the
+// identity and the wall side mirrors the DC side exactly.
 func (r *Rack) observe() {
-	var totalW float64
+	var totalW, acInW float64
 	for _, st := range r.servers {
-		totalW += float64(st.srv.Breakdown().Total())
+		dc := float64(st.srv.Breakdown().Total())
+		totalW += dc
+		acInW += st.psuIn(dc)
 		if t := float64(st.srv.MaxCPUTemp()); t > r.maxCPUC {
 			r.maxCPUC = t
 		}
@@ -123,9 +153,22 @@ func (r *Rack) observe() {
 			r.maxInletC = t
 		}
 	}
+	r.lastDCW = totalW
+	r.lastWallW = r.pduIn(acInW)
 	if totalW > r.peakPowerW {
 		r.peakPowerW = totalW
 	}
+	if r.lastWallW > r.peakWallW {
+		r.peakWallW = r.lastWallW
+	}
+}
+
+// pduIn lifts the summed PSU inputs through the PDU to the utility feed.
+func (r *Rack) pduIn(acIn float64) float64 {
+	if r.pdu == nil {
+		return acIn
+	}
+	return float64(r.pdu.Wall(units.Watts(acIn)))
 }
 
 // NumServers returns the number of servers in the rack.
@@ -183,7 +226,64 @@ func (r *Rack) Step(dt float64) {
 		r.servers[i].step(now, dt)
 	})
 	r.observe()
+	// Integrate the post-step draws, mirroring the per-server energy
+	// accounting (server.Step charges the breakdown taken after stepping).
+	r.dcEnergyJ += r.lastDCW * dt
+	r.wallEnergyJ += r.lastWallW * dt
 	r.clock += dt
+}
+
+// DCPower returns the rack's instantaneous DC draw (Σ server power) at the
+// most recent observation.
+func (r *Rack) DCPower() units.Watts { return units.Watts(r.lastDCW) }
+
+// WallPower returns the rack's instantaneous AC draw at the utility feed —
+// the DC draw lifted through every slot's PSU and the shared PDU.
+func (r *Rack) WallPower() units.Watts { return units.Watts(r.lastWallW) }
+
+// ServerDCPower returns server i's instantaneous DC draw.
+func (r *Rack) ServerDCPower(i int) units.Watts {
+	return r.servers[i].srv.Breakdown().Total()
+}
+
+// ServerWallPower returns the AC power server i draws from the PDU: its DC
+// draw through its PSU (identical to the DC draw for an ideal supply). The
+// PDU's own loss is a shared, rack-level quantity and is not attributed to
+// individual slots.
+func (r *Rack) ServerWallPower(i int) units.Watts {
+	st := r.servers[i]
+	return units.Watts(st.psuIn(float64(st.srv.Breakdown().Total())))
+}
+
+// WallPowerWith predicts the rack's wall draw if server i's DC load were
+// higher by extraDC Watts, all other slots unchanged — the what-if query
+// behind power-capped placement. It does not mutate any state.
+func (r *Rack) WallPowerWith(i int, extraDC units.Watts) units.Watts {
+	var acInW float64
+	for j, st := range r.servers {
+		dc := float64(st.srv.Breakdown().Total())
+		if j == i {
+			dc += float64(extraDC)
+		}
+		acInW += st.psuIn(dc)
+	}
+	return units.Watts(r.pduIn(acInW))
+}
+
+// WallPowerWithAll is WallPowerWith for a per-slot vector of DC
+// increments (nil or short entries mean zero): the capped trace runner
+// uses it to account for placements admitted earlier in the same step,
+// whose power the physics has not drawn yet. It does not mutate state.
+func (r *Rack) WallPowerWithAll(extraDC []units.Watts) units.Watts {
+	var acInW float64
+	for j, st := range r.servers {
+		dc := float64(st.srv.Breakdown().Total())
+		if j < len(extraDC) {
+			dc += float64(extraDC[j])
+		}
+		acInW += st.psuIn(dc)
+	}
+	return units.Watts(r.pduIn(acInW))
 }
 
 // ResetAccounting zeroes every server's energy/peak meters and the rack
@@ -193,6 +293,8 @@ func (r *Rack) ResetAccounting() {
 		st.srv.ResetAccounting()
 		st.fanChanges = 0
 	}
+	r.dcEnergyJ = 0
+	r.wallEnergyJ = 0
 	r.resetPeaks()
 }
 
@@ -208,17 +310,27 @@ type Telemetry struct {
 	MaxInletC      float64 // hottest CPU inlet air seen on any server
 	FanChanges     int     // Σ controller-commanded fan-speed changes
 	Tripped        int     // servers whose thermal protection engaged
+
+	// Wall-side (AC) accounting through the PSU/PDU delivery chain. With
+	// an ideal chain (no PSUs, no PDU) the wall energy equals the DC
+	// energy and the loss is exactly zero.
+	WallEnergyKWh  float64 // AC energy drawn at the utility feed
+	LossEnergyKWh  float64 // conversion losses: wall minus DC energy
+	PeakWallPowerW float64 // highest simultaneous wall draw
 }
 
 // Telemetry aggregates the rack in server-index order (deterministic
 // floating-point summation).
 func (r *Rack) Telemetry() Telemetry {
 	tel := Telemetry{
-		Servers:      len(r.servers),
-		PeakPowerW:   r.peakPowerW,
-		MaxCPUTempC:  r.maxCPUC,
-		MaxDIMMTempC: r.maxDIMMC,
-		MaxInletC:    r.maxInletC,
+		Servers:        len(r.servers),
+		PeakPowerW:     r.peakPowerW,
+		MaxCPUTempC:    r.maxCPUC,
+		MaxDIMMTempC:   r.maxDIMMC,
+		MaxInletC:      r.maxInletC,
+		WallEnergyKWh:  units.Joules(r.wallEnergyJ).KWh(),
+		LossEnergyKWh:  units.Joules(r.wallEnergyJ - r.dcEnergyJ).KWh(),
+		PeakWallPowerW: r.peakWallW,
 	}
 	for _, st := range r.servers {
 		tel.TotalEnergyKWh += st.srv.Energy().KWh()

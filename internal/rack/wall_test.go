@@ -1,0 +1,175 @@
+package rack
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/power"
+	"repro/internal/server"
+	"repro/internal/units"
+)
+
+// chainRack builds an n-server rack with the given delivery chain and a
+// fixed 70% load everywhere.
+func chainRack(t *testing.T, n, workers int, psu *power.PSUModel, pdu *power.PDUModel) *Rack {
+	t.Helper()
+	specs := make([]ServerSpec, n)
+	for i := range specs {
+		cfg := server.T3Config()
+		cfg.Ambient = units.Celsius(21 + 3*(i%4))
+		cfg.NoiseSeed = int64(1 + 7*i)
+		specs[i] = ServerSpec{Config: cfg}
+	}
+	r, err := New(Config{Servers: specs, Workers: workers, PSU: psu, PDU: pdu})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		r.SetLoad(i, 70)
+	}
+	return r
+}
+
+// TestRackIdealChainWallMirrorsDC: with no PSU and no PDU the delivery
+// chain is the identity, so the wall side must mirror the DC side exactly
+// — instantaneous draw and peaks bitwise, conversion loss exactly zero.
+func TestRackIdealChainWallMirrorsDC(t *testing.T) {
+	r := chainRack(t, 3, 1, nil, nil)
+	for s := 0; s < 120; s++ {
+		r.Step(1)
+	}
+	if r.WallPower() != r.DCPower() {
+		t.Fatalf("ideal chain: wall %v != dc %v", r.WallPower(), r.DCPower())
+	}
+	tel := r.Telemetry()
+	if tel.LossEnergyKWh != 0 {
+		t.Fatalf("ideal chain: loss %g, want exactly 0", tel.LossEnergyKWh)
+	}
+	if tel.PeakWallPowerW != tel.PeakPowerW {
+		t.Fatalf("ideal chain: peak wall %g != peak dc %g", tel.PeakWallPowerW, tel.PeakPowerW)
+	}
+	// Rack-level wall integration and the per-server energy sum accumulate
+	// in different orders, so compare within float tolerance only.
+	if rel := math.Abs(tel.WallEnergyKWh-tel.TotalEnergyKWh) / tel.TotalEnergyKWh; rel > 1e-12 {
+		t.Fatalf("ideal chain: wall energy %g vs total %g (rel %g)", tel.WallEnergyKWh, tel.TotalEnergyKWh, rel)
+	}
+	for i := 0; i < r.NumServers(); i++ {
+		if r.ServerWallPower(i) != r.ServerDCPower(i) {
+			t.Fatalf("server %d: ideal wall != dc", i)
+		}
+	}
+}
+
+// TestRackChainWallExceedsDC: a lossy chain must amplify every DC watt at
+// the wall, with losses consistent between energy and power telemetry.
+func TestRackChainWallExceedsDC(t *testing.T) {
+	psu, pdu := power.DefaultPSU(), power.DefaultPDU()
+	r := chainRack(t, 3, 1, &psu, &pdu)
+	for s := 0; s < 120; s++ {
+		r.Step(1)
+	}
+	if r.WallPower() <= r.DCPower() {
+		t.Fatalf("lossy chain: wall %v must exceed dc %v", r.WallPower(), r.DCPower())
+	}
+	tel := r.Telemetry()
+	if tel.LossEnergyKWh <= 0 {
+		t.Fatalf("lossy chain: loss %g must be positive", tel.LossEnergyKWh)
+	}
+	if tel.WallEnergyKWh <= tel.TotalEnergyKWh {
+		t.Fatalf("wall energy %g must exceed DC energy %g", tel.WallEnergyKWh, tel.TotalEnergyKWh)
+	}
+	if tel.PeakWallPowerW <= tel.PeakPowerW {
+		t.Fatalf("peak wall %g must exceed peak dc %g", tel.PeakWallPowerW, tel.PeakPowerW)
+	}
+	for i := 0; i < r.NumServers(); i++ {
+		if r.ServerWallPower(i) <= r.ServerDCPower(i) {
+			t.Fatalf("server %d: PSU input must exceed DC draw", i)
+		}
+	}
+	// ResetAccounting starts a fresh wall-side measurement window.
+	r.ResetAccounting()
+	tel = r.Telemetry()
+	if tel.WallEnergyKWh != 0 || tel.LossEnergyKWh != 0 {
+		t.Fatalf("ResetAccounting left wall accounting %+v", tel)
+	}
+}
+
+// TestRackWallPowerWith pins the what-if query: zero extra reproduces the
+// current draw bitwise, extra load raises it, and no state is mutated.
+func TestRackWallPowerWith(t *testing.T) {
+	psu, pdu := power.DefaultPSU(), power.DefaultPDU()
+	r := chainRack(t, 3, 1, &psu, &pdu)
+	for s := 0; s < 60; s++ {
+		r.Step(1)
+	}
+	before := r.WallPower()
+	if got := r.WallPowerWith(1, 0); got != before {
+		t.Fatalf("WallPowerWith(+0) = %v, want %v", got, before)
+	}
+	more := r.WallPowerWith(1, 50)
+	if more <= before {
+		t.Fatalf("WallPowerWith(+50) = %v, want > %v", more, before)
+	}
+	if r.WallPower() != before {
+		t.Fatal("WallPowerWith mutated the observed wall draw")
+	}
+	// The same extra on a different slot differs only through PSU state,
+	// and for identical supplies at different operating points the deltas
+	// still must both be positive.
+	if r.WallPowerWith(0, 50) <= before {
+		t.Fatal("WallPowerWith(+50) on slot 0 must raise the wall draw")
+	}
+}
+
+// TestRackPerSlotPSUOverride: a ServerSpec.PSU must take precedence over
+// the rack-wide default for its slot only.
+func TestRackPerSlotPSUOverride(t *testing.T) {
+	lossy := power.PSUModel{Eta0: 0.80, Droop: 0.10, Knee: 150}
+	good := power.PSUModel{Eta0: 0.96, Droop: 0.02, Knee: 50}
+	cfg := server.T3Config()
+	specs := []ServerSpec{
+		{Config: cfg, PSU: &good},
+		{Config: cfg},
+	}
+	r, err := New(Config{Servers: specs, Workers: 1, PSU: &lossy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetLoad(0, 70)
+	r.SetLoad(1, 70)
+	for s := 0; s < 60; s++ {
+		r.Step(1)
+	}
+	// Same physics on both servers; only the supply differs.
+	if r.ServerWallPower(0) >= r.ServerWallPower(1) {
+		t.Fatalf("override slot (eta 0.96, %v) must draw less than default slot (eta 0.80, %v)",
+			r.ServerWallPower(0), r.ServerWallPower(1))
+	}
+}
+
+// TestRackWallDeterministicAcrossWorkers extends the determinism contract
+// to the wall side: the serial reference and any worker count must agree
+// bitwise on the full telemetry, delivery chain included.
+func TestRackWallDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) Telemetry {
+		psu, pdu := power.DefaultPSU(), power.DefaultPDU()
+		r := chainRack(t, 6, workers, &psu, &pdu)
+		for s := 0; s < 180; s++ {
+			for i := 0; i < r.NumServers(); i++ {
+				r.SetLoad(i, units.Percent((s/20*13+19*i)%101))
+			}
+			r.Step(1)
+		}
+		return r.Telemetry()
+	}
+	ref := run(1)
+	for _, w := range []int{2, 8} {
+		if got := run(w); !reflect.DeepEqual(ref, got) {
+			t.Fatalf("workers=%d wall telemetry differs:\nserial:   %+v\nparallel: %+v", w, ref, got)
+		}
+	}
+	if ref.WallEnergyKWh <= ref.TotalEnergyKWh || ref.LossEnergyKWh <= 0 {
+		t.Fatalf("implausible wall telemetry: %+v", ref)
+	}
+}

@@ -1,0 +1,40 @@
+// Package sched puts a job dispatcher on top of internal/rack: jobs with
+// an arrival time, a duration and a CPU demand are placed onto servers by
+// a pluggable placement policy, and the rack physics decides what the
+// placement costs in energy, temperature and wall power.
+//
+// The paper's server-level result — leakage- and fan-aware control beats
+// reactive and static policies — only pays off at scale when the
+// dispatcher also knows which machine is coolest and cheapest to heat up.
+// The five shipped policies span that design space:
+//
+//   - round-robin and least-utilized: thermally blind baselines;
+//   - coolest-first: the reactive thermal heuristic;
+//   - leakage-aware: reuses the paper's own machinery (internal/lut over
+//     server.SteadyTemp) to place each job where the predicted marginal
+//     fan+leakage power is lowest;
+//   - cap-aware: the delivery-chain refinement — the same marginal cost
+//     lifted through each slot's PSU efficiency curve, so jobs go where
+//     the predicted marginal wall (AC) power is lowest.
+//
+// # Determinism contract
+//
+// Scheduling decisions run serially on the dispatcher goroutine; only the
+// rack step underneath fans out (under the repository-wide "job i writes
+// only slot i; reductions serial in index order" contract documented in
+// internal/par). Policies must be deterministic, breaking ties by the
+// lowest server index; RunTrace places strictly FIFO, so the queue head
+// blocks until it fits. Results are therefore byte-identical for any
+// worker count.
+//
+// # Wall-power capping
+//
+// TraceConfig.WallCapW enforces a rack-level wall budget: before charging
+// a placement, the runner predicts the post-placement wall draw —
+// rack.WallPowerWithAll over the utilization-driven DC increments of the
+// candidate job and every placement already admitted in the same step —
+// and defers the head — one deferral per step, retried after completions
+// free power — whenever the prediction strictly exceeds the cap. A cap
+// below the rack's idle draw therefore starves politely: nothing places,
+// the queue holds, and the run still terminates at its horizon.
+package sched

@@ -1,20 +1,3 @@
-// Package sched puts a job dispatcher on top of internal/rack: jobs with
-// an arrival time, a duration and a CPU demand are placed onto servers by
-// a pluggable placement policy, and the rack physics decides what the
-// placement costs in energy and temperature.
-//
-// The paper's server-level result — leakage- and fan-aware control beats
-// reactive and static policies — only pays off at scale when the
-// dispatcher also knows which machine is coolest and cheapest to heat up.
-// The policies here span that design space: RoundRobin and LeastUtilized
-// are thermally blind baselines, CoolestFirst is the reactive thermal
-// heuristic, and LeakageAware reuses the paper's own steady-state
-// machinery (internal/lut over server.SteadyTemp) to place each job where
-// the predicted marginal leakage+fan power is lowest.
-//
-// Scheduling decisions run serially on the dispatcher goroutine; only the
-// rack step underneath fans out. Results are therefore deterministic for
-// any worker count.
 package sched
 
 import (
@@ -24,6 +7,7 @@ import (
 
 	"repro/internal/loadgen"
 	"repro/internal/lut"
+	"repro/internal/power"
 	"repro/internal/rack"
 	"repro/internal/server"
 	"repro/internal/units"
@@ -56,6 +40,8 @@ type ServerView struct {
 	Free       units.Percent // remaining capacity (100 − Load)
 	MaxCPUTemp units.Celsius // hottest true die temperature
 	InletTemp  units.Celsius // current CPU inlet air temperature
+	DCPower    units.Watts   // instantaneous total DC draw
+	WallPower  units.Watts   // DC draw lifted through the slot's PSU
 }
 
 // Policy decides where a job runs. Place returns the chosen rack slot, or
@@ -251,6 +237,125 @@ func (p *LeakageAware) Place(j Job, views []ServerView) int {
 }
 
 // ---------------------------------------------------------------------------
+// Cap-aware (wall-power aware)
+
+// CapAware is the delivery-chain-aware refinement of LeakageAware: it
+// predicts each placement's marginal *wall* power instead of its marginal
+// DC power. The steady-state fan+leakage marginal comes from the same
+// per-slot LUTs; the placement-invariant active+memory marginal is added
+// back (DC-invariant terms stop being placement-invariant at the wall,
+// because each PSU's efficiency depends on how loaded that server already
+// is); and the total DC increment is lifted through the slot's PSU curve
+// at the server's current draw. Ranking by marginal PSU input is ranking
+// by marginal wall power: the shared PDU is monotone in its summed input
+// and identical across candidates, so it drops out of the comparison.
+type CapAware struct {
+	tables []*lut.Table
+	models []power.ServerModel
+	psus   []*power.PSUModel // nil slice or nil entries = ideal supplies
+}
+
+// NewCapAware precomputes per-slot cost curves with lut.BuildPerConfig and
+// builds the wall-power-aware policy. psus may be nil (every supply ideal)
+// or hold one entry per slot, nil entries meaning an ideal supply.
+func NewCapAware(cfgs []server.Config, psus []*power.PSUModel, build lut.BuildConfig) (*CapAware, error) {
+	tables, err := lut.BuildPerConfig(cfgs, build)
+	if err != nil {
+		return nil, fmt.Errorf("sched: cap-aware tables: %w", err)
+	}
+	models := make([]power.ServerModel, len(cfgs))
+	for i, cfg := range cfgs {
+		models[i] = cfg.Power
+	}
+	return NewCapAwareFromTables(tables, models, psus)
+}
+
+// NewCapAwareFromTables builds the policy over already-built per-slot cost
+// tables and power models (slot i uses tables[i]/models[i]/psus[i]).
+func NewCapAwareFromTables(tables []*lut.Table, models []power.ServerModel, psus []*power.PSUModel) (*CapAware, error) {
+	if len(tables) == 0 {
+		return nil, fmt.Errorf("sched: cap-aware needs at least one table")
+	}
+	if len(models) != len(tables) {
+		return nil, fmt.Errorf("sched: cap-aware has %d tables but %d power models", len(tables), len(models))
+	}
+	if psus != nil && len(psus) != len(tables) {
+		return nil, fmt.Errorf("sched: cap-aware has %d tables but %d PSUs", len(tables), len(psus))
+	}
+	for i, t := range tables {
+		if t == nil || len(t.Entries) == 0 {
+			return nil, fmt.Errorf("sched: cap-aware table %d is empty", i)
+		}
+	}
+	return &CapAware{tables: tables, models: models, psus: psus}, nil
+}
+
+// Name implements Policy.
+func (p *CapAware) Name() string { return "cap-aware" }
+
+// Reset implements Policy.
+func (p *CapAware) Reset() {}
+
+// marginalWall returns the predicted marginal wall power of placing demand
+// d on the server behind view v: the steady fan+leak increment from the
+// LUT plus the active+memory increment, lifted through the slot's PSU at
+// the server's current DC draw.
+func (p *CapAware) marginalWall(v ServerView, d units.Percent) (units.Watts, error) {
+	before, err := p.tables[v.Index].EntryFor(v.Load)
+	if err != nil {
+		return 0, err
+	}
+	after, err := p.tables[v.Index].EntryFor(v.Load + d)
+	if err != nil {
+		return 0, err
+	}
+	mdc := after.FanLeakPower - before.FanLeakPower + MarginalDCPower(p.models[v.Index], v.Load, d)
+	psu := p.psuFor(v.Index)
+	if psu == nil {
+		return mdc, nil
+	}
+	return psu.Wall(v.DCPower+mdc) - psu.Wall(v.DCPower), nil
+}
+
+func (p *CapAware) psuFor(i int) *power.PSUModel {
+	if p.psus == nil || i >= len(p.psus) {
+		return nil
+	}
+	return p.psus[i]
+}
+
+// Place implements Policy: the feasible server with the lowest predicted
+// marginal wall power, ties to the lowest index.
+func (p *CapAware) Place(j Job, views []ServerView) int {
+	best := -1
+	var bestCost units.Watts
+	for _, v := range views {
+		if !fits(v, j) || v.Index >= len(p.tables) {
+			continue
+		}
+		cost, err := p.marginalWall(v, j.Demand)
+		if err != nil {
+			continue
+		}
+		if best < 0 || cost < bestCost {
+			best = v.Index
+			bestCost = cost
+		}
+	}
+	return best
+}
+
+// MarginalDCPower returns the DC power increment of raising utilization u
+// by d on a server with power model m, counting the utilization-driven
+// components (active CPU and memory/IO). Fan and leakage responses are
+// slower and policy-dependent; the cap-aware policy adds them from its
+// steady-state tables, while the capped trace runner deliberately uses
+// only this fast, model-exact part as its admission estimate.
+func MarginalDCPower(m power.ServerModel, u, d units.Percent) units.Watts {
+	return m.Active.Power(u+d) - m.Active.Power(u) + m.Memory.Power(u+d) - m.Memory.Power(u)
+}
+
+// ---------------------------------------------------------------------------
 // Trace runner
 
 // Result summarizes the scheduling outcome of one trace run; the physics
@@ -261,6 +366,25 @@ type Result struct {
 	Placed      int     // jobs that started (Completed plus still-running)
 	MeanWaitSec float64 // mean queueing delay of placed jobs
 	MaxQueueLen int     // worst backlog observed
+	Deferrals   int     // placements deferred by the wall-power cap
+}
+
+// TraceConfig parameterizes a trace run.
+type TraceConfig struct {
+	Dt      float64 // simulation step, seconds
+	Horizon float64 // trace window, seconds
+
+	// WallCapW, when positive, is the rack-level wall-power budget: a
+	// placement whose predicted post-placement wall draw strictly exceeds
+	// the cap is deferred — the FIFO head blocks and is retried on every
+	// subsequent step, so capped runs stay deterministic and starvation
+	// free (later jobs never overtake a deferred head). The prediction is
+	// rack.WallPowerWithAll over the utilization-driven DC increments
+	// (MarginalDCPower) of this job plus every placement already admitted
+	// in the same step, whose power the physics has not drawn yet; a
+	// placement landing exactly on the cap is admitted. Zero disables
+	// capping.
+	WallCapW float64
 }
 
 // active is a placed job with its completion time.
@@ -271,14 +395,23 @@ type active struct {
 }
 
 // RunTrace drives the rack through the job trace under the policy with a
-// fixed step dt, from rack-time start for horizon seconds. Jobs are placed
-// FIFO — the queue head blocks until it fits, preserving arrival fairness
-// and keeping placement order deterministic. Loads are applied before each
-// step, so a job's demand is charged from the step after its placement.
-// The step count is computed up front and elapsed time as k·dt, so a
-// non-integer dt cannot drift the window length or event timing the way an
-// accumulated `elapsed += dt` would (cf. the thermal RK4 substep fix).
+// fixed step dt, from rack-time start for horizon seconds, with no wall
+// cap. See RunTraceCfg.
 func RunTrace(r *rack.Rack, jobs []Job, p Policy, dt, horizon float64) (Result, error) {
+	return RunTraceCfg(r, jobs, p, TraceConfig{Dt: dt, Horizon: horizon})
+}
+
+// RunTraceCfg drives the rack through the job trace under the policy. Jobs
+// are placed FIFO — the queue head blocks until it fits (and, when
+// tc.WallCapW is set, until its placement keeps the predicted wall draw at
+// or under the cap), preserving arrival fairness and keeping placement
+// order deterministic. Loads are applied before each step, so a job's
+// demand is charged from the step after its placement. The step count is
+// computed up front and elapsed time as k·dt, so a non-integer dt cannot
+// drift the window length or event timing the way an accumulated
+// `elapsed += dt` would (cf. the thermal RK4 substep fix).
+func RunTraceCfg(r *rack.Rack, jobs []Job, p Policy, tc TraceConfig) (Result, error) {
+	dt, horizon := tc.Dt, tc.Horizon
 	if dt <= 0 || horizon <= 0 {
 		return Result{}, fmt.Errorf("sched: dt and horizon must be positive")
 	}
@@ -290,6 +423,11 @@ func RunTrace(r *rack.Rack, jobs []Job, p Policy, dt, horizon float64) (Result, 
 	res := Result{Submitted: len(jobs)}
 	loads := make([]units.Percent, r.NumServers())
 	views := make([]ServerView, r.NumServers())
+	// pendingDC tracks, per slot, the DC increments of placements admitted
+	// earlier in the current step: the rack's measured draw lags behind by
+	// one step (loads apply at the next Step), so cap admission must count
+	// same-step placements or several jobs could jointly breach the cap.
+	pendingDC := make([]units.Watts, r.NumServers())
 	var pending []Job
 	var running []active
 	var totalWait float64
@@ -300,6 +438,9 @@ func RunTrace(r *rack.Rack, jobs []Job, p Policy, dt, horizon float64) (Result, 
 	for k := 0; k < steps; k++ {
 		elapsed := float64(k) * dt
 		now := start + elapsed
+		for i := range pendingDC {
+			pendingDC[i] = 0
+		}
 
 		// Completions first: capacity freed this instant is placeable now.
 		keep := running[:0]
@@ -337,6 +478,8 @@ func RunTrace(r *rack.Rack, jobs []Job, p Policy, dt, horizon float64) (Result, 
 					Free:       100 - loads[i],
 					MaxCPUTemp: r.Server(i).MaxCPUTemp(),
 					InletTemp:  r.Server(i).InletTemp(),
+					DCPower:    r.ServerDCPower(i),
+					WallPower:  r.ServerWallPower(i),
 				}
 			}
 			j := pending[0]
@@ -346,6 +489,17 @@ func RunTrace(r *rack.Rack, jobs []Job, p Policy, dt, horizon float64) (Result, 
 			}
 			if slot >= len(loads) || loads[slot]+j.Demand > 100 {
 				return res, fmt.Errorf("sched: policy %s placed job %d on invalid/overloaded server %d", p.Name(), j.ID, slot)
+			}
+			if tc.WallCapW > 0 {
+				mdc := MarginalDCPower(r.Server(slot).Config().Power, loads[slot], j.Demand)
+				pendingDC[slot] += mdc
+				if float64(r.WallPowerWithAll(pendingDC)) > tc.WallCapW {
+					// Deferral: the head blocks under the budget and is
+					// retried next step, after completions free power.
+					pendingDC[slot] -= mdc
+					res.Deferrals++
+					break
+				}
 			}
 			loads[slot] += j.Demand
 			running = append(running, active{end: now + j.Duration, slot: slot, demand: j.Demand})

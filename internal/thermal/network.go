@@ -1,16 +1,3 @@
-// Package thermal implements a lumped RC thermal network, the substrate that
-// replaces the physical SPARC T3 server's thermal behaviour.
-//
-// Nodes carry a heat capacitance (J/°C) and a temperature; boundaries are
-// fixed-temperature reservoirs (ambient or preheated inlet air). Links are
-// thermal conductances (W/°C, the reciprocal of a thermal resistance in
-// °C/W). Conductances may be changed between steps, which is how fan-speed
-// dependent convection is modelled: the server layer recomputes the
-// sink-to-air conductance from the current RPM before each step.
-//
-// The network reproduces the two behaviours Figure 1 of the paper documents:
-// a fast die-level transient (small C close to the heat source) and a slow
-// fan-dependent heatsink transient (large C behind an airflow-dependent R).
 package thermal
 
 import (

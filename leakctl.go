@@ -41,6 +41,7 @@ import (
 	"repro/internal/loadgen"
 	"repro/internal/lut"
 	"repro/internal/plot"
+	"repro/internal/power"
 	"repro/internal/rack"
 	"repro/internal/reliability"
 	"repro/internal/sched"
@@ -152,6 +153,11 @@ func DefaultLUTBuild() LUTBuildConfig { return lut.DefaultBuild() }
 
 // ReadLUT deserializes a table written with Table.WriteJSON.
 func ReadLUT(r io.Reader) (*LUTTable, error) { return lut.ReadJSON(r) }
+
+// LUTDiskCache caches built tables on disk keyed by config hash, so
+// repeated processes skip identical steady-state grids. The zero value
+// builds directly.
+type LUTDiskCache = lut.DiskCache
 
 // Model fitting (Section IV).
 type (
@@ -273,16 +279,21 @@ type (
 	Rack = rack.Rack
 	// RackConfig parameterizes a Rack.
 	RackConfig = rack.Config
-	// RackServerSpec configures one rack slot (config + fan controller).
+	// RackServerSpec configures one rack slot (config, fan controller and
+	// optional power supply).
 	RackServerSpec = rack.ServerSpec
-	// RackTelemetry is the rack-level aggregate view.
+	// RackTelemetry is the rack-level aggregate view, DC and wall side.
 	RackTelemetry = rack.Telemetry
 	// Job is one schedulable unit of rack work.
 	Job = sched.Job
 	// PlacementPolicy decides which server runs a job.
 	PlacementPolicy = sched.Policy
+	// ServerView is a placement policy's telemetry snapshot of one server.
+	ServerView = sched.ServerView
 	// SchedResult summarizes a trace run's scheduling outcome.
 	SchedResult = sched.Result
+	// TraceConfig parameterizes a job-trace run (step, window, wall cap).
+	TraceConfig = sched.TraceConfig
 	// JobSpec is one job of a loadgen-synthesized trace.
 	JobSpec = loadgen.JobSpec
 	// PoissonTraceConfig parameterizes the Poisson job-trace generator.
@@ -291,7 +302,25 @@ type (
 	RackEval = experiments.RackEval
 	// RackPolicyResult is one row of the policy×metric comparison.
 	RackPolicyResult = experiments.RackPolicyResult
+	// RackACResult is the AC-side comparison: uncapped and capped halves.
+	RackACResult = experiments.RackACResult
 )
+
+// Power-delivery chain (PSU per server, shared PDU, wall-side telemetry).
+type (
+	// PSUModel converts a server's DC draw to AC input through a
+	// load-dependent efficiency curve.
+	PSUModel = power.PSUModel
+	// PDUModel is the shared rack-level distribution unit feeding every
+	// PSU from the utility wall.
+	PDUModel = power.PDUModel
+)
+
+// DefaultPSU returns the 94%-asymptote server supply model.
+func DefaultPSU() PSUModel { return power.DefaultPSU() }
+
+// DefaultPDU returns the 98%-asymptote rack distribution model.
+func DefaultPDU() PDUModel { return power.DefaultPDU() }
 
 // NewRack builds a rack of simulated servers.
 func NewRack(cfg RackConfig) (*Rack, error) { return rack.New(cfg) }
@@ -305,6 +334,13 @@ func JobsFromSpecs(specs []JobSpec) []Job { return sched.JobsFromSpecs(specs) }
 // RunJobTrace drives a rack through a job trace under a placement policy.
 func RunJobTrace(r *Rack, jobs []Job, p PlacementPolicy, dt, horizon float64) (SchedResult, error) {
 	return sched.RunTrace(r, jobs, p, dt, horizon)
+}
+
+// RunJobTraceCfg is RunJobTrace with the full trace configuration,
+// including the rack-level wall-power cap under which placements that
+// would breach the budget are deferred.
+func RunJobTraceCfg(r *Rack, jobs []Job, p PlacementPolicy, tc TraceConfig) (SchedResult, error) {
+	return sched.RunTraceCfg(r, jobs, p, tc)
 }
 
 // NewRoundRobinPolicy returns the rotating placement baseline.
@@ -323,18 +359,38 @@ func NewLeakageAwarePolicy(cfgs []ServerConfig, build LUTBuildConfig) (Placement
 	return sched.NewLeakageAware(cfgs, build)
 }
 
+// NewCapAwarePolicy returns the wall-power-aware policy: the leakage-aware
+// marginal cost lifted through each slot's PSU efficiency curve, so jobs
+// go where the predicted marginal *wall* power is lowest. psus may be nil
+// (ideal supplies) or one entry per slot.
+func NewCapAwarePolicy(cfgs []ServerConfig, psus []*PSUModel, build LUTBuildConfig) (PlacementPolicy, error) {
+	return sched.NewCapAware(cfgs, psus, build)
+}
+
 // DefaultRackEval returns the standard 8-server rack comparison setup.
 func DefaultRackEval() RackEval { return experiments.DefaultRackEval() }
 
-// RackPolicyComparison runs one Poisson trace across all four placement
+// RackPolicyComparison runs one Poisson trace across all five placement
 // policies on identical heterogeneous racks.
 func RackPolicyComparison(base ServerConfig, ev RackEval) ([]RackPolicyResult, error) {
 	return experiments.RackPolicyComparison(base, ev)
 }
 
+// RackACComparison runs the AC-side experiment: all five policies, first
+// uncapped and then under the rack wall-power budget, with PSU/PDU
+// conversion losses accounted at the wall.
+func RackACComparison(base ServerConfig, ev RackEval) (*RackACResult, error) {
+	return experiments.RackACComparison(base, ev)
+}
+
 // FormatRackTable renders the policy×metric comparison table.
 func FormatRackTable(w io.Writer, rows []RackPolicyResult) error {
 	return experiments.FormatRackTable(w, rows)
+}
+
+// FormatRackACTable renders the AC-side (wall power) comparison table.
+func FormatRackACTable(w io.Writer, res *RackACResult) error {
+	return experiments.FormatRackACTable(w, res)
 }
 
 // Extensions beyond the paper (DESIGN.md §6).
