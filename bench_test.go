@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"repro/internal/control"
+	"repro/internal/cooling"
 	"repro/internal/dvfs"
 	"repro/internal/experiments"
 	"repro/internal/loadgen"
@@ -700,6 +701,62 @@ func BenchmarkRackACTrace(b *testing.B) {
 			b.ReportMetric(r.Rack.PeakWallPowerW, "capAwareCappedPeakWallW")
 		}
 	}
+}
+
+// BenchmarkRackStepFacility is BenchmarkRackStepWall with the CRAC/chiller
+// loop attached on top of the delivery chain: the facility roll-up is two
+// scalar model evaluations per step, so its overhead over the wall step
+// bounds what total-facility accounting costs.
+func BenchmarkRackStepFacility(b *testing.B) {
+	n := 16
+	cfgs := experiments.RackServerConfigs(T3Config(), n)
+	psu, pdu := power.DefaultPSU(), power.DefaultPDU()
+	fac := cooling.DefaultFacility(22)
+	specs := make([]rack.ServerSpec, n)
+	for i := range specs {
+		specs[i] = rack.ServerSpec{Config: cfgs[i]}
+	}
+	r, err := rack.New(rack.Config{Servers: specs, Workers: 1, PSU: &psu, PDU: &pdu, Facility: &fac})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		r.SetLoad(i, 70)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Step(1)
+	}
+	b.ReportMetric(float64(r.CoolingPower()), "coolingW")
+	b.ReportMetric(r.PUE(), "pue")
+}
+
+// BenchmarkRackFacilityTrace regenerates the facility sweep — six
+// policies × three cold-aisle setpoints with the CRAC/chiller loop — and
+// reports the headline facility quantities, including the sweet-spot
+// setpoint the sweep exists to find.
+func BenchmarkRackFacilityTrace(b *testing.B) {
+	base := T3Config()
+	fe := experiments.DefaultFacilityEval()
+	var rows []experiments.FacilityPolicyResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.RackFacilityComparison(base, fe)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Policy == "pue-aware" && r.SetpointC == float64(fe.SetpointsC[0]) {
+			b.ReportMetric(r.Rack.PUE, "pueAwareColdPUE")
+		}
+	}
+	sp, wh, err := experiments.FacilitySweetSpot(rows, "pue-aware")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(sp, "sweetSpotC")
+	b.ReportMetric(wh, "sweetSpotFacilityWh")
 }
 
 // BenchmarkSteadyTemp measures the analytic steady-state solve.

@@ -14,17 +14,22 @@
 //	evalctl -rack -cap 2500 # wall-power budget for the capped runs
 //	evalctl -rack -ideal    # lossless delivery chain (wall == DC)
 //	evalctl -rack -lutcache /tmp/luts   # reuse LUTs across processes
+//	evalctl -facility       # policy × cold-aisle-setpoint facility sweep
+//	evalctl -facility -setpoints 14,21,28
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/experiments"
 	"repro/internal/plot"
 	"repro/internal/power"
 	"repro/internal/server"
+	"repro/internal/units"
 	"repro/internal/workload"
 )
 
@@ -54,15 +59,66 @@ func main() {
 	seed := flag.Int64("seed", 42, "seed for the stochastic workloads")
 	csv := flag.Bool("csv", false, "CSV output for -fig3")
 	rackCmp := flag.Bool("rack", false, "run the rack-scale placement-policy comparison")
-	servers := flag.Int("servers", 0, "rack size for -rack (0 = default)")
-	horizon := flag.Float64("horizon", 0, "measured window in seconds for -rack (0 = default)")
-	capW := flag.Float64("cap", 0, "wall-power budget in W for -rack's capped runs (0 = auto)")
-	ideal := flag.Bool("ideal", false, "lossless delivery chain for -rack: no PSU/PDU, wall == DC")
+	facilityCmp := flag.Bool("facility", false, "run the policy × cold-aisle-setpoint facility sweep")
+	setpoints := flag.String("setpoints", "", "comma-separated supply setpoints in °C for -facility (default 14,21,28)")
+	servers := flag.Int("servers", 0, "rack size for -rack/-facility (0 = default)")
+	horizon := flag.Float64("horizon", 0, "measured window in seconds for -rack/-facility (0 = default)")
+	capW := flag.Float64("cap", 0, "wall-power budget in W (-rack: 0 = auto; -facility: 0 = uncapped)")
+	ideal := flag.Bool("ideal", false, "lossless delivery chain for -rack/-facility: no PSU/PDU, wall == DC")
 	lutCache := flag.String("lutcache", "", "directory for the cross-process LUT disk cache")
 	flag.Parse()
 
 	cfg := server.T3Config()
 	ec := experiments.DefaultEval()
+
+	if *facilityCmp {
+		fe := experiments.DefaultFacilityEval()
+		fe.Rack.TraceSeed = *seed
+		if *servers > 0 {
+			fe.Rack.Servers = *servers
+		}
+		if *horizon > 0 {
+			fe.Rack.Horizon = *horizon
+		}
+		fe.Rack.WallCapW = *capW
+		fe.Rack.LUTCacheDir = *lutCache
+		if *ideal {
+			fe.Rack.PSU, fe.Rack.PDU = nil, nil
+		}
+		if *setpoints != "" {
+			var sps []units.Celsius
+			for _, tok := range strings.Split(*setpoints, ",") {
+				v, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "evalctl: bad -setpoints entry %q: %v\n", tok, err)
+					os.Exit(1)
+				}
+				sps = append(sps, units.Celsius(v))
+			}
+			fe.SetpointsC = sps
+		}
+		rows, err := experiments.RackFacilityComparison(cfg, fe)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "evalctl:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("Facility sweep: %d servers (ambients %s °C at the %g °C reference supply), "+
+			"%.0f min Poisson trace (seed %d), CRAC blower %.0f%% + chiller COP0 %.1f\n\n",
+			fe.Rack.Servers, ambientList(cfg, fe.Rack.Servers), float64(fe.CRAC.ReferenceC),
+			fe.Rack.Horizon/60, fe.Rack.TraceSeed, 100*fe.CRAC.BlowerCoeff, fe.Chiller.COP0)
+		if err := experiments.FormatRackFacilityTable(os.Stdout, rows); err != nil {
+			fmt.Fprintln(os.Stderr, "evalctl:", err)
+			os.Exit(1)
+		}
+		fmt.Println("\nevery wall watt-hour returns as room heat the CRAC/chiller chain must remove;")
+		fmt.Println("a cold aisle overpays the chiller, a warm aisle overpays server fans+leakage")
+		for _, p := range []string{"round-robin", "pue-aware"} {
+			if sp, wh, err := experiments.FacilitySweetSpot(rows, p); err == nil {
+				fmt.Printf("%-12s sweet spot: %g °C supply (%.1f Wh facility)\n", p, sp, wh)
+			}
+		}
+		return
+	}
 
 	if *rackCmp {
 		ev := experiments.DefaultRackEval()

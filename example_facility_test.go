@@ -1,0 +1,57 @@
+package leakctl_test
+
+import (
+	"fmt"
+	"math"
+
+	leakctl "repro"
+)
+
+// ExampleFacility attaches the CRAC/chiller cooling loop to a rack and
+// shows the facility-side telemetry it adds: every wall Watt returns as
+// room heat removed at a load- and setpoint-dependent cost, so the
+// facility bill decomposes into wall energy plus cooling energy and the
+// PUE sits above 1. Raising the cold-aisle setpoint makes the chiller
+// cheaper per Watt but shifts every server's ambient up — the paper's
+// fan-vs-leakage tradeoff at facility scope.
+func ExampleFacility() {
+	build := func(supplyC leakctl.Celsius) *leakctl.Rack {
+		psu, pdu := leakctl.DefaultPSU(), leakctl.DefaultPDU()
+		fac := leakctl.DefaultFacility(supplyC)
+		r, err := leakctl.NewRack(leakctl.RackConfig{
+			Servers: []leakctl.RackServerSpec{
+				{Config: leakctl.T3Config()},
+				{Config: leakctl.T3Config()},
+			},
+			Workers:  1,
+			PSU:      &psu,
+			PDU:      &pdu,
+			Facility: &fac,
+		})
+		if err != nil {
+			panic(err)
+		}
+		r.SetLoad(0, 60)
+		r.SetLoad(1, 60)
+		for s := 0; s < 600; s++ {
+			r.Step(1)
+		}
+		return r
+	}
+
+	ref := build(leakctl.DefaultCRAC().ReferenceC) // identity on ambients
+	warm := build(leakctl.DefaultCRAC().ReferenceC + 8)
+
+	tel := ref.Telemetry()
+	sum := tel.WallEnergyKWh + tel.CoolingEnergyKWh
+	fmt.Printf("facility = wall + cooling: %v\n", tel.FacilityEnergyKWh > 0 && math.Abs(tel.FacilityEnergyKWh-sum) < 1e-12)
+	fmt.Printf("PUE above 1: %v\n", tel.PUE > 1)
+	warmTel := warm.Telemetry()
+	fmt.Printf("warmer aisle cuts cooling energy: %v\n", warmTel.CoolingEnergyKWh < tel.CoolingEnergyKWh)
+	fmt.Printf("warmer aisle heats the servers: %v\n", warmTel.MaxCPUTempC > tel.MaxCPUTempC)
+	// Output:
+	// facility = wall + cooling: true
+	// PUE above 1: true
+	// warmer aisle cuts cooling energy: true
+	// warmer aisle heats the servers: true
+}

@@ -1,0 +1,212 @@
+package cooling
+
+import (
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// CRACModel is the computer-room air conditioner: the air-side half of the
+// facility loop. It blows supply air at the cold-aisle setpoint, collects
+// the servers' exhaust as return air, and hands the picked-up heat to the
+// chilled-water loop. Server configurations state their Ambient at the
+// reference supply temperature; moving the setpoint shifts every inlet by
+// the same delta (a well-mixed cold aisle), which is exactly the knob the
+// facility-level fan/leakage tradeoff turns.
+type CRACModel struct {
+	// SupplyC is the cold-aisle supply-air setpoint.
+	SupplyC units.Celsius
+	// ReferenceC is the supply temperature at which server Config.Ambient
+	// values were specified. SupplyC == ReferenceC means the CRAC feeds the
+	// servers exactly the inlet temperatures they were configured with.
+	ReferenceC units.Celsius
+	// BlowerCoeff is the air-transport cost: blower power per Watt of heat
+	// moved (dimensionless, e.g. 0.05 = 5%). The blower sits in the air
+	// stream, so its own power joins the heat the chiller must remove.
+	BlowerCoeff float64
+	// CapacityW is the rated heat-removal capacity, used to scale the
+	// return-air temperature rise.
+	CapacityW float64
+	// AirRiseC is the supply→return air temperature rise at rated capacity.
+	AirRiseC units.Celsius
+}
+
+// DefaultCRAC returns a room unit sized for a few racks: 18 °C supply (the
+// reference, so the default is the identity on server ambients), a 5%
+// air-transport cost, and a 12 °C design air-side rise at 40 kW.
+func DefaultCRAC() CRACModel {
+	return CRACModel{SupplyC: 18, ReferenceC: 18, BlowerCoeff: 0.05, CapacityW: 40000, AirRiseC: 12}
+}
+
+// Validate reports parameterization errors.
+func (c CRACModel) Validate() error {
+	if c.BlowerCoeff < 0 {
+		return fmt.Errorf("cooling: CRAC blower coefficient must be >= 0, got %g", c.BlowerCoeff)
+	}
+	if c.CapacityW <= 0 {
+		return fmt.Errorf("cooling: CRAC capacity must be positive, got %g", c.CapacityW)
+	}
+	return nil
+}
+
+// AmbientDelta is the shift the setpoint applies to every server inlet:
+// SupplyC − ReferenceC.
+func (c CRACModel) AmbientDelta() units.Celsius { return c.SupplyC - c.ReferenceC }
+
+// BlowerPower returns the air-mover power needed to transport heatW of
+// server heat from the hot aisle back to the coil. Zero heat is exactly
+// zero power — the identity half of the no-facility contract.
+func (c CRACModel) BlowerPower(heatW float64) float64 {
+	if heatW <= 0 {
+		return 0
+	}
+	return c.BlowerCoeff * heatW
+}
+
+// ReturnC is the return-air (hot aisle) temperature implied by the heat
+// load: the supply setpoint plus the design rise scaled by load over rated
+// capacity. Telemetry flavor; the energy accounting never depends on it.
+func (c CRACModel) ReturnC(heatW float64) units.Celsius {
+	if heatW <= 0 {
+		return c.SupplyC
+	}
+	return c.SupplyC + units.Celsius(float64(c.AirRiseC)*heatW/c.CapacityW)
+}
+
+// ChillerModel produces the chilled water the CRAC coil consumes. Its
+// coefficient of performance follows the classic surrogate
+//
+//	COP = COP0 · f(load, outdoor)
+//	    = COP0 · (1 + SupplyGain·(Tsupply − SupplyRefC))
+//	           · (1 − PartLoadDroop/(1 + load/PartLoadKneeW))
+//	           / (1 + OutdoorPenalty·(Toutdoor − OutdoorRefC))
+//
+// — warmer supply water means less thermodynamic lift (COP up), partial
+// load wastes compressor cycling (COP down), and a hot condenser side
+// raises the lift again (COP down). The floor MinCOP keeps a degenerate
+// parameterization from dividing cooling power by ~0.
+type ChillerModel struct {
+	COP0           float64       // nominal COP at reference supply/outdoor, full load
+	SupplyRefC     units.Celsius // supply temperature COP0 is quoted at
+	SupplyGain     float64       // fractional COP change per °C of warmer supply
+	OutdoorC       units.Celsius // condenser-side outdoor air temperature
+	OutdoorRefC    units.Celsius // outdoor temperature COP0 is quoted at
+	OutdoorPenalty float64       // fractional COP loss per °C of hotter outdoor air
+	PartLoadDroop  float64       // COP fraction lost at zero load
+	PartLoadKneeW  float64       // load (W) where half of the droop is recovered
+	MinCOP         float64       // hard floor on the resulting COP
+}
+
+// DefaultChiller returns a water-cooled unit in the rack-scale envelope:
+// COP 4.5 at an 18 °C supply / 30 °C outdoor design point, 2%/°C penalty
+// for hotter outdoor air, and a 25% part-load droop recovering by 1.5 kW.
+// SupplyGain is the *net plant* sensitivity to a warmer supply — the
+// compressor's lift saving after the pumping and approach-temperature
+// overheads that don't scale with setpoint — which is what makes the
+// facility-level sweet spot an interior setpoint rather than "as warm as
+// the servers survive".
+func DefaultChiller() ChillerModel {
+	return ChillerModel{
+		COP0:           4.5,
+		SupplyRefC:     18,
+		SupplyGain:     0.003,
+		OutdoorC:       30,
+		OutdoorRefC:    30,
+		OutdoorPenalty: 0.02,
+		PartLoadDroop:  0.25,
+		PartLoadKneeW:  1500,
+		MinCOP:         0.5,
+	}
+}
+
+// Validate reports parameterization errors.
+func (m ChillerModel) Validate() error {
+	if m.COP0 <= 0 {
+		return fmt.Errorf("cooling: chiller COP0 must be positive, got %g", m.COP0)
+	}
+	if m.MinCOP <= 0 {
+		return fmt.Errorf("cooling: chiller MinCOP must be positive, got %g", m.MinCOP)
+	}
+	if m.PartLoadDroop < 0 || m.PartLoadDroop >= 1 {
+		return fmt.Errorf("cooling: chiller part-load droop must be in [0,1), got %g", m.PartLoadDroop)
+	}
+	return nil
+}
+
+// COP returns the coefficient of performance at the given coil load and
+// supply setpoint, floored at MinCOP.
+func (m ChillerModel) COP(loadW float64, supply units.Celsius) float64 {
+	if loadW < 0 {
+		loadW = 0
+	}
+	knee := m.PartLoadKneeW
+	if knee <= 0 {
+		knee = 1
+	}
+	cop := m.COP0
+	cop *= 1 + m.SupplyGain*float64(supply-m.SupplyRefC)
+	cop *= 1 - m.PartLoadDroop/(1+loadW/knee)
+	cop /= 1 + m.OutdoorPenalty*float64(m.OutdoorC-m.OutdoorRefC)
+	if cop < m.MinCOP {
+		cop = m.MinCOP
+	}
+	return cop
+}
+
+// Power returns the compressor power drawn to remove loadW of heat at the
+// given supply setpoint: load/COP, exactly zero at zero load.
+func (m ChillerModel) Power(loadW float64, supply units.Celsius) float64 {
+	if loadW <= 0 {
+		return 0
+	}
+	return loadW / m.COP(loadW, supply)
+}
+
+// Facility is the assembled cooling loop: one CRAC on the air side feeding
+// one chiller on the water side. Attached to a rack it consumes the rack's
+// per-step wall heat (every wall Watt becomes room heat) and emits the
+// facility-side telemetry — cooling power, facility power, PUE.
+type Facility struct {
+	CRAC    CRACModel
+	Chiller ChillerModel
+}
+
+// DefaultFacility returns the default CRAC/chiller pair with the cold
+// aisle at the given supply setpoint.
+func DefaultFacility(supplyC units.Celsius) Facility {
+	crac := DefaultCRAC()
+	crac.SupplyC = supplyC
+	return Facility{CRAC: crac, Chiller: DefaultChiller()}
+}
+
+// Validate reports parameterization errors in either stage.
+func (f Facility) Validate() error {
+	if err := f.CRAC.Validate(); err != nil {
+		return err
+	}
+	return f.Chiller.Validate()
+}
+
+// AmbientDelta is the shift the facility's setpoint applies to every
+// server inlet (see CRACModel.AmbientDelta).
+func (f Facility) AmbientDelta() units.Celsius { return f.CRAC.AmbientDelta() }
+
+// Split attributes the cooling power for wallW of IT heat to its stages:
+// the CRAC blower moving the air, and the chiller removing both the server
+// heat and the blower's own dissipation at the setpoint-dependent COP.
+func (f Facility) Split(wallW float64) (blowerW, chillerW float64) {
+	if wallW <= 0 {
+		return 0, 0
+	}
+	blowerW = f.CRAC.BlowerPower(wallW)
+	chillerW = f.Chiller.Power(wallW+blowerW, f.CRAC.SupplyC)
+	return blowerW, chillerW
+}
+
+// CoolingPower returns the total facility-side power (blower + chiller)
+// spent removing wallW of IT heat. Zero heat is exactly zero cooling
+// power: a facility over an idle (unpowered) rack is the identity.
+func (f Facility) CoolingPower(wallW float64) float64 {
+	blowerW, chillerW := f.Split(wallW)
+	return blowerW + chillerW
+}

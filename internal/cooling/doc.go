@@ -1,0 +1,49 @@
+// Package cooling closes the facility half of the energy chain: where
+// internal/power carries a server's DC draw to the utility wall (PSU →
+// PDU), this package carries every wall Watt onward as room heat that a
+// CRAC/chiller pair must remove — the total-facility accounting the
+// paper's fan-vs-leakage tradeoff ultimately feeds into.
+//
+// # The COP chain
+//
+// A CRACModel blows supply air at the cold-aisle setpoint and charges an
+// air-transport cost (blower power proportional to the heat moved); a
+// ChillerModel removes the collected heat — server heat plus the blower's
+// own dissipation — at a coefficient of performance
+//
+//	COP = COP0 · f(load, outdoor)
+//
+// that improves with a warmer supply setpoint (less thermodynamic lift),
+// degrades at partial load and degrades with hotter condenser-side air.
+// The assembled Facility therefore exposes exactly the operator tradeoff
+// the paper lifts to facility scope: raising the cold aisle makes the
+// chiller cheaper per Watt but makes every server hotter — more leakage,
+// faster fans, more wall heat to remove. Somewhere in between sits the
+// setpoint that minimizes total facility energy.
+//
+// # Setpoint wiring
+//
+// Server configurations state their Ambient at the CRAC's reference
+// supply temperature; CRACModel.AmbientDelta (SupplyC − ReferenceC) is
+// the uniform shift a rack applies to every server inlet when a Facility
+// is attached (a well-mixed cold aisle). At the reference setpoint the
+// delta is zero and the servers see exactly their configured ambients.
+//
+// # Identity-chain guarantee
+//
+// The package extends the delivery chain's identity contract: with no
+// Facility attached a rack's cooling power is exactly zero and every
+// pre-existing metric is bit-identical to the facility-less build; with a
+// Facility attached at the reference setpoint the physics are still bit
+// identical (the ambient delta is exactly zero) and only the new
+// facility telemetry — CoolingEnergyKWh, FacilityEnergyKWh, PUE — becomes
+// non-trivial. CoolingPower(0) is exactly 0 by construction, so an
+// unpowered rack costs nothing to cool.
+//
+// # Determinism contract
+//
+// All models here are pure functions of their inputs. The rack evaluates
+// them serially, in index order, after its per-server fan-out barrier —
+// the same contract every other cross-server reduction follows — so
+// facility telemetry is byte-identical for any worker count.
+package cooling

@@ -1,0 +1,237 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/cooling"
+	"repro/internal/lut"
+	"repro/internal/par"
+	"repro/internal/plot"
+	"repro/internal/power"
+	"repro/internal/sched"
+	"repro/internal/server"
+	"repro/internal/units"
+)
+
+// FacilityEval parameterizes the facility-scope comparison: the rack
+// policy experiment swept across cold-aisle supply setpoints with the
+// CRAC/chiller loop attached. Raising the setpoint makes the chiller
+// cheaper per Watt but every server leakier and its fans busier — the
+// paper's fan-vs-leakage tradeoff lifted to facility scope — so total
+// facility energy is minimized at an interior setpoint.
+type FacilityEval struct {
+	// Rack is the underlying rack experiment: size, trace, delivery chain,
+	// worker bound, optional wall cap and LUT disk cache.
+	Rack RackEval
+	// SetpointsC are the cold-aisle supply setpoints to sweep, in °C.
+	SetpointsC []units.Celsius
+	// CRAC is the room unit; its SupplyC is overwritten by each swept
+	// setpoint. Its ReferenceC anchors the ambient shift (see
+	// cooling.CRACModel).
+	CRAC cooling.CRACModel
+	// Chiller is the water-side COP model shared by every setpoint.
+	Chiller cooling.ChillerModel
+}
+
+// DefaultFacilityEval returns the standard sweep: the default 8-server
+// rack behind the default PSU/PDU chain, under a busier trace than the
+// DC-side comparison (≈45% mean offered load, so the fan/leakage response
+// to the aisle temperature is pronounced), across three supply setpoints
+// bracketing the 18 °C reference.
+func DefaultFacilityEval() FacilityEval {
+	ev := DefaultRackEval()
+	ev.Rate = 0.03
+	ev.Demands = []units.Percent{30, 50, 70}
+	psu, pdu := power.DefaultPSU(), power.DefaultPDU()
+	ev.PSU, ev.PDU = &psu, &pdu
+	return FacilityEval{
+		Rack:       ev,
+		SetpointsC: []units.Celsius{14, 21, 28},
+		CRAC:       cooling.DefaultCRAC(),
+		Chiller:    cooling.DefaultChiller(),
+	}
+}
+
+// Facility assembles the cooling loop at one swept setpoint.
+func (fe FacilityEval) Facility(setpoint units.Celsius) cooling.Facility {
+	crac := fe.CRAC
+	crac.SupplyC = setpoint
+	return cooling.Facility{CRAC: crac, Chiller: fe.Chiller}
+}
+
+// FacilityPolicyResult is one row of the policy×setpoint table.
+type FacilityPolicyResult struct {
+	SetpointC float64 // cold-aisle supply setpoint of this run
+	RackPolicyResult
+}
+
+// CoolingWh returns the CRAC+chiller energy in watt-hours.
+func (r FacilityPolicyResult) CoolingWh() float64 { return r.Rack.CoolingEnergyKWh * 1000 }
+
+// FacilityWh returns the total facility energy (wall + cooling) in
+// watt-hours — the number the sweep minimizes.
+func (r FacilityPolicyResult) FacilityWh() float64 { return r.Rack.FacilityEnergyKWh * 1000 }
+
+// RackFacilityComparison sweeps every placement policy across the eval's
+// cold-aisle setpoints with the CRAC/chiller loop attached, over one
+// shared Poisson trace. Per setpoint, the servers' fan-controller LUTs
+// (and the pue-aware policy's cost tables) are rebuilt at the ambients
+// the CRAC actually supplies — the operator recalibrates the 75 °C cap
+// for the real aisle temperature — while the facility-blind table
+// policies (leakage-aware, cap-aware) keep the reference tables, which is
+// precisely the staleness pue-aware exists to fix. Runs fan out over the
+// worker pool (slot-per-run); all scheduling stays serial, so rows are
+// byte-identical for every worker count.
+func RackFacilityComparison(base server.Config, fe FacilityEval) ([]FacilityPolicyResult, error) {
+	if len(fe.SetpointsC) == 0 {
+		return nil, fmt.Errorf("experiments: facility eval needs at least one setpoint")
+	}
+	ev := fe.Rack
+	s, err := prepareRackEval(base, ev)
+	if err != nil {
+		return nil, err
+	}
+	psus := make([]*power.PSUModel, len(s.cfgs))
+	for i := range psus {
+		psus[i] = ev.PSU
+	}
+	models := make([]power.ServerModel, len(s.cfgs))
+	for i, cfg := range s.cfgs {
+		models[i] = cfg.Power
+	}
+
+	// Serial preparation: per setpoint, recalibrated tables and fresh
+	// policy instances (policies are stateful; nothing is shared between
+	// concurrent runs except read-only tables and the job trace).
+	type cell struct {
+		setpoint units.Celsius
+		fac      cooling.Facility
+		policy   sched.Policy
+		ctlTabs  []*lut.Table
+	}
+	var cells []cell
+	for _, sp := range fe.SetpointsC {
+		fac := fe.Facility(sp)
+		if err := fac.Validate(); err != nil {
+			return nil, fmt.Errorf("experiments: facility at %v: %w", sp, err)
+		}
+		shifted := make([]server.Config, len(s.cfgs))
+		delta := fac.AmbientDelta()
+		for i, cfg := range s.cfgs {
+			shifted[i] = cfg.ShiftAmbient(delta)
+		}
+		spTables, err := buildRackTables(shifted, ev)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: facility tables at %v: %w", sp, err)
+		}
+		la, err := sched.NewLeakageAwareFromTables(s.tables)
+		if err != nil {
+			return nil, err
+		}
+		ca, err := sched.NewCapAwareFromTables(s.tables, models, psus)
+		if err != nil {
+			return nil, err
+		}
+		pa, err := sched.NewPUEAwareFromTables(spTables, models, psus, fac)
+		if err != nil {
+			return nil, err
+		}
+		policies := []sched.Policy{
+			sched.NewRoundRobin(),
+			sched.NewLeastUtilized(),
+			sched.NewCoolestFirst(),
+			la,
+			ca,
+			pa,
+		}
+		for _, p := range policies {
+			cells = append(cells, cell{setpoint: sp, fac: fac, policy: p, ctlTabs: spTables})
+		}
+	}
+
+	// Fan out the runs; each cell writes only its own slot.
+	results := make([]FacilityPolicyResult, len(cells))
+	errs := make([]error, len(cells))
+	par.ForEach(len(cells), ev.Workers, func(i int) {
+		c := cells[i]
+		fac := c.fac
+		r, err := rackFor(s.cfgs, c.ctlTabs, ev, &fac)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		for k := int(math.Ceil(ev.Stabilize/ev.Dt - 1e-9)); k > 0; k-- {
+			r.Step(ev.Dt)
+		}
+		r.ResetAccounting()
+		sres, err := sched.RunTraceCfg(r, s.jobs, c.policy, sched.TraceConfig{Dt: ev.Dt, Horizon: ev.Horizon, WallCapW: ev.WallCapW})
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		results[i] = FacilityPolicyResult{
+			SetpointC: float64(c.setpoint),
+			RackPolicyResult: RackPolicyResult{
+				Policy: c.policy.Name(),
+				CapW:   ev.WallCapW,
+				Sched:  sres,
+				Rack:   r.Telemetry(),
+			},
+		}
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("experiments: facility run %s@%g°C: %w",
+				cells[i].policy.Name(), float64(cells[i].setpoint), err)
+		}
+	}
+	return results, nil
+}
+
+// FacilitySweetSpot returns, for the given policy, the setpoint with the
+// lowest total facility energy among the rows.
+func FacilitySweetSpot(rows []FacilityPolicyResult, policy string) (setpointC, facilityWh float64, err error) {
+	found := false
+	for _, r := range rows {
+		if r.Policy != policy {
+			continue
+		}
+		if !found || r.FacilityWh() < facilityWh {
+			setpointC, facilityWh = r.SetpointC, r.FacilityWh()
+			found = true
+		}
+	}
+	if !found {
+		return 0, 0, fmt.Errorf("experiments: policy %q has no facility rows", policy)
+	}
+	return setpointC, facilityWh, nil
+}
+
+// FormatRackFacilityTable renders the policy×setpoint comparison: wall
+// energy, the cooling bill on top of it, the total facility energy, PUE
+// and the thermal/scheduling context per cell.
+func FormatRackFacilityTable(w io.Writer, rows []FacilityPolicyResult) error {
+	headers := []string{
+		"Supply(°C)", "Policy", "Wh(AC)", "Cool(Wh)", "Facility(Wh)", "PUE",
+		"MaxCPU(°C)", "#fan", "Defer", "Placed", "Wait(s)",
+	}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			fmt.Sprintf("%.0f", r.SetpointC),
+			r.Policy,
+			fmt.Sprintf("%.2f", r.WallWh()),
+			fmt.Sprintf("%.2f", r.CoolingWh()),
+			fmt.Sprintf("%.2f", r.FacilityWh()),
+			fmt.Sprintf("%.4f", r.Rack.PUE),
+			fmt.Sprintf("%.1f", r.Rack.MaxCPUTempC),
+			fmt.Sprintf("%d", r.Rack.FanChanges),
+			fmt.Sprintf("%d", r.Sched.Deferrals),
+			fmt.Sprintf("%d/%d", r.Sched.Placed, r.Sched.Submitted),
+			fmt.Sprintf("%.1f", r.Sched.MeanWaitSec),
+		})
+	}
+	return plot.Table(w, headers, cells)
+}

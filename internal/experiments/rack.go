@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"repro/internal/control"
+	"repro/internal/cooling"
 	"repro/internal/loadgen"
 	"repro/internal/lut"
 	"repro/internal/par"
@@ -102,10 +103,10 @@ func RackServerConfigs(base server.Config, n int) []server.Config {
 // rackFor assembles a fresh rack over cfgs, each server under its own LUT
 // fan controller built from that server's configuration (tables shared
 // read-only across servers with identical steady-state physics), with the
-// experiment's power-delivery chain attached. The rack steps serially:
-// within the comparison, parallelism lives at the policy level (see
-// RackEval.Workers).
-func rackFor(cfgs []server.Config, tables []*lut.Table, ev RackEval) (*rack.Rack, error) {
+// experiment's power-delivery chain — and, when fac is non-nil, the
+// facility cooling loop — attached. The rack steps serially: within the
+// comparison, parallelism lives at the policy level (see RackEval.Workers).
+func rackFor(cfgs []server.Config, tables []*lut.Table, ev RackEval, fac *cooling.Facility) (*rack.Rack, error) {
 	specs := make([]rack.ServerSpec, len(cfgs))
 	for i, cfg := range cfgs {
 		lc, err := control.NewLUT(tables[i], control.DefaultLUT())
@@ -118,7 +119,7 @@ func rackFor(cfgs []server.Config, tables []*lut.Table, ev RackEval) (*rack.Rack
 			Controller: lc,
 		}
 	}
-	return rack.New(rack.Config{Servers: specs, Workers: 1, PSU: ev.PSU, PDU: ev.PDU})
+	return rack.New(rack.Config{Servers: specs, Workers: 1, PSU: ev.PSU, PDU: ev.PDU, Facility: fac})
 }
 
 // buildRackTables builds one LUT per distinct server configuration
@@ -299,7 +300,7 @@ func RackACComparison(base server.Config, ev RackEval) (*RackACResult, error) {
 // runRackPolicy is one policy's full run: fresh rack, idle stabilization,
 // accounting reset, then the measured trace window under the cap.
 func (s *rackSetup) runRackPolicy(p sched.Policy, ev RackEval, capW float64) (RackPolicyResult, error) {
-	r, err := rackFor(s.cfgs, s.tables, ev)
+	r, err := rackFor(s.cfgs, s.tables, ev, nil)
 	if err != nil {
 		return RackPolicyResult{}, err
 	}

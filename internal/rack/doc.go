@@ -30,6 +30,21 @@
 // the loss is exactly zero, so attaching the chain never perturbs the
 // physics.
 //
+// # Facility cooling loop
+//
+// A cooling.Facility (CRAC + chiller, see internal/cooling) closes the
+// chain past the wall: every wall Watt becomes room heat removed at a
+// load- and setpoint-dependent cost, accounted serially after the barrier
+// like every other reduction — cooling energy, facility energy (wall +
+// cooling, integrated independently so the identity is a real property),
+// the facility power peak and PUE. The CRAC's cold-aisle setpoint shifts
+// every server's configured ambient by the same delta at construction,
+// which is the facility-scope version of the paper's tradeoff: a warmer
+// aisle makes the chiller cheaper per Watt but every server leakier and
+// its fans busier. With no facility attached the cooling power is exactly
+// zero, PUE is exactly 1, and every pre-existing metric is bit-identical
+// to a facility-less rack.
+//
 // The rack is the substrate for internal/sched: a dispatcher places jobs
 // onto servers, the rack advances the physics, and the telemetry says
 // which placement policy heated the room — and loaded the wall — least.

@@ -1,0 +1,183 @@
+package rack
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/cooling"
+	"repro/internal/power"
+	"repro/internal/server"
+	"repro/internal/units"
+)
+
+// facRack builds an n-server rack with the default delivery chain and the
+// given facility, loaded at 60% everywhere.
+func facRack(t *testing.T, n, workers int, fac *cooling.Facility) *Rack {
+	t.Helper()
+	psu, pdu := power.DefaultPSU(), power.DefaultPDU()
+	specs := make([]ServerSpec, n)
+	for i := range specs {
+		cfg := server.T3Config()
+		cfg.Ambient = units.Celsius(21 + 3*(i%4))
+		cfg.NoiseSeed = int64(1 + 7*i)
+		specs[i] = ServerSpec{Config: cfg}
+	}
+	r, err := New(Config{Servers: specs, Workers: workers, PSU: &psu, PDU: &pdu, Facility: fac})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		r.SetLoad(i, 60)
+	}
+	return r
+}
+
+// TestRackNoFacilityIsIdentity pins the identity contract: a rack without
+// a facility reports exactly zero cooling power and energy, PUE exactly 1,
+// facility telemetry mirroring the wall side bitwise — and every
+// pre-existing metric bit-identical to the same rack built before the
+// facility layer existed (same struct fields, same code path).
+func TestRackNoFacilityIsIdentity(t *testing.T) {
+	r := facRack(t, 3, 1, nil)
+	for s := 0; s < 120; s++ {
+		r.Step(1)
+	}
+	if r.CoolingPower() != 0 {
+		t.Fatalf("no facility: cooling power %v, want exactly 0", r.CoolingPower())
+	}
+	if r.FacilityPower() != r.WallPower() {
+		t.Fatalf("no facility: facility power %v != wall power %v", r.FacilityPower(), r.WallPower())
+	}
+	if r.PUE() != 1 {
+		t.Fatalf("no facility: PUE %g, want exactly 1", r.PUE())
+	}
+	tel := r.Telemetry()
+	if tel.CoolingEnergyKWh != 0 {
+		t.Fatalf("no facility: cooling energy %g, want exactly 0", tel.CoolingEnergyKWh)
+	}
+	if tel.FacilityEnergyKWh != tel.WallEnergyKWh {
+		t.Fatalf("no facility: facility energy %g != wall energy %g", tel.FacilityEnergyKWh, tel.WallEnergyKWh)
+	}
+	if tel.PUE != 1 {
+		t.Fatalf("no facility: telemetry PUE %g, want exactly 1", tel.PUE)
+	}
+	if tel.PeakFacilityPowerW != tel.PeakWallPowerW {
+		t.Fatalf("no facility: peak facility %g != peak wall %g", tel.PeakFacilityPowerW, tel.PeakWallPowerW)
+	}
+}
+
+// TestRackFacilityReferenceSetpointKeepsPhysics: attaching the facility at
+// the reference setpoint (ambient delta exactly zero) must leave every
+// physics and wall metric bit-identical to the facility-less rack; only
+// the facility telemetry becomes non-trivial.
+func TestRackFacilityReferenceSetpointKeepsPhysics(t *testing.T) {
+	fac := cooling.DefaultFacility(cooling.DefaultCRAC().ReferenceC)
+	bare := facRack(t, 3, 1, nil)
+	cooled := facRack(t, 3, 1, &fac)
+	for s := 0; s < 120; s++ {
+		bare.Step(1)
+		cooled.Step(1)
+	}
+	a, b := bare.Telemetry(), cooled.Telemetry()
+	// Blank the facility-only fields, then demand bitwise equality.
+	a.CoolingEnergyKWh, b.CoolingEnergyKWh = 0, 0
+	a.FacilityEnergyKWh, b.FacilityEnergyKWh = 0, 0
+	a.PUE, b.PUE = 0, 0
+	a.PeakFacilityPowerW, b.PeakFacilityPowerW = 0, 0
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("reference-setpoint facility perturbed physics:\nbare:   %+v\ncooled: %+v", a, b)
+	}
+	tel := cooled.Telemetry()
+	if tel.CoolingEnergyKWh <= 0 || tel.PUE <= 1 {
+		t.Fatalf("attached facility must meter cooling: %+v", tel)
+	}
+}
+
+// TestRackFacilitySetpointShiftsAmbients: the CRAC setpoint moves every
+// server inlet by the same delta, which the settled equilibria expose.
+func TestRackFacilitySetpointShiftsAmbients(t *testing.T) {
+	warm := cooling.DefaultFacility(cooling.DefaultCRAC().ReferenceC + 6)
+	bare := facRack(t, 2, 1, nil)
+	cooled := facRack(t, 2, 1, &warm)
+	for i := 0; i < bare.NumServers(); i++ {
+		want := bare.Server(i).Config().Ambient + 6
+		if got := cooled.Server(i).Config().Ambient; got != want {
+			t.Fatalf("server %d ambient %v, want %v", i, got, want)
+		}
+		if cooled.Server(i).MaxCPUTemp() <= bare.Server(i).MaxCPUTemp() {
+			t.Fatalf("server %d: warmer aisle must settle hotter", i)
+		}
+	}
+}
+
+// TestRackFacilityEnergyIdentity is the accounting property the issue
+// pins: PUE ≥ 1 always, and FacilityEnergy = WallEnergy + CoolingEnergy
+// to 1e-9 relative — a genuine check, because the facility energy is
+// integrated from instantaneous power, not derived from the other meters.
+func TestRackFacilityEnergyIdentity(t *testing.T) {
+	fac := cooling.DefaultFacility(24)
+	r := facRack(t, 4, 1, &fac)
+	for s := 0; s < 300; s++ {
+		// Vary load so the integrand is not constant.
+		for i := 0; i < r.NumServers(); i++ {
+			r.SetLoad(i, units.Percent((s/10*17+23*i)%101))
+		}
+		r.Step(1)
+		if pue := r.PUE(); pue < 1 {
+			t.Fatalf("step %d: instantaneous PUE %g < 1", s, pue)
+		}
+	}
+	tel := r.Telemetry()
+	if tel.PUE < 1 {
+		t.Fatalf("energy PUE %g < 1", tel.PUE)
+	}
+	sum := tel.WallEnergyKWh + tel.CoolingEnergyKWh
+	if rel := math.Abs(tel.FacilityEnergyKWh-sum) / sum; rel > 1e-9 {
+		t.Fatalf("facility %g != wall %g + cooling %g (rel %g)",
+			tel.FacilityEnergyKWh, tel.WallEnergyKWh, tel.CoolingEnergyKWh, rel)
+	}
+	// ResetAccounting opens a fresh facility measurement window.
+	r.ResetAccounting()
+	tel = r.Telemetry()
+	if tel.CoolingEnergyKWh != 0 || tel.FacilityEnergyKWh != 0 || tel.PUE != 1 {
+		t.Fatalf("ResetAccounting left facility accounting %+v", tel)
+	}
+}
+
+// TestRackFacilityDeterministicAcrossWorkers extends the determinism
+// contract to the facility side: serial reference and any worker count
+// must agree bitwise on the full telemetry, cooling included.
+func TestRackFacilityDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) Telemetry {
+		fac := cooling.DefaultFacility(25)
+		r := facRack(t, 6, workers, &fac)
+		for s := 0; s < 180; s++ {
+			for i := 0; i < r.NumServers(); i++ {
+				r.SetLoad(i, units.Percent((s/20*13+19*i)%101))
+			}
+			r.Step(1)
+		}
+		return r.Telemetry()
+	}
+	ref := run(1)
+	for _, w := range []int{2, 8} {
+		if got := run(w); !reflect.DeepEqual(ref, got) {
+			t.Fatalf("workers=%d facility telemetry differs:\nserial:   %+v\nparallel: %+v", w, ref, got)
+		}
+	}
+	if ref.CoolingEnergyKWh <= 0 || ref.PUE <= 1 || ref.PeakFacilityPowerW <= ref.PeakWallPowerW {
+		t.Fatalf("implausible facility telemetry: %+v", ref)
+	}
+}
+
+// TestRackFacilityValidation: a degenerate facility must be rejected at
+// construction, not detonate mid-run.
+func TestRackFacilityValidation(t *testing.T) {
+	bad := cooling.DefaultFacility(20)
+	bad.Chiller.COP0 = 0
+	specs := []ServerSpec{{Config: server.T3Config()}}
+	if _, err := New(Config{Servers: specs, Workers: 1, Facility: &bad}); err == nil {
+		t.Fatal("invalid facility must be rejected")
+	}
+}

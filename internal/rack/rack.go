@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/control"
+	"repro/internal/cooling"
 	"repro/internal/par"
 	"repro/internal/power"
 	"repro/internal/server"
@@ -47,6 +48,15 @@ type Config struct {
 	// summed PSU inputs pass through its efficiency curve to become the
 	// wall draw at the utility feed. nil means an ideal (lossless) PDU.
 	PDU *power.PDUModel
+	// Facility, when non-nil, closes the loop past the wall: every wall
+	// Watt becomes room heat the CRAC/chiller chain removes at a load- and
+	// setpoint-dependent cost, and the CRAC's cold-aisle setpoint shifts
+	// every server's ambient by the same delta relative to the reference
+	// supply temperature (see cooling.CRACModel). nil means no facility is
+	// modelled: cooling power is exactly zero, PUE is exactly 1, server
+	// ambients are untouched, and every pre-existing metric is bit
+	// identical to a facility-less rack.
+	Facility *cooling.Facility
 }
 
 // serverState is the slot-i state a step job owns exclusively.
@@ -72,7 +82,8 @@ func (st *serverState) psuIn(dc float64) float64 {
 type Rack struct {
 	servers []*serverState
 	workers int
-	pdu     *power.PDUModel // nil = ideal (lossless) distribution
+	pdu     *power.PDUModel   // nil = ideal (lossless) distribution
+	fac     *cooling.Facility // nil = no facility: cooling exactly zero
 	clock   float64
 
 	// Rack-level running aggregates, reduced serially after each step.
@@ -90,15 +101,36 @@ type Rack struct {
 	peakWallW   float64
 	dcEnergyJ   float64
 	wallEnergyJ float64
+
+	// Facility-side accounting past the wall: the CRAC/chiller power spent
+	// removing the wall heat, and the total facility draw. facEnergyJ is
+	// integrated per step from the instantaneous facility power — not
+	// derived from the other meters — so the FacilityEnergy = WallEnergy +
+	// CoolingEnergy identity is a genuine property of the accounting.
+	lastCoolW   float64
+	peakFacW    float64
+	coolEnergyJ float64
+	facEnergyJ  float64
 }
 
-// New builds a rack, constructing every server from its spec.
+// New builds a rack, constructing every server from its spec. With a
+// facility attached, the CRAC setpoint's ambient delta is applied to every
+// server configuration before construction, so the machines settle at the
+// inlet temperature the cold aisle actually supplies.
 func New(cfg Config) (*Rack, error) {
 	if len(cfg.Servers) == 0 {
 		return nil, fmt.Errorf("rack: need at least one server")
 	}
-	r := &Rack{workers: cfg.Workers, pdu: cfg.PDU}
+	var ambientDelta units.Celsius
+	if cfg.Facility != nil {
+		if err := cfg.Facility.Validate(); err != nil {
+			return nil, fmt.Errorf("rack: facility: %w", err)
+		}
+		ambientDelta = cfg.Facility.AmbientDelta()
+	}
+	r := &Rack{workers: cfg.Workers, pdu: cfg.PDU, fac: cfg.Facility}
 	for i, spec := range cfg.Servers {
+		spec.Config = spec.Config.ShiftAmbient(ambientDelta)
 		srv, err := server.New(spec.Config)
 		if err != nil {
 			return nil, fmt.Errorf("rack: server %d (%s): %w", i, spec.Name, err)
@@ -126,6 +158,7 @@ func New(cfg Config) (*Rack, error) {
 func (r *Rack) resetPeaks() {
 	r.peakPowerW = 0
 	r.peakWallW = 0
+	r.peakFacW = 0
 	r.maxCPUC = -1e9
 	r.maxDIMMC = -1e9
 	r.maxInletC = -1e9
@@ -155,11 +188,20 @@ func (r *Rack) observe() {
 	}
 	r.lastDCW = totalW
 	r.lastWallW = r.pduIn(acInW)
+	// Facility roll-up: every wall Watt is room heat the CRAC/chiller pair
+	// removes. Serial scalar math after the barrier, like every reduction.
+	r.lastCoolW = 0
+	if r.fac != nil {
+		r.lastCoolW = r.fac.CoolingPower(r.lastWallW)
+	}
 	if totalW > r.peakPowerW {
 		r.peakPowerW = totalW
 	}
 	if r.lastWallW > r.peakWallW {
 		r.peakWallW = r.lastWallW
+	}
+	if fac := r.lastWallW + r.lastCoolW; fac > r.peakFacW {
+		r.peakFacW = fac
 	}
 }
 
@@ -230,6 +272,8 @@ func (r *Rack) Step(dt float64) {
 	// accounting (server.Step charges the breakdown taken after stepping).
 	r.dcEnergyJ += r.lastDCW * dt
 	r.wallEnergyJ += r.lastWallW * dt
+	r.coolEnergyJ += r.lastCoolW * dt
+	r.facEnergyJ += (r.lastWallW + r.lastCoolW) * dt
 	r.clock += dt
 }
 
@@ -240,6 +284,28 @@ func (r *Rack) DCPower() units.Watts { return units.Watts(r.lastDCW) }
 // WallPower returns the rack's instantaneous AC draw at the utility feed —
 // the DC draw lifted through every slot's PSU and the shared PDU.
 func (r *Rack) WallPower() units.Watts { return units.Watts(r.lastWallW) }
+
+// CoolingPower returns the instantaneous CRAC+chiller power spent removing
+// the rack's wall heat — exactly zero with no facility attached.
+func (r *Rack) CoolingPower() units.Watts { return units.Watts(r.lastCoolW) }
+
+// FacilityPower returns the instantaneous total facility draw: the rack's
+// wall power plus the cooling power removing it as heat.
+func (r *Rack) FacilityPower() units.Watts { return units.Watts(r.lastWallW + r.lastCoolW) }
+
+// PUE returns the instantaneous power usage effectiveness — facility power
+// over IT (wall) power. A rack drawing nothing, or one with no facility
+// attached, reports exactly 1.
+func (r *Rack) PUE() float64 {
+	if r.lastWallW <= 0 || r.lastCoolW == 0 {
+		return 1
+	}
+	return (r.lastWallW + r.lastCoolW) / r.lastWallW
+}
+
+// Facility returns the attached cooling loop, or nil when none is
+// configured (the identity: cooling power exactly zero).
+func (r *Rack) Facility() *cooling.Facility { return r.fac }
 
 // ServerDCPower returns server i's instantaneous DC draw.
 func (r *Rack) ServerDCPower(i int) units.Watts {
@@ -295,6 +361,8 @@ func (r *Rack) ResetAccounting() {
 	}
 	r.dcEnergyJ = 0
 	r.wallEnergyJ = 0
+	r.coolEnergyJ = 0
+	r.facEnergyJ = 0
 	r.resetPeaks()
 }
 
@@ -317,20 +385,35 @@ type Telemetry struct {
 	WallEnergyKWh  float64 // AC energy drawn at the utility feed
 	LossEnergyKWh  float64 // conversion losses: wall minus DC energy
 	PeakWallPowerW float64 // highest simultaneous wall draw
+
+	// Facility-side accounting past the wall (CRAC blower + chiller). With
+	// no facility attached the cooling energy is exactly zero, the
+	// facility energy equals the wall energy, and PUE is exactly 1.
+	CoolingEnergyKWh   float64 // CRAC+chiller energy removing the wall heat
+	FacilityEnergyKWh  float64 // wall + cooling energy: the total bill
+	PUE                float64 // facility energy over wall energy (≥ 1)
+	PeakFacilityPowerW float64 // highest simultaneous facility draw
 }
 
 // Telemetry aggregates the rack in server-index order (deterministic
 // floating-point summation).
 func (r *Rack) Telemetry() Telemetry {
 	tel := Telemetry{
-		Servers:        len(r.servers),
-		PeakPowerW:     r.peakPowerW,
-		MaxCPUTempC:    r.maxCPUC,
-		MaxDIMMTempC:   r.maxDIMMC,
-		MaxInletC:      r.maxInletC,
-		WallEnergyKWh:  units.Joules(r.wallEnergyJ).KWh(),
-		LossEnergyKWh:  units.Joules(r.wallEnergyJ - r.dcEnergyJ).KWh(),
-		PeakWallPowerW: r.peakWallW,
+		Servers:            len(r.servers),
+		PeakPowerW:         r.peakPowerW,
+		MaxCPUTempC:        r.maxCPUC,
+		MaxDIMMTempC:       r.maxDIMMC,
+		MaxInletC:          r.maxInletC,
+		WallEnergyKWh:      units.Joules(r.wallEnergyJ).KWh(),
+		LossEnergyKWh:      units.Joules(r.wallEnergyJ - r.dcEnergyJ).KWh(),
+		PeakWallPowerW:     r.peakWallW,
+		CoolingEnergyKWh:   units.Joules(r.coolEnergyJ).KWh(),
+		FacilityEnergyKWh:  units.Joules(r.facEnergyJ).KWh(),
+		PeakFacilityPowerW: r.peakFacW,
+		PUE:                1,
+	}
+	if r.wallEnergyJ > 0 && r.coolEnergyJ != 0 {
+		tel.PUE = r.facEnergyJ / r.wallEnergyJ
 	}
 	for _, st := range r.servers {
 		tel.TotalEnergyKWh += st.srv.Energy().KWh()

@@ -149,6 +149,93 @@ func flatTable(p0, p50, p100 float64) *lut.Table {
 	}}
 }
 
+// TestRunTraceCapMarginalDefersEarlier: the conservative admission
+// estimate charges the settled fan+leak marginal on top of the fast
+// utilization-driven increment, so a cap that sits between the two
+// predictions admits under the fast estimate and defers under the
+// conservative one.
+func TestRunTraceCapMarginalDefersEarlier(t *testing.T) {
+	jobs := []Job{{ID: 0, Arrival: 0, Duration: 1e9, Demand: 40}}
+	r := capRack(t)
+	mdc := MarginalDCPower(r.Server(0).Config().Power, 0, 40)
+	fastWall := float64(r.WallPowerWith(0, mdc))
+
+	// Synthetic per-slot tables with a 25 W settled fan+leak marginal for
+	// the 0 → 40% transition (EntryFor rounds 40 up to the 50% row).
+	tables := []*lut.Table{flatTable(20, 45, 70), flatTable(20, 45, 70)}
+
+	res, err := RunTraceCfg(r, jobs, NewRoundRobin(),
+		TraceConfig{Dt: 1, Horizon: 30, WallCapW: fastWall, CapMarginal: tables})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Placed != 0 || res.Deferrals != 30 {
+		t.Fatalf("cap at the fast estimate must defer under the conservative one: placed=%d deferrals=%d", res.Placed, res.Deferrals)
+	}
+
+	// At the conservative prediction itself, the job is admitted again
+	// (a placement landing exactly on the cap is admitted).
+	r = capRack(t)
+	consWall := float64(r.WallPowerWith(0, mdc+25))
+	res, err = RunTraceCfg(r, jobs, NewRoundRobin(),
+		TraceConfig{Dt: 1, Horizon: 30, WallCapW: consWall, CapMarginal: tables})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Placed != 1 || res.Deferrals != 0 {
+		t.Fatalf("cap at the conservative estimate must admit: placed=%d deferrals=%d", res.Placed, res.Deferrals)
+	}
+}
+
+// TestRunTraceCapMarginalNeverAdmitsMore sweeps caps across the admission
+// boundary and checks the ordering property the option guarantees: for
+// the same trace and cap, the conservative variant never places more jobs
+// and never defers fewer times than the fast estimate.
+func TestRunTraceCapMarginalNeverAdmitsMore(t *testing.T) {
+	tables := []*lut.Table{flatTable(20, 45, 70), flatTable(20, 45, 70)}
+	jobs := []Job{
+		{ID: 0, Arrival: 0, Duration: 40, Demand: 40},
+		{ID: 1, Arrival: 5, Duration: 40, Demand: 40},
+		{ID: 2, Arrival: 10, Duration: 40, Demand: 40},
+	}
+	idle := float64(capRack(t).WallPower())
+	for _, capW := range []float64{idle * 0.9, idle + 20, idle + 45, idle + 90, idle + 500} {
+		fast, err := RunTraceCfg(capRack(t), jobs, NewRoundRobin(),
+			TraceConfig{Dt: 1, Horizon: 60, WallCapW: capW})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cons, err := RunTraceCfg(capRack(t), jobs, NewRoundRobin(),
+			TraceConfig{Dt: 1, Horizon: 60, WallCapW: capW, CapMarginal: tables})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cons.Placed > fast.Placed {
+			t.Fatalf("cap %.0f: conservative placed %d > fast %d", capW, cons.Placed, fast.Placed)
+		}
+		if cons.Deferrals < fast.Deferrals {
+			t.Fatalf("cap %.0f: conservative deferred %d < fast %d", capW, cons.Deferrals, fast.Deferrals)
+		}
+	}
+}
+
+// TestRunTraceCapMarginalNilEntriesFallBack: nil tables (or a short
+// slice) leave the fast estimate in place for those slots.
+func TestRunTraceCapMarginalNilEntriesFallBack(t *testing.T) {
+	jobs := []Job{{ID: 0, Arrival: 0, Duration: 1e9, Demand: 40}}
+	r := capRack(t)
+	mdc := MarginalDCPower(r.Server(0).Config().Power, 0, 40)
+	fastWall := float64(r.WallPowerWith(0, mdc))
+	res, err := RunTraceCfg(r, jobs, NewRoundRobin(),
+		TraceConfig{Dt: 1, Horizon: 10, WallCapW: fastWall, CapMarginal: []*lut.Table{nil, nil}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Placed != 1 || res.Deferrals != 0 {
+		t.Fatalf("nil tables must behave like the fast estimate: %+v", res)
+	}
+}
+
 // TestCapAwarePrefersEfficientPSUOperatingPoint: with identical DC
 // marginals everywhere, the job must go where the supply converts the
 // increment most efficiently — the already-loaded server, whose PSU sits

@@ -6,7 +6,7 @@
 // The paper's server-level result — leakage- and fan-aware control beats
 // reactive and static policies — only pays off at scale when the
 // dispatcher also knows which machine is coolest and cheapest to heat up.
-// The five shipped policies span that design space:
+// The six shipped policies span that design space:
 //
 //   - round-robin and least-utilized: thermally blind baselines;
 //   - coolest-first: the reactive thermal heuristic;
@@ -15,7 +15,12 @@
 //     fan+leakage power is lowest;
 //   - cap-aware: the delivery-chain refinement — the same marginal cost
 //     lifted through each slot's PSU efficiency curve, so jobs go where
-//     the predicted marginal wall (AC) power is lowest.
+//     the predicted marginal wall (AC) power is lowest;
+//   - pue-aware: the facility-scope refinement — cost tables rebuilt at
+//     the ambients the CRAC setpoint actually supplies (a facility-blind
+//     table goes stale when the operator moves the cold aisle), and the
+//     wall marginal amplified by the marginal CRAC/chiller power that
+//     removes it as heat (internal/cooling).
 //
 // # Determinism contract
 //
@@ -37,4 +42,12 @@
 // free power — whenever the prediction strictly exceeds the cap. A cap
 // below the rack's idle draw therefore starves politely: nothing places,
 // the queue holds, and the run still terminates at its horizon.
+//
+// The fast admission estimate counts only the utilization-driven DC
+// increment, so fan and leakage transients settling after admission can
+// still push the wall past the cap. TraceConfig.CapMarginal supplies
+// per-slot steady-state cost tables and switches admission to the
+// conservative estimate — the settled fan+leak marginal charged up front,
+// clamped at zero — which by construction defers no later (and possibly
+// earlier) than the fast one.
 package sched

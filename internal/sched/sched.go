@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/cooling"
 	"repro/internal/loadgen"
 	"repro/internal/lut"
 	"repro/internal/power"
@@ -202,18 +203,28 @@ func (p *LeakageAware) Name() string { return "leakage-aware" }
 // Reset implements Policy.
 func (p *LeakageAware) Reset() {}
 
-// marginal returns the predicted steady-state fan+leakage increase of
-// placing demand d on server i currently loaded at u.
-func (p *LeakageAware) marginal(i int, u, d units.Percent) (units.Watts, error) {
-	before, err := p.tables[i].EntryFor(u)
+// SteadyFanLeakMarginal returns the predicted steady-state fan+leakage
+// increase of raising utilization u by d, read from a per-slot cost table
+// (lut.Build over server.SteadyTemp). It is the slow, thermally settled
+// half of a placement's power cost — the half MarginalDCPower deliberately
+// excludes — shared by the table-driven policies and the conservative
+// cap-admission estimate.
+func SteadyFanLeakMarginal(t *lut.Table, u, d units.Percent) (units.Watts, error) {
+	before, err := t.EntryFor(u)
 	if err != nil {
 		return 0, err
 	}
-	after, err := p.tables[i].EntryFor(u + d)
+	after, err := t.EntryFor(u + d)
 	if err != nil {
 		return 0, err
 	}
 	return after.FanLeakPower - before.FanLeakPower, nil
+}
+
+// marginal returns the predicted steady-state fan+leakage increase of
+// placing demand d on server i currently loaded at u.
+func (p *LeakageAware) marginal(i int, u, d units.Percent) (units.Watts, error) {
+	return SteadyFanLeakMarginal(p.tables[i], u, d)
 }
 
 // Place implements Policy.
@@ -301,15 +312,11 @@ func (p *CapAware) Reset() {}
 // LUT plus the active+memory increment, lifted through the slot's PSU at
 // the server's current DC draw.
 func (p *CapAware) marginalWall(v ServerView, d units.Percent) (units.Watts, error) {
-	before, err := p.tables[v.Index].EntryFor(v.Load)
+	steady, err := SteadyFanLeakMarginal(p.tables[v.Index], v.Load, d)
 	if err != nil {
 		return 0, err
 	}
-	after, err := p.tables[v.Index].EntryFor(v.Load + d)
-	if err != nil {
-		return 0, err
-	}
-	mdc := after.FanLeakPower - before.FanLeakPower + MarginalDCPower(p.models[v.Index], v.Load, d)
+	mdc := steady + MarginalDCPower(p.models[v.Index], v.Load, d)
 	psu := p.psuFor(v.Index)
 	if psu == nil {
 		return mdc, nil
@@ -334,6 +341,109 @@ func (p *CapAware) Place(j Job, views []ServerView) int {
 			continue
 		}
 		cost, err := p.marginalWall(v, j.Demand)
+		if err != nil {
+			continue
+		}
+		if best < 0 || cost < bestCost {
+			best = v.Index
+			bestCost = cost
+		}
+	}
+	return best
+}
+
+// ---------------------------------------------------------------------------
+// PUE-aware (facility aware)
+
+// PUEAware is the facility-scope refinement of CapAware: it predicts each
+// placement's marginal *facility* power — the marginal wall power plus the
+// marginal CRAC/chiller power spent removing it as heat. Two things change
+// relative to cap-aware. First, the cost tables are built at the ambients
+// the CRAC actually supplies (the configured ambients shifted by the
+// setpoint delta), so the steady fan+leak marginals stay calibrated when
+// the operator moves the cold aisle — a facility-blind policy's tables go
+// stale the moment the setpoint moves. Second, the wall marginal is
+// amplified by the facility's own response: the cooling power added by one
+// more wall Watt at the rack's current operating point. The amplification
+// is monotone and common to every candidate, so within one placement it
+// preserves the wall ranking — the recalibrated tables are what move
+// decisions; the amplification is what makes the predicted cost the number
+// the facility actually pays.
+type PUEAware struct {
+	inner *CapAware
+	fac   cooling.Facility
+}
+
+// NewPUEAware builds the facility-aware policy: per-slot cost tables are
+// built at setpoint-corrected ambients (each config's Ambient shifted by
+// fac.AmbientDelta), then composed with the slots' PSU curves and the
+// facility's cooling response. psus may be nil (ideal supplies) or one
+// entry per slot.
+func NewPUEAware(cfgs []server.Config, psus []*power.PSUModel, fac cooling.Facility, build lut.BuildConfig) (*PUEAware, error) {
+	if err := fac.Validate(); err != nil {
+		return nil, fmt.Errorf("sched: pue-aware facility: %w", err)
+	}
+	shifted := make([]server.Config, len(cfgs))
+	delta := fac.AmbientDelta()
+	for i, cfg := range cfgs {
+		shifted[i] = cfg.ShiftAmbient(delta)
+	}
+	inner, err := NewCapAware(shifted, psus, build)
+	if err != nil {
+		return nil, fmt.Errorf("sched: pue-aware tables: %w", err)
+	}
+	return &PUEAware{inner: inner, fac: fac}, nil
+}
+
+// NewPUEAwareFromTables builds the policy over already-built per-slot cost
+// tables — which the caller must have built at the facility's operating
+// ambients — power models and PSUs (slot i uses tables[i]/models[i]/psus[i]).
+func NewPUEAwareFromTables(tables []*lut.Table, models []power.ServerModel, psus []*power.PSUModel, fac cooling.Facility) (*PUEAware, error) {
+	if err := fac.Validate(); err != nil {
+		return nil, fmt.Errorf("sched: pue-aware facility: %w", err)
+	}
+	inner, err := NewCapAwareFromTables(tables, models, psus)
+	if err != nil {
+		return nil, fmt.Errorf("sched: pue-aware: %w", err)
+	}
+	return &PUEAware{inner: inner, fac: fac}, nil
+}
+
+// Name implements Policy.
+func (p *PUEAware) Name() string { return "pue-aware" }
+
+// Reset implements Policy.
+func (p *PUEAware) Reset() { p.inner.Reset() }
+
+// marginalFacility returns the predicted marginal facility power of
+// placing demand d on the server behind view v, given the rack's current
+// total wall draw: the marginal wall power plus the extra cooling power
+// the facility spends removing it.
+func (p *PUEAware) marginalFacility(v ServerView, d units.Percent, rackWallW float64) (units.Watts, error) {
+	mw, err := p.inner.marginalWall(v, d)
+	if err != nil {
+		return 0, err
+	}
+	cool := p.fac.CoolingPower(rackWallW+float64(mw)) - p.fac.CoolingPower(rackWallW)
+	return mw + units.Watts(cool), nil
+}
+
+// Place implements Policy: the feasible server with the lowest predicted
+// marginal facility power, ties to the lowest index. The rack's wall draw
+// is approximated as the sum of the per-slot PSU inputs the views carry
+// (the shared PDU sits between them and the true wall, and is monotone).
+func (p *PUEAware) Place(j Job, views []ServerView) int {
+	var rackWallW float64
+	for _, v := range views {
+		rackWallW += float64(v.WallPower)
+	}
+	best := -1
+	var bestCost units.Watts
+	for _, v := range views {
+		if !fits(v, j) || v.Index >= len(p.inner.tables) {
+			continue
+		}
+		cost, err := p.marginalFacility(v, j.Demand, rackWallW)
 		if err != nil {
 			continue
 		}
@@ -385,6 +495,18 @@ type TraceConfig struct {
 	// placement landing exactly on the cap is admitted. Zero disables
 	// capping.
 	WallCapW float64
+
+	// CapMarginal, when non-nil, holds one steady-state cost table per
+	// rack slot (the same per-slot tables the leakage-aware policies are
+	// built from; nil entries fall back to the fast estimate) and makes
+	// cap admission conservative: the LUT steady fan+leak marginal is
+	// added — clamped at zero, so the estimate can only grow — to
+	// MarginalDCPower in the wall-cap check. The fast estimate alone
+	// counts only the utilization-driven increment, so fan and leakage
+	// transients settling after admission can push the wall draw past the
+	// cap; the conservative estimate charges the settled cost up front and
+	// therefore defers no later (and possibly earlier) than the fast one.
+	CapMarginal []*lut.Table
 }
 
 // active is a placed job with its completion time.
@@ -492,6 +614,14 @@ func RunTraceCfg(r *rack.Rack, jobs []Job, p Policy, tc TraceConfig) (Result, er
 			}
 			if tc.WallCapW > 0 {
 				mdc := MarginalDCPower(r.Server(slot).Config().Power, loads[slot], j.Demand)
+				if slot < len(tc.CapMarginal) && tc.CapMarginal[slot] != nil {
+					// Conservative admission: charge the settled fan+leak
+					// cost up front. Clamped at zero so the conservative
+					// estimate is never below the fast one.
+					if steady, err := SteadyFanLeakMarginal(tc.CapMarginal[slot], loads[slot], j.Demand); err == nil && steady > 0 {
+						mdc += steady
+					}
+				}
 				pendingDC[slot] += mdc
 				if float64(r.WallPowerWithAll(pendingDC)) > tc.WallCapW {
 					// Deferral: the head blocks under the budget and is

@@ -133,6 +133,20 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// ShiftAmbient returns the configuration with the inlet ambient moved by
+// delta — the uniform shift a facility's cold-aisle setpoint applies to
+// every server (see internal/cooling). A zero delta returns the receiver
+// unchanged, preserving bit-identity for the no-shift path. Every caller
+// that re-derives ambient-dependent state (rack construction, cost-table
+// builds) must go through this one helper so the shift semantics cannot
+// drift apart.
+func (c Config) ShiftAmbient(delta units.Celsius) Config {
+	if delta != 0 {
+		c.Ambient += delta
+	}
+	return c
+}
+
 // RthServer returns the server-level die-to-inlet thermal resistance at a
 // fan speed (°C/W of total CPU power).
 func (c Config) RthServer(r units.RPM) float64 {

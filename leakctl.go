@@ -34,6 +34,7 @@ import (
 	"io"
 
 	"repro/internal/control"
+	"repro/internal/cooling"
 	"repro/internal/core"
 	"repro/internal/dvfs"
 	"repro/internal/experiments"
@@ -304,6 +305,10 @@ type (
 	RackPolicyResult = experiments.RackPolicyResult
 	// RackACResult is the AC-side comparison: uncapped and capped halves.
 	RackACResult = experiments.RackACResult
+	// FacilityEval parameterizes the policy × cold-aisle-setpoint sweep.
+	FacilityEval = experiments.FacilityEval
+	// FacilityPolicyResult is one row of the policy×setpoint table.
+	FacilityPolicyResult = experiments.FacilityPolicyResult
 )
 
 // Power-delivery chain (PSU per server, shared PDU, wall-side telemetry).
@@ -321,6 +326,32 @@ func DefaultPSU() PSUModel { return power.DefaultPSU() }
 
 // DefaultPDU returns the 98%-asymptote rack distribution model.
 func DefaultPDU() PDUModel { return power.DefaultPDU() }
+
+// Facility cooling loop (CRAC supply/return air + chiller COP chain).
+type (
+	// CRACModel is the room air handler: cold-aisle supply setpoint,
+	// air-transport (blower) cost, return-air telemetry.
+	CRACModel = cooling.CRACModel
+	// ChillerModel removes the collected heat at COP = COP0·f(load,
+	// outdoor), improving with a warmer supply setpoint.
+	ChillerModel = cooling.ChillerModel
+	// Facility is the assembled CRAC+chiller loop a rack attaches via
+	// RackConfig.Facility: every wall Watt becomes room heat removed at a
+	// load- and setpoint-dependent cost, and the setpoint shifts every
+	// server's ambient relative to the reference supply temperature.
+	Facility = cooling.Facility
+)
+
+// DefaultCRAC returns the reference room unit (18 °C supply reference, 5%
+// blower cost).
+func DefaultCRAC() CRACModel { return cooling.DefaultCRAC() }
+
+// DefaultChiller returns the COP-4.5 water-cooled chiller model.
+func DefaultChiller() ChillerModel { return cooling.DefaultChiller() }
+
+// DefaultFacility returns the default CRAC/chiller pair with the cold
+// aisle at the given supply setpoint.
+func DefaultFacility(supplyC Celsius) Facility { return cooling.DefaultFacility(supplyC) }
 
 // NewRack builds a rack of simulated servers.
 func NewRack(cfg RackConfig) (*Rack, error) { return rack.New(cfg) }
@@ -367,6 +398,14 @@ func NewCapAwarePolicy(cfgs []ServerConfig, psus []*PSUModel, build LUTBuildConf
 	return sched.NewCapAware(cfgs, psus, build)
 }
 
+// NewPUEAwarePolicy returns the facility-aware policy: per-slot cost
+// tables rebuilt at the ambients the CRAC setpoint actually supplies, and
+// each placement ranked by its predicted marginal facility power — the
+// marginal wall power plus the CRAC/chiller power removing it as heat.
+func NewPUEAwarePolicy(cfgs []ServerConfig, psus []*PSUModel, fac Facility, build LUTBuildConfig) (PlacementPolicy, error) {
+	return sched.NewPUEAware(cfgs, psus, fac, build)
+}
+
 // DefaultRackEval returns the standard 8-server rack comparison setup.
 func DefaultRackEval() RackEval { return experiments.DefaultRackEval() }
 
@@ -381,6 +420,29 @@ func RackPolicyComparison(base ServerConfig, ev RackEval) ([]RackPolicyResult, e
 // conversion losses accounted at the wall.
 func RackACComparison(base ServerConfig, ev RackEval) (*RackACResult, error) {
 	return experiments.RackACComparison(base, ev)
+}
+
+// DefaultFacilityEval returns the standard policy × cold-aisle-setpoint
+// sweep configuration.
+func DefaultFacilityEval() FacilityEval { return experiments.DefaultFacilityEval() }
+
+// RackFacilityComparison sweeps every placement policy across cold-aisle
+// supply setpoints with the CRAC/chiller loop attached: the cold end
+// overpays the chiller, the warm end overpays server fans and leakage,
+// and total facility energy is minimized at an interior setpoint.
+func RackFacilityComparison(base ServerConfig, fe FacilityEval) ([]FacilityPolicyResult, error) {
+	return experiments.RackFacilityComparison(base, fe)
+}
+
+// FacilitySweetSpot returns the setpoint with the lowest facility energy
+// among a policy's rows of a facility comparison.
+func FacilitySweetSpot(rows []FacilityPolicyResult, policy string) (setpointC, facilityWh float64, err error) {
+	return experiments.FacilitySweetSpot(rows, policy)
+}
+
+// FormatRackFacilityTable renders the policy×setpoint facility table.
+func FormatRackFacilityTable(w io.Writer, rows []FacilityPolicyResult) error {
+	return experiments.FormatRackFacilityTable(w, rows)
 }
 
 // FormatRackTable renders the policy×metric comparison table.
