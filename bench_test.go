@@ -615,12 +615,13 @@ func BenchmarkRackStepParallel(b *testing.B) {
 	}
 }
 
-// BenchmarkRackTrace regenerates the rack policy-comparison experiment —
-// the four placement policies over the default Poisson trace — and
-// reports the headline energies.
-func BenchmarkRackTrace(b *testing.B) {
+// benchRackTrace regenerates the rack policy-comparison experiment — the
+// five placement policies over the default Poisson trace — and reports
+// the headline energies plus the rack-step count of the selected kernel.
+func benchRackTrace(b *testing.B, eventStepping bool) {
 	base := T3Config()
 	ev := experiments.DefaultRackEval()
+	ev.EventStepping = eventStepping
 	var rows []experiments.RackPolicyResult
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -629,7 +630,9 @@ func BenchmarkRackTrace(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+	steps := 0
 	for _, r := range rows {
+		steps += r.Sched.RackSteps
 		switch r.Policy {
 		case "round-robin":
 			b.ReportMetric(r.TotalWh(), "roundRobinWh")
@@ -640,7 +643,19 @@ func BenchmarkRackTrace(b *testing.B) {
 			b.ReportMetric(float64(r.Rack.FanChanges), "leakageAwareFanChanges")
 		}
 	}
+	b.ReportMetric(float64(steps), "rackSteps")
 }
+
+// BenchmarkRackTrace is the headline trace benchmark on the event-driven
+// kernel (PR 5): wall-clock scales with the number of scheduling events,
+// not horizon/dt. Compare against BenchmarkRackTraceFixed for the
+// macro-stepping speedup; physics metrics agree within 1e-6 relative
+// (asserted by TestEventSteppingSmoke).
+func BenchmarkRackTrace(b *testing.B) { benchRackTrace(b, true) }
+
+// BenchmarkRackTraceFixed is the fixed-dt reference path of the same
+// experiment — the pre-PR 5 baseline, bit-identical to PR 4's metrics.
+func BenchmarkRackTraceFixed(b *testing.B) { benchRackTrace(b, false) }
 
 // BenchmarkRackStepWall is BenchmarkRackStep/servers=16 with the full
 // power-delivery chain attached (per-server PSU + shared PDU): the wall
@@ -670,11 +685,14 @@ func BenchmarkRackStepWall(b *testing.B) {
 }
 
 // BenchmarkRackACTrace regenerates the AC-side rack experiment — five
-// policies, uncapped and capped halves, PSU/PDU losses at the wall — and
-// reports the headline wall-side quantities.
+// policies, uncapped and capped halves, PSU/PDU losses at the wall — on
+// the event-driven kernel, and reports the headline wall-side quantities.
+// (The capped half pins the kernel to fixed-dt while placements defer, so
+// its speedup is smaller than the uncapped trace's.)
 func BenchmarkRackACTrace(b *testing.B) {
 	base := T3Config()
 	ev := experiments.DefaultRackEval()
+	ev.EventStepping = true
 	psu, pdu := power.DefaultPSU(), power.DefaultPDU()
 	ev.PSU, ev.PDU = &psu, &pdu
 	var res *experiments.RackACResult
@@ -732,12 +750,13 @@ func BenchmarkRackStepFacility(b *testing.B) {
 }
 
 // BenchmarkRackFacilityTrace regenerates the facility sweep — six
-// policies × three cold-aisle setpoints with the CRAC/chiller loop — and
-// reports the headline facility quantities, including the sweet-spot
-// setpoint the sweep exists to find.
+// policies × three cold-aisle setpoints with the CRAC/chiller loop — on
+// the event-driven kernel, and reports the headline facility quantities,
+// including the sweet-spot setpoint the sweep exists to find.
 func BenchmarkRackFacilityTrace(b *testing.B) {
 	base := T3Config()
 	fe := experiments.DefaultFacilityEval()
+	fe.Rack.EventStepping = true
 	var rows []experiments.FacilityPolicyResult
 	for i := 0; i < b.N; i++ {
 		var err error

@@ -16,6 +16,7 @@ package control
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/lut"
 	"repro/internal/units"
@@ -45,6 +46,33 @@ type Controller interface {
 	Tick(obs Observation) Decision
 	// Reset clears internal state so a controller can be reused across runs.
 	Reset()
+}
+
+// HorizonPromiser is the opt-in contract behind event-driven macro-stepping
+// (internal/sched): a controller that can bound its own next decision.
+//
+// QuietUntil is queried immediately after a Tick at simulation time now and
+// returns a time H ≥ now promising that — provided every observed input
+// (utilization, commanded fan speed) stays constant and no external actor
+// moves the fans — any Tick at a time in (now, H) would return
+// Changed=false, and skipping those Ticks entirely leaves all future
+// decisions unchanged. math.Inf(1) means "quiet until an input changes";
+// the kernel re-ticks on every input change (a scheduling event) anyway.
+//
+// Controllers whose decisions depend on observations that evolve between
+// scheduling events — the bang-bang policy thresholds on die temperature,
+// which moves every step — cannot make this promise and must NOT implement
+// the interface; the kernel then pins itself to one Tick per fixed-dt step,
+// which is exactly the reference semantics.
+//
+// One caveat is inherited from the poll-grid collapse: a promiser's
+// internal poll anchor (LUT's nextPoll) goes stale across a skipped window
+// and re-anchors at the wake tick. With PollPeriod ≤ dt — the paper's 1 s
+// poll at the experiments' 1 s step — every step polls in both modes and
+// the collapse is exact; with a sparser poll the first decision after a
+// hold-off may land up to one PollPeriod earlier than under fixed-dt.
+type HorizonPromiser interface {
+	QuietUntil(now float64) float64
 }
 
 // ---------------------------------------------------------------------------
@@ -77,6 +105,15 @@ func (d *Default) Tick(obs Observation) Decision {
 		return Decision{Target: d.RPM, Changed: true}
 	}
 	return Decision{Target: d.RPM, Changed: false}
+}
+
+// QuietUntil implements HorizonPromiser: after the initial command the
+// stock policy never changes speed again, under any inputs.
+func (d *Default) QuietUntil(now float64) float64 {
+	if !d.set {
+		return now
+	}
+	return math.Inf(1)
 }
 
 // ---------------------------------------------------------------------------
@@ -218,6 +255,10 @@ type LUT struct {
 	lastUtil units.Percent
 	haveLast bool
 	started  bool
+	// quietUntil is the horizon promise computed by the last Tick: the
+	// earliest future time a Tick could command a change assuming the
+	// observed utilization stays constant (see HorizonPromiser).
+	quietUntil float64
 }
 
 // NewLUT builds the controller around a prepared table.
@@ -240,6 +281,7 @@ func (l *LUT) Reset() {
 	l.holdTill = 0
 	l.haveLast = false
 	l.started = false
+	l.quietUntil = 0
 }
 
 // Tick implements the paper's policy: poll utilization every second, look
@@ -253,11 +295,15 @@ func (l *LUT) Tick(obs Observation) Decision {
 		l.holdTill = obs.Now
 	}
 	if obs.Now < l.nextPoll {
+		l.quietUntil = l.nextPoll
 		return Decision{Target: obs.CurrentRPM}
 	}
 	l.nextPoll = obs.Now + l.cfg.PollPeriod
 
 	if obs.Now < l.holdTill {
+		// Blocked by the hold-off: the first poll at or after holdTill may
+		// act on utilization that changed meanwhile.
+		l.quietUntil = l.holdTill
 		return Decision{Target: obs.CurrentRPM}
 	}
 	if l.cfg.Hysteresis > 0 && l.haveLast {
@@ -266,17 +312,38 @@ func (l *LUT) Tick(obs Observation) Decision {
 			d = -d
 		}
 		if d < l.cfg.Hysteresis {
+			// Hysteresis blocks until the utilization moves — an input
+			// change, which re-ticks the controller anyway.
+			l.quietUntil = math.Inf(1)
 			return Decision{Target: obs.CurrentRPM}
 		}
 	}
 	target, err := l.table.Lookup(obs.Utilization)
 	if err != nil || target == obs.CurrentRPM {
+		// The table already agrees with the commanded speed (or will keep
+		// failing identically): under constant utilization every future
+		// poll repeats this outcome.
+		l.quietUntil = math.Inf(1)
 		return Decision{Target: obs.CurrentRPM}
 	}
 	l.holdTill = obs.Now + l.cfg.HoldOff
 	l.lastUtil = obs.Utilization
 	l.haveLast = true
+	// Under constant inputs the next poll would find target == current, but
+	// promising only up to the hold-off expiry is cheap and keeps the
+	// kernel re-checking right when a mid-hold-off load change first
+	// becomes actionable.
+	l.quietUntil = l.holdTill
 	return Decision{Target: target, Changed: true}
+}
+
+// QuietUntil implements HorizonPromiser; see the interface contract. It
+// reflects the promise computed by the most recent Tick.
+func (l *LUT) QuietUntil(now float64) float64 {
+	if !l.started || l.quietUntil < now {
+		return now
+	}
+	return l.quietUntil
 }
 
 // Table exposes the controller's table (for reports).

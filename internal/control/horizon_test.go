@@ -1,0 +1,111 @@
+package control
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/lut"
+	"repro/internal/units"
+)
+
+func horizonTable() *lut.Table {
+	return &lut.Table{Entries: []lut.Entry{
+		{Util: 0, RPM: 1800},
+		{Util: 50, RPM: 2400},
+		{Util: 100, RPM: 3600},
+	}}
+}
+
+// TestLUTQuietUntil walks the promise through its regimes: a change opens
+// a hold-off-long quiet window, a settled lookup promises forever (until
+// inputs change), and a mid-hold-off tick promises the hold-off expiry.
+func TestLUTQuietUntil(t *testing.T) {
+	l, err := NewLUT(horizonTable(), LUTConfig{PollPeriod: 1, HoldOff: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := Observation{Now: 0, Utilization: 80, CurrentRPM: 3300}
+	dec := l.Tick(obs)
+	if !dec.Changed || dec.Target != 3600 {
+		t.Fatalf("expected a change to 3600, got %+v", dec)
+	}
+	if q := l.QuietUntil(0); q != 60 {
+		t.Fatalf("after a change the promise must be the hold-off expiry, got %g", q)
+	}
+
+	// Mid-hold-off tick (utilization moved): still blocked, still 60.
+	obs = Observation{Now: 30, Utilization: 20, CurrentRPM: 3600}
+	if dec := l.Tick(obs); dec.Changed {
+		t.Fatal("hold-off must block the change")
+	}
+	if q := l.QuietUntil(30); q != 60 {
+		t.Fatalf("mid-hold-off promise must stay 60, got %g", q)
+	}
+
+	// At expiry the blocked change lands, opening the next hold-off.
+	obs = Observation{Now: 60, Utilization: 20, CurrentRPM: 3600}
+	if dec := l.Tick(obs); !dec.Changed || dec.Target != 2400 {
+		t.Fatalf("expiry must apply the pending lookup, got %+v", dec)
+	}
+	if q := l.QuietUntil(60); q != 120 {
+		t.Fatalf("promise after the second change must be 120, got %g", q)
+	}
+
+	// Settled: lookup agrees with the command — quiet until inputs change.
+	obs = Observation{Now: 120, Utilization: 20, CurrentRPM: 2400}
+	if dec := l.Tick(obs); dec.Changed {
+		t.Fatal("settled lookup must not change")
+	}
+	if q := l.QuietUntil(120); !math.IsInf(q, 1) {
+		t.Fatalf("settled promise must be +Inf, got %g", q)
+	}
+
+	// Reset drops the promise.
+	l.Reset()
+	if q := l.QuietUntil(5); q != 5 {
+		t.Fatalf("reset controller must promise nothing, got %g", q)
+	}
+}
+
+// TestLUTQuietUntilHysteresis: a hysteresis block is quiet until the
+// utilization moves, which is an input change.
+func TestLUTQuietUntilHysteresis(t *testing.T) {
+	l, err := NewLUT(horizonTable(), LUTConfig{PollPeriod: 1, HoldOff: 0, Hysteresis: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Tick(Observation{Now: 0, Utilization: 80, CurrentRPM: 1800}) // change, records lastUtil
+	if dec := l.Tick(Observation{Now: 1, Utilization: 84, CurrentRPM: 3600}); dec.Changed {
+		t.Fatal("hysteresis must block the small move")
+	}
+	if q := l.QuietUntil(1); !math.IsInf(q, 1) {
+		t.Fatalf("hysteresis block must promise +Inf, got %g", q)
+	}
+}
+
+// TestDefaultQuietUntil: the stock controller promises forever once its
+// initial command is out.
+func TestDefaultQuietUntil(t *testing.T) {
+	d := NewDefault()
+	if q := d.QuietUntil(0); q != 0 {
+		t.Fatalf("unstarted Default must promise nothing, got %g", q)
+	}
+	d.Tick(Observation{Now: 0, CurrentRPM: units.RPM(3300)})
+	if q := d.QuietUntil(0); !math.IsInf(q, 1) {
+		t.Fatalf("started Default must promise +Inf, got %g", q)
+	}
+}
+
+// TestBangBangDoesNotPromise pins the negative contract: the reactive
+// controller thresholds on a continuously evolving temperature and must
+// not advertise a horizon.
+func TestBangBangDoesNotPromise(t *testing.T) {
+	b, err := NewBangBang(DefaultBangBang())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c Controller = b
+	if _, ok := c.(HorizonPromiser); ok {
+		t.Fatal("BangBang must not implement HorizonPromiser")
+	}
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/server"
+)
+
+// TestEventSteppingSmoke is the CI gate for the event-driven kernel on the
+// real experiment: the default RackPolicyComparison Poisson trace, fixed-dt
+// vs event-driven. It logs the macro-vs-fixed step counts and the speedup
+// factor per policy and fails if event stepping cannot collapse the
+// default trace at least 5× — the regression bar for the kernel — or if
+// any headline metric drifts past the macro-stepping tolerance.
+func TestEventSteppingSmoke(t *testing.T) {
+	base := server.T3Config()
+	ev := DefaultRackEval()
+
+	fixedRows, err := RackPolicyComparison(base, ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev.EventStepping = true
+	eventRows, err := RackPolicyComparison(base, ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fixedRows) != len(eventRows) {
+		t.Fatalf("row count mismatch: %d vs %d", len(fixedRows), len(eventRows))
+	}
+	var fixedSteps, eventSteps int
+	for i, f := range fixedRows {
+		e := eventRows[i]
+		if f.Policy != e.Policy {
+			t.Fatalf("row %d policy mismatch: %s vs %s", i, f.Policy, e.Policy)
+		}
+		fixedSteps += f.Sched.RackSteps
+		eventSteps += e.Sched.RackSteps
+		t.Logf("%-14s rack steps %d → %d (%.1f×), Wh %.3f → %.3f",
+			f.Policy, f.Sched.RackSteps, e.Sched.RackSteps,
+			float64(f.Sched.RackSteps)/float64(e.Sched.RackSteps),
+			f.TotalWh(), e.TotalWh())
+
+		// Identical scheduling outcomes.
+		fs, es := f.Sched, e.Sched
+		fs.RackSteps, es.RackSteps = 0, 0
+		if fs != es {
+			t.Errorf("%s: scheduling outcomes differ:\nfixed %+v\nevent %+v", f.Policy, f.Sched, e.Sched)
+		}
+		// Energies within the macro-stepping tolerance.
+		for _, m := range []struct {
+			name string
+			f, e float64
+		}{
+			{"TotalEnergyKWh", f.Rack.TotalEnergyKWh, e.Rack.TotalEnergyKWh},
+			{"FanEnergyKWh", f.Rack.FanEnergyKWh, e.Rack.FanEnergyKWh},
+			{"WallEnergyKWh", f.Rack.WallEnergyKWh, e.Rack.WallEnergyKWh},
+		} {
+			d := math.Abs(m.e - m.f)
+			if m.f != 0 {
+				d /= math.Abs(m.f)
+			}
+			if d > 1e-6 {
+				t.Errorf("%s: %s off by %g relative (event %g vs fixed %g)",
+					f.Policy, m.name, d, m.e, m.f)
+			}
+		}
+		if f.Rack.FanChanges != e.Rack.FanChanges {
+			t.Errorf("%s: fan changes differ: %d vs %d", f.Policy, f.Rack.FanChanges, e.Rack.FanChanges)
+		}
+		if d := math.Abs(f.Rack.MaxCPUTempC - e.Rack.MaxCPUTempC); d > 0.3 {
+			t.Errorf("%s: MaxCPUTempC off by %g °C", f.Policy, d)
+		}
+	}
+	speedup := float64(fixedSteps) / float64(eventSteps)
+	t.Logf("default trace: %d fixed rack steps vs %d event rack steps — %.1f× fewer", fixedSteps, eventSteps, speedup)
+	if eventSteps >= fixedSteps {
+		t.Fatalf("event stepping took %d rack steps, fixed-dt %d: no collapse at all", eventSteps, fixedSteps)
+	}
+	if speedup < 5 {
+		t.Fatalf("event stepping collapsed the default trace only %.1f×, want ≥5×", speedup)
+	}
+}

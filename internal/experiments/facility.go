@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 	"io"
-	"math"
 
 	"repro/internal/cooling"
 	"repro/internal/lut"
@@ -162,11 +161,14 @@ func RackFacilityComparison(base server.Config, fe FacilityEval) ([]FacilityPoli
 			errs[i] = err
 			return
 		}
-		for k := int(math.Ceil(ev.Stabilize/ev.Dt - 1e-9)); k > 0; k-- {
-			r.Step(ev.Dt)
+		if err := sched.Settle(r, ev.Dt, ev.Stabilize, ev.EventStepping); err != nil {
+			errs[i] = err
+			return
 		}
 		r.ResetAccounting()
-		sres, err := sched.RunTraceCfg(r, s.jobs, c.policy, sched.TraceConfig{Dt: ev.Dt, Horizon: ev.Horizon, WallCapW: ev.WallCapW})
+		sres, err := sched.RunTraceCfg(r, s.jobs, c.policy, sched.TraceConfig{
+			Dt: ev.Dt, Horizon: ev.Horizon, WallCapW: ev.WallCapW, EventStepping: ev.EventStepping,
+		})
 		if err != nil {
 			errs[i] = err
 			return

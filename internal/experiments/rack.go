@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 	"io"
-	"math"
 
 	"repro/internal/control"
 	"repro/internal/cooling"
@@ -59,6 +58,14 @@ type RackEval struct {
 	// config hash (lut.DiskCache), so repeated processes stop rebuilding
 	// identical per-ambient tables.
 	LUTCacheDir string
+
+	// EventStepping selects the event-driven trace kernel for every run
+	// (stabilization window included): the rack advances per scheduling
+	// event instead of per fixed dt, several-fold faster on the default
+	// Poisson trace with identical placements and energies within the
+	// macro-stepping tolerance (see sched.TraceConfig.EventStepping).
+	// false is the bit-exact fixed-dt reference path.
+	EventStepping bool
 }
 
 // DefaultRackEval returns an 8-server rack under a one-hour trace with
@@ -304,12 +311,13 @@ func (s *rackSetup) runRackPolicy(p sched.Policy, ev RackEval, capW float64) (Ra
 	if err != nil {
 		return RackPolicyResult{}, err
 	}
-	// Integer step count, so a non-integer Dt cannot drift the window.
-	for k := int(math.Ceil(ev.Stabilize/ev.Dt - 1e-9)); k > 0; k-- {
-		r.Step(ev.Dt)
+	if err := sched.Settle(r, ev.Dt, ev.Stabilize, ev.EventStepping); err != nil {
+		return RackPolicyResult{}, err
 	}
 	r.ResetAccounting()
-	sres, err := sched.RunTraceCfg(r, s.jobs, p, sched.TraceConfig{Dt: ev.Dt, Horizon: ev.Horizon, WallCapW: capW})
+	sres, err := sched.RunTraceCfg(r, s.jobs, p, sched.TraceConfig{
+		Dt: ev.Dt, Horizon: ev.Horizon, WallCapW: capW, EventStepping: ev.EventStepping,
+	})
 	if err != nil {
 		return RackPolicyResult{}, err
 	}

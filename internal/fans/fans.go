@@ -142,6 +142,14 @@ func (b *Bank) setFan(i int, r units.RPM) {
 	}
 }
 
+// Settled reports whether every healthy fan sits exactly at its commanded
+// target, making Step a no-op for any dt. The thermal macro-stepping
+// kernel uses this as an eligibility gate: while a fan is slewing, the
+// airflow conductances move every step and the system is not
+// time-invariant, so the server pins itself to plain fixed-dt steps until
+// the bank settles.
+func (b *Bank) Settled() bool { return b.settled }
+
 // Step advances fan physics by dt seconds: each fan slews toward its target.
 func (b *Bank) Step(dt float64) {
 	if dt <= 0 || b.settled {

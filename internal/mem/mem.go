@@ -211,6 +211,32 @@ func (b *Bank) Step(dt float64, ambient units.Celsius, u units.Percent, r units.
 	}
 }
 
+// StepN advances DIMM temperatures by n consecutive Step(dt, …) calls with
+// the conditions held constant, in closed form: n applications of the
+// first-order lag T += α·(eq−T) compose to T = eq + (1−α)ⁿ·(T−eq), so one
+// call stands in for the whole run — the memory half of a thermal
+// macro-step. Identical to the n-fold loop up to float rounding (the lag is
+// a pure geometric contraction toward a constant equilibrium).
+func (b *Bank) StepN(dt float64, n int, ambient units.Celsius, u units.Percent, r units.RPM) {
+	if dt <= 0 || n <= 0 {
+		return
+	}
+	if n == 1 {
+		b.Step(dt, ambient, u, r)
+		return
+	}
+	if dt != b.alphaDt {
+		b.alphaDt = dt
+		b.alphaVal = 1 - math.Exp(-dt/b.cfg.TimeConstant)
+	}
+	shrink := math.Pow(1-b.alphaVal, float64(n))
+	rise, preheat := b.eqTerms(u, r)
+	for i := range b.temps {
+		eq := b.eqAt(i, ambient, rise, preheat)
+		b.temps[i] = eq + shrink*(b.temps[i]-eq)
+	}
+}
+
 // Temp returns DIMM i's temperature.
 func (b *Bank) Temp(i int) (units.Celsius, error) {
 	if i < 0 || i >= len(b.temps) {

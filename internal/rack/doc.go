@@ -45,6 +45,23 @@
 // zero, PUE is exactly 1, and every pre-existing metric is bit-identical
 // to a facility-less rack.
 //
+// # Macro windows
+//
+// The event-driven kernel (internal/sched) splits Step's two halves:
+// TickControllers applies loads and runs every fan controller for one
+// decision instant, QuietHorizon asks how long every controller promises
+// to stay quiet (control.HorizonPromiser; a non-promising controller pins
+// the horizon to one step), and Advance crosses the granted window in
+// per-server closed-form macro-steps (server.MacroWindow) under the same
+// determinism contract — the fan-out writes slot-i state only, and every
+// roll-up runs serially in index order afterwards. Energies are
+// integrated from each server's closed-form window energy, with the
+// window's mean DC draw lifted through the PSU/PDU/CRAC chain once
+// instead of per step; temperature maxima fold in every sub-step boundary
+// sample. Advance(dt, 1) is Step(dt) minus the controller tick, which is
+// how the kernel preserves exact fixed-dt semantics wherever a quiet
+// window cannot be granted.
+//
 // The rack is the substrate for internal/sched: a dispatcher places jobs
 // onto servers, the rack advances the physics, and the telemetry says
 // which placement policy heated the room — and loaded the wall — least.

@@ -2,6 +2,7 @@ package rack
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/control"
 	"repro/internal/cooling"
@@ -67,6 +68,14 @@ type serverState struct {
 	psu        *power.PSUModel // nil = ideal (lossless) supply
 	load       units.Percent
 	fanChanges int
+
+	// Per-macro-window scratch (Advance): the energy meter at window start
+	// and the temperature maxima sampled at every sub-step boundary, folded
+	// into the rack aggregates serially after the barrier.
+	winEnergy0  float64
+	winMaxCPUC  float64
+	winMaxDIMMC float64
+	winMaxInlet float64
 }
 
 // psuIn returns the AC power this slot draws from the PDU to deliver its
@@ -111,6 +120,18 @@ type Rack struct {
 	peakFacW    float64
 	coolEnergyJ float64
 	facEnergyJ  float64
+
+	// Prebuilt fan-out closures with their per-call arguments staged in
+	// fields: a closure passed to par.ForEach escapes (the parallel branch
+	// hands it to goroutines), so building it per Step would cost one heap
+	// allocation per step. The arguments are written before the fan-out
+	// starts, which the goroutine-creation happens-before edge orders.
+	argNow   float64
+	argDt    float64
+	argSteps int
+	stepFn   func(i int)
+	tickFn   func(i int)
+	advFn    func(i int)
 }
 
 // New builds a rack, constructing every server from its spec. With a
@@ -148,6 +169,9 @@ func New(cfg Config) (*Rack, error) {
 		}
 		r.servers = append(r.servers, &serverState{name: name, srv: srv, ctrl: spec.Controller, psu: psu})
 	}
+	r.stepFn = func(i int) { r.servers[i].step(r.argNow, r.argDt) }
+	r.tickFn = func(i int) { r.servers[i].tick(r.argNow) }
+	r.advFn = func(i int) { r.servers[i].advance(r.argDt, r.argSteps) }
 	r.resetPeaks()
 	return r, nil
 }
@@ -236,9 +260,9 @@ func (r *Rack) FanChanges(i int) int { return r.servers[i].fanChanges }
 // Now returns seconds since rack power-on.
 func (r *Rack) Now() float64 { return r.clock }
 
-// step advances one server by dt — the unit of work the fan-out
-// schedules. It touches only slot-i state, never the rack aggregates.
-func (st *serverState) step(now, dt float64) {
+// tick applies the dispatcher load and runs the slot's fan controller for
+// the decision instant `now`. It touches only slot-i state.
+func (st *serverState) tick(now float64) {
 	st.srv.SetLoad(st.load)
 	if st.ctrl != nil {
 		obs := control.Observation{
@@ -252,7 +276,23 @@ func (st *serverState) step(now, dt float64) {
 			st.fanChanges++
 		}
 	}
+}
+
+// step advances one server by dt — the unit of work the fan-out
+// schedules. It touches only slot-i state, never the rack aggregates.
+func (st *serverState) step(now, dt float64) {
+	st.tick(now)
 	st.srv.Step(dt)
+}
+
+// advance moves one server through a `steps`-long macro window without
+// controller ticks (the event kernel only grants windows every controller
+// has promised to stay quiet for). The server folds temperature maxima at
+// every sub-step boundary so the window cannot hide a hotter sample than
+// its endpoints. Slot-i state only.
+func (st *serverState) advance(dt float64, steps int) {
+	st.winEnergy0 = float64(st.srv.Energy())
+	st.winMaxCPUC, st.winMaxDIMMC, st.winMaxInlet = st.srv.MacroWindow(dt, steps)
 }
 
 // Step advances every server by dt seconds. The per-server work fans out
@@ -263,10 +303,8 @@ func (r *Rack) Step(dt float64) {
 	if dt <= 0 {
 		return
 	}
-	now := r.clock
-	par.ForEach(len(r.servers), r.workers, func(i int) {
-		r.servers[i].step(now, dt)
-	})
+	r.argNow, r.argDt = r.clock, dt
+	par.ForEach(len(r.servers), r.workers, r.stepFn)
 	r.observe()
 	// Integrate the post-step draws, mirroring the per-server energy
 	// accounting (server.Step charges the breakdown taken after stepping).
@@ -275,6 +313,89 @@ func (r *Rack) Step(dt float64) {
 	r.coolEnergyJ += r.lastCoolW * dt
 	r.facEnergyJ += (r.lastWallW + r.lastCoolW) * dt
 	r.clock += dt
+}
+
+// TickControllers applies the dispatcher loads and runs every slot's fan
+// controller for the decision instant `now`, exactly as the first half of
+// Step does, without advancing any physics. The event-stepping kernel
+// calls it at every wake step, then asks QuietHorizon how far the
+// controllers allow the next Advance to reach.
+func (r *Rack) TickControllers(now float64) {
+	r.argNow = now
+	par.ForEach(len(r.servers), r.workers, r.tickFn)
+}
+
+// QuietHorizon returns the earliest simulation time at which some slot's
+// fan controller could next need a Tick, queried immediately after
+// TickControllers(now). Controllers implementing control.HorizonPromiser
+// are taken at their word; a slot with any other controller cannot promise
+// anything beyond the current step, so the horizon collapses to now+dt —
+// pinning the kernel to fixed-dt ticking, the reference semantics.
+// +Inf means every controller is quiet until an input changes.
+func (r *Rack) QuietHorizon(now, dt float64) float64 {
+	h := math.Inf(1)
+	for _, st := range r.servers {
+		if st.ctrl == nil {
+			continue
+		}
+		hp, ok := st.ctrl.(control.HorizonPromiser)
+		if !ok {
+			return now + dt
+		}
+		if q := hp.QuietUntil(now); q < h {
+			h = q
+		}
+		if h <= now+dt {
+			return now + dt
+		}
+	}
+	return h
+}
+
+// Advance moves the whole rack through a macro window of `steps` fixed-dt
+// steps without controller ticks: per-server closed-form macro-stepping
+// fans out under the slot-i contract, then every rack-level reduction runs
+// serially in index order, exactly like Step's. Energies are integrated
+// from each server's closed-form window energy — the wall, cooling and
+// facility meters see the window's mean DC draw lifted through the same
+// PSU/PDU/CRAC chain as the per-step path (the chain's curvature over a
+// window's sub-watt DC drift is far below the kernel's equivalence
+// tolerance) — and the temperature maxima fold in every sub-step boundary
+// sample collected inside the window. Advance(dt, 1) is Step(dt) minus the
+// controller tick.
+func (r *Rack) Advance(dt float64, steps int) {
+	if dt <= 0 || steps <= 0 {
+		return
+	}
+	r.argDt, r.argSteps = dt, steps
+	par.ForEach(len(r.servers), r.workers, r.advFn)
+	span := float64(steps) * dt
+	var dcMeanW, acInMeanW float64
+	for _, st := range r.servers {
+		mean := (float64(st.srv.Energy()) - st.winEnergy0) / span
+		dcMeanW += mean
+		acInMeanW += st.psuIn(mean)
+		if st.winMaxCPUC > r.maxCPUC {
+			r.maxCPUC = st.winMaxCPUC
+		}
+		if st.winMaxDIMMC > r.maxDIMMC {
+			r.maxDIMMC = st.winMaxDIMMC
+		}
+		if st.winMaxInlet > r.maxInletC {
+			r.maxInletC = st.winMaxInlet
+		}
+	}
+	wallMeanW := r.pduIn(acInMeanW)
+	coolMeanW := 0.0
+	if r.fac != nil {
+		coolMeanW = r.fac.CoolingPower(wallMeanW)
+	}
+	r.dcEnergyJ += dcMeanW * span
+	r.wallEnergyJ += wallMeanW * span
+	r.coolEnergyJ += coolMeanW * span
+	r.facEnergyJ += (wallMeanW + coolMeanW) * span
+	r.observe() // endpoint instantaneous draws and peak samples
+	r.clock += span
 }
 
 // DCPower returns the rack's instantaneous DC draw (Σ server power) at the

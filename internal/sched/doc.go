@@ -50,4 +50,30 @@
 // conservative estimate — the settled fan+leak marginal charged up front,
 // clamped at zero — which by construction defers no later (and possibly
 // earlier) than the fast one.
+//
+// # Event-driven macro-stepping
+//
+// TraceConfig.EventStepping replaces the fixed-dt grind with an
+// event-driven kernel. The event taxonomy: job arrivals, job completions,
+// backlog retries (a blocked FIFO head is re-attempted every grid step,
+// against freshly evolved telemetry), controller wake-ups (the
+// control.HorizonPromiser contract: hold-off expiries and poll outcomes
+// bound when a fan decision can next happen), and optional fixed-cadence
+// telemetry samples (TraceConfig.SampleEvery). The kernel visits exactly
+// the grid steps at which the fixed-dt loop could act — decisions run
+// through literally the same code at the same instants, so placements,
+// deferral counts and queue statistics are identical — and advances the
+// rack across each quiet gap in one closed-form macro window
+// (rack.Advance over server.MacroWindow over thermal.StepLinearizedN).
+// Energies agree with the fixed-dt reference to ≤1e-6 relative (the
+// leakage-linearization drift cap, server.Config.MacroDriftTolC, is the
+// knob), and wall-clock scales with the number of events instead of
+// horizon/dt — ~27× fewer rack advances on the default Poisson trace.
+//
+// Fixed-dt remains mandatory — the kernel pins itself to single-step
+// windows — whenever the backlog is non-empty (head retries observe
+// evolving temperatures), while any fan controller cannot promise a quiet
+// horizon (reactive, temperature-thresholding controllers like BangBang
+// never can), while fans are slewing, or near the thermal-trip threshold.
+// EventStepping=false (the default) is the bit-exact reference path.
 package sched

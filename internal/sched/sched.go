@@ -477,6 +477,7 @@ type Result struct {
 	MeanWaitSec float64 // mean queueing delay of placed jobs
 	MaxQueueLen int     // worst backlog observed
 	Deferrals   int     // placements deferred by the wall-power cap
+	RackSteps   int     // rack advances taken: fixed-dt = horizon/dt; event mode = macro windows
 }
 
 // TraceConfig parameterizes a trace run.
@@ -507,6 +508,28 @@ type TraceConfig struct {
 	// cap; the conservative estimate charges the settled cost up front and
 	// therefore defers no later (and possibly earlier) than the fast one.
 	CapMarginal []*lut.Table
+
+	// EventStepping selects the event-driven kernel: between consecutive
+	// events — job arrivals, job completions, controller wake-ups,
+	// optional telemetry samples — the rack advances in one closed-form
+	// macro window (rack.Advance) instead of gap/dt fixed steps, so
+	// wall-clock scales with the number of scheduling events rather than
+	// the horizon. Scheduling decisions are taken at exactly the same grid
+	// steps as the fixed-dt path, so placements, deferral counts and queue
+	// statistics are identical; energies agree to the macro-stepping drift
+	// tolerance (≤1e-6 relative, see server.Config.MacroDriftTolC). While
+	// the backlog is non-empty, or whenever some fan controller cannot
+	// promise a quiet horizon (control.HorizonPromiser), the kernel pins
+	// itself to fixed-dt stepping. false — the default — is the fixed-dt
+	// reference path, bit-identical to prior behaviour.
+	EventStepping bool
+
+	// SampleEvery, in seconds, optionally forces an event-stepping wake at
+	// a fixed telemetry cadence, bounding how coarse the peak/maxima
+	// sampling can get inside long quiet gaps. 0 (the default) samples
+	// only at events and macro sub-step boundaries. Ignored by the
+	// fixed-dt path, which observes every step anyway.
+	SampleEvery float64
 }
 
 // active is a placed job with its completion time.
@@ -532,6 +555,11 @@ func RunTrace(r *rack.Rack, jobs []Job, p Policy, dt, horizon float64) (Result, 
 // computed up front and elapsed time as k·dt, so a non-integer dt cannot
 // drift the window length or event timing the way an accumulated
 // `elapsed += dt` would (cf. the thermal RK4 substep fix).
+//
+// With tc.EventStepping the same decision process runs event-driven: the
+// kernel only visits the grid steps where something can happen and
+// advances the rack across the quiet gaps in closed-form macro windows
+// (see TraceConfig.EventStepping).
 func RunTraceCfg(r *rack.Rack, jobs []Job, p Policy, tc TraceConfig) (Result, error) {
 	dt, horizon := tc.Dt, tc.Horizon
 	if dt <= 0 || horizon <= 0 {
@@ -542,113 +570,296 @@ func RunTraceCfg(r *rack.Rack, jobs []Job, p Policy, tc TraceConfig) (Result, er
 	}
 	p.Reset()
 
-	res := Result{Submitted: len(jobs)}
-	loads := make([]units.Percent, r.NumServers())
-	views := make([]ServerView, r.NumServers())
+	e := &traceRun{
+		r:         r,
+		jobs:      jobs,
+		p:         p,
+		tc:        tc,
+		dt:        dt,
+		res:       Result{Submitted: len(jobs)},
+		loads:     make([]units.Percent, r.NumServers()),
+		views:     make([]ServerView, r.NumServers()),
+		pendingDC: make([]units.Watts, r.NumServers()),
+		start:     r.Now(),
+		steps:     int(math.Ceil(horizon/dt - 1e-9)),
+	}
+	var err error
+	if tc.EventStepping {
+		err = e.runEvents()
+	} else {
+		err = e.runFixed()
+	}
+	if e.res.Placed > 0 {
+		e.res.MeanWaitSec = e.totalWait / float64(e.res.Placed)
+	}
+	return e.res, err
+}
+
+// traceRun is the state of one trace execution, shared by the fixed-dt
+// reference loop and the event-driven kernel so both take scheduling
+// decisions through literally the same code.
+type traceRun struct {
+	r     *rack.Rack
+	jobs  []Job
+	p     Policy
+	tc    TraceConfig
+	dt    float64
+	res   Result
+	loads []units.Percent
+	views []ServerView
 	// pendingDC tracks, per slot, the DC increments of placements admitted
 	// earlier in the current step: the rack's measured draw lags behind by
 	// one step (loads apply at the next Step), so cap admission must count
 	// same-step placements or several jobs could jointly breach the cap.
-	pendingDC := make([]units.Watts, r.NumServers())
-	var pending []Job
-	var running []active
-	var totalWait float64
-	nextJob := 0
-	start := r.Now()
+	pendingDC []units.Watts
+	pending   []Job
+	running   []active
+	totalWait float64
+	nextJob   int
+	start     float64
+	steps     int
+}
 
-	steps := int(math.Ceil(horizon/dt - 1e-9))
-	for k := 0; k < steps; k++ {
-		elapsed := float64(k) * dt
-		now := start + elapsed
-		for i := range pendingDC {
-			pendingDC[i] = 0
+// runFixed is the fixed-dt reference path: every grid step processes
+// events and advances the rack by one dt, bit-identical to the original
+// runner.
+func (e *traceRun) runFixed() error {
+	for k := 0; k < e.steps; k++ {
+		if err := e.processStep(k); err != nil {
+			return err
 		}
+		e.applyLoads()
+		e.r.Step(e.dt)
+		e.res.RackSteps++
+	}
+	return nil
+}
 
-		// Completions first: capacity freed this instant is placeable now.
-		keep := running[:0]
-		for _, a := range running {
-			if a.end <= now {
-				loads[a.slot] -= a.demand
-				res.Completed++
-				continue
+// processStep takes every scheduling decision of grid step k: completions
+// free capacity, arrivals join the backlog, and the FIFO head places while
+// the policy (and the wall cap) accepts.
+func (e *traceRun) processStep(k int) error {
+	elapsed := float64(k) * e.dt
+	now := e.start + elapsed
+	for i := range e.pendingDC {
+		e.pendingDC[i] = 0
+	}
+
+	// Completions first: capacity freed this instant is placeable now.
+	keep := e.running[:0]
+	for _, a := range e.running {
+		if a.end <= now {
+			e.loads[a.slot] -= a.demand
+			e.res.Completed++
+			continue
+		}
+		keep = append(keep, a)
+	}
+	e.running = keep
+
+	// Arrivals join the FIFO backlog. A job is admitted at the tick of
+	// the step interval [elapsed, elapsed+dt) containing its arrival —
+	// the standard event-to-fixed-step collapse (anticipation < dt) —
+	// so every job with Arrival < horizon is admitted; an
+	// `Arrival <= elapsed` rule would silently drop arrivals in the
+	// final step of the window.
+	for e.nextJob < len(e.jobs) && e.jobs[e.nextJob].Arrival < elapsed+e.dt {
+		e.pending = append(e.pending, e.jobs[e.nextJob])
+		e.nextJob++
+	}
+	if len(e.pending) > e.res.MaxQueueLen {
+		e.res.MaxQueueLen = len(e.pending)
+	}
+
+	// Place from the head while the policy accepts.
+	for len(e.pending) > 0 {
+		for i := range e.views {
+			e.views[i] = ServerView{
+				Index:      i,
+				Name:       e.r.Name(i),
+				Load:       e.loads[i],
+				Free:       100 - e.loads[i],
+				MaxCPUTemp: e.r.Server(i).MaxCPUTemp(),
+				InletTemp:  e.r.Server(i).InletTemp(),
+				DCPower:    e.r.ServerDCPower(i),
+				WallPower:  e.r.ServerWallPower(i),
 			}
-			keep = append(keep, a)
 		}
-		running = keep
-
-		// Arrivals join the FIFO backlog. A job is admitted at the tick of
-		// the step interval [elapsed, elapsed+dt) containing its arrival —
-		// the standard event-to-fixed-step collapse (anticipation < dt) —
-		// so every job with Arrival < horizon is admitted; an
-		// `Arrival <= elapsed` rule would silently drop arrivals in the
-		// final step of the window.
-		for nextJob < len(jobs) && jobs[nextJob].Arrival < elapsed+dt {
-			pending = append(pending, jobs[nextJob])
-			nextJob++
+		j := e.pending[0]
+		slot := e.p.Place(j, e.views)
+		if slot < 0 {
+			break
 		}
-		if len(pending) > res.MaxQueueLen {
-			res.MaxQueueLen = len(pending)
+		if slot >= len(e.loads) || e.loads[slot]+j.Demand > 100 {
+			return fmt.Errorf("sched: policy %s placed job %d on invalid/overloaded server %d", e.p.Name(), j.ID, slot)
 		}
-
-		// Place from the head while the policy accepts.
-		for len(pending) > 0 {
-			for i := range views {
-				views[i] = ServerView{
-					Index:      i,
-					Name:       r.Name(i),
-					Load:       loads[i],
-					Free:       100 - loads[i],
-					MaxCPUTemp: r.Server(i).MaxCPUTemp(),
-					InletTemp:  r.Server(i).InletTemp(),
-					DCPower:    r.ServerDCPower(i),
-					WallPower:  r.ServerWallPower(i),
+		if e.tc.WallCapW > 0 {
+			mdc := MarginalDCPower(e.r.Server(slot).Config().Power, e.loads[slot], j.Demand)
+			if slot < len(e.tc.CapMarginal) && e.tc.CapMarginal[slot] != nil {
+				// Conservative admission: charge the settled fan+leak
+				// cost up front. Clamped at zero so the conservative
+				// estimate is never below the fast one.
+				if steady, err := SteadyFanLeakMarginal(e.tc.CapMarginal[slot], e.loads[slot], j.Demand); err == nil && steady > 0 {
+					mdc += steady
 				}
 			}
-			j := pending[0]
-			slot := p.Place(j, views)
-			if slot < 0 {
+			e.pendingDC[slot] += mdc
+			if float64(e.r.WallPowerWithAll(e.pendingDC)) > e.tc.WallCapW {
+				// Deferral: the head blocks under the budget and is
+				// retried next step, after completions free power.
+				e.pendingDC[slot] -= mdc
+				e.res.Deferrals++
 				break
 			}
-			if slot >= len(loads) || loads[slot]+j.Demand > 100 {
-				return res, fmt.Errorf("sched: policy %s placed job %d on invalid/overloaded server %d", p.Name(), j.ID, slot)
-			}
-			if tc.WallCapW > 0 {
-				mdc := MarginalDCPower(r.Server(slot).Config().Power, loads[slot], j.Demand)
-				if slot < len(tc.CapMarginal) && tc.CapMarginal[slot] != nil {
-					// Conservative admission: charge the settled fan+leak
-					// cost up front. Clamped at zero so the conservative
-					// estimate is never below the fast one.
-					if steady, err := SteadyFanLeakMarginal(tc.CapMarginal[slot], loads[slot], j.Demand); err == nil && steady > 0 {
-						mdc += steady
-					}
-				}
-				pendingDC[slot] += mdc
-				if float64(r.WallPowerWithAll(pendingDC)) > tc.WallCapW {
-					// Deferral: the head blocks under the budget and is
-					// retried next step, after completions free power.
-					pendingDC[slot] -= mdc
-					res.Deferrals++
-					break
-				}
-			}
-			loads[slot] += j.Demand
-			running = append(running, active{end: now + j.Duration, slot: slot, demand: j.Demand})
-			// Clamp at zero: admission rounds an arrival down to its step's
-			// tick (anticipation < dt), which is not a queueing delay.
-			if wait := elapsed - j.Arrival; wait > 0 {
-				totalWait += wait
-			}
-			res.Placed++
-			pending = pending[1:]
 		}
+		e.loads[slot] += j.Demand
+		e.running = append(e.running, active{end: now + j.Duration, slot: slot, demand: j.Demand})
+		// Clamp at zero: admission rounds an arrival down to its step's
+		// tick (anticipation < dt), which is not a queueing delay.
+		if wait := elapsed - j.Arrival; wait > 0 {
+			e.totalWait += wait
+		}
+		e.res.Placed++
+		e.pending = e.pending[1:]
+	}
+	return nil
+}
 
-		for i, u := range loads {
-			r.SetLoad(i, u)
+func (e *traceRun) applyLoads() {
+	for i, u := range e.loads {
+		e.r.SetLoad(i, u)
+	}
+}
+
+// runEvents is the event-driven kernel. It visits exactly the grid steps
+// at which the fixed-dt path could do something — a job arrival or
+// completion, a blocked backlog retry, a controller wake-up, a telemetry
+// sample — and collapses every gap in between into one rack.Advance macro
+// window. Decision code, decision instants and decision inputs are shared
+// with runFixed, so placements, deferrals and queue statistics are
+// identical; only the physics between decisions is advanced in closed
+// form.
+func (e *traceRun) runEvents() error {
+	sampleSteps := 0
+	if e.tc.SampleEvery > 0 {
+		sampleSteps = int(math.Round(e.tc.SampleEvery / e.dt))
+		if sampleSteps < 1 {
+			sampleSteps = 1
 		}
+	}
+	for k := 0; k < e.steps; {
+		if err := e.processStep(k); err != nil {
+			return err
+		}
+		e.applyLoads()
+		// Controllers tick at the kernel's grid time. The fixed-dt path
+		// ticks them at the rack's accumulated clock instead; the two agree
+		// exactly whenever k·dt is exactly representable (every integer dt,
+		// i.e. all shipped experiments) and to one ulp otherwise — a
+		// hold-off or poll boundary landing inside that ulp could shift a
+		// fan decision by one grid step between the modes.
+		now := e.start + float64(k)*e.dt
+		e.r.TickControllers(now)
+		window := 1
+		// A non-empty backlog pins the kernel to fixed-dt: the head is
+		// retried — against freshly evolved telemetry views — every step,
+		// exactly like the reference path.
+		if len(e.pending) == 0 {
+			window = e.window(k, now, sampleSteps)
+		}
+		e.r.Advance(e.dt, window)
+		e.res.RackSteps++
+		k += window
+	}
+	return nil
+}
+
+// window returns the macro-window length from step k: up to, exclusive,
+// the next grid step at which anything can happen.
+func (e *traceRun) window(k int, now float64, sampleSteps int) int {
+	next := e.steps
+	if e.nextJob < len(e.jobs) {
+		if ka := e.arrivalStep(e.jobs[e.nextJob].Arrival); ka < next {
+			next = ka
+		}
+	}
+	for _, a := range e.running {
+		if kc := e.stepAtOrAfter(a.end); kc < next {
+			next = kc
+		}
+	}
+	if q := e.r.QuietHorizon(now, e.dt); !math.IsInf(q, 1) {
+		if kq := e.stepAtOrAfter(q); kq < next {
+			next = kq
+		}
+	}
+	if sampleSteps > 0 {
+		if ks := (k/sampleSteps + 1) * sampleSteps; ks < next {
+			next = ks
+		}
+	}
+	if next <= k {
+		next = k + 1
+	}
+	return next - k
+}
+
+// arrivalStep returns the grid step at which the fixed-dt loop admits an
+// arrival at time a: the smallest k satisfying the admission predicate.
+// The candidate from the division is corrected against the decision
+// loop's own float expression — fl(fl(k·dt)+dt), NOT fl((k+1)·dt), which
+// can round differently — so the two paths can never disagree on the
+// admitting step.
+func (e *traceRun) arrivalStep(a float64) int {
+	admits := func(k int) bool { return a < float64(k)*e.dt+e.dt }
+	k := int(a / e.dt)
+	if k < 0 {
+		k = 0
+	}
+	for !admits(k) {
+		k++
+	}
+	for k > 0 && admits(k-1) {
+		k--
+	}
+	return k
+}
+
+// stepAtOrAfter returns the smallest grid step k with start + k·dt ≥ t —
+// the step at which the fixed-dt loop first sees `a.end <= now` for a
+// completion at t, and the wake step for a controller horizon at t. The
+// correction loops evaluate the identical float expression the decision
+// code uses.
+func (e *traceRun) stepAtOrAfter(t float64) int {
+	k := int((t - e.start) / e.dt)
+	if k < 0 {
+		k = 0
+	}
+	for e.start+float64(k)*e.dt < t {
+		k++
+	}
+	for k > 0 && e.start+float64(k-1)*e.dt >= t {
+		k--
+	}
+	return k
+}
+
+// Settle advances the rack with no offered load for `duration` seconds —
+// the idle stabilization window experiments run before their measured
+// trace. With event stepping the whole window collapses into a handful of
+// controller-horizon macro windows; otherwise it is the plain fixed-dt
+// loop (an integer step count, so a non-integer dt cannot drift the
+// window).
+func Settle(r *rack.Rack, dt, duration float64, eventStepping bool) error {
+	if duration <= 0 {
+		return nil
+	}
+	if eventStepping {
+		_, err := RunTraceCfg(r, nil, NewRoundRobin(), TraceConfig{Dt: dt, Horizon: duration, EventStepping: true})
+		return err
+	}
+	for k := int(math.Ceil(duration/dt - 1e-9)); k > 0; k-- {
 		r.Step(dt)
 	}
-	if res.Placed > 0 {
-		res.MeanWaitSec = totalWait / float64(res.Placed)
-	}
-	return res, nil
+	return nil
 }

@@ -1,0 +1,219 @@
+package server
+
+import (
+	"repro/internal/thermal"
+	"repro/internal/units"
+)
+
+// defaultMacroDriftTolC is the per-macro-step die-temperature movement cap
+// when Config.MacroDriftTolC is zero. The leakage model's curvature at
+// operating temperatures is ~0.02 W/°C², so re-anchoring the linearization
+// every degree keeps the energy deviation from the fixed-dt rectangle sums
+// around 3e-7 relative on hour-long traces (measured on the default rack
+// trace; it scales linearly with the tolerance) — inside the event
+// kernel's 1e-6 equivalence budget with margin to spare.
+const defaultMacroDriftTolC = 1.0
+
+// tripGuardC is the margin below CriticalTemp within which macro-stepping
+// refuses to collapse steps: the fixed-dt path checks the thermal-trip
+// threshold after every step, and a macro window must not be able to skip
+// past it. A window's endpoint can move at most the drift tolerance, far
+// less than this band.
+const tripGuardC = 5
+
+// MacroStep advances the server by up to maxSteps consecutive fixed-dt
+// steps in one closed-form application of the linearized step map,
+// returning the number of steps actually advanced (always ≥ 1).
+//
+// Between scheduling events the server's inputs are constant: utilization,
+// fan command, ambient and therefore active, memory, fan and idle power.
+// The only per-step feedback is the temperature-dependent CPU leakage, so
+// the fixed-dt trajectory is the repeated application of one affine map
+// once leakage is linearized around the current die temperatures. The
+// thermal network composes that map in closed form
+// (thermal.StepLinearizedN) under a drift cap that bounds the
+// linearization error, the DIMM bank collapses its first-order lag exactly
+// (mem.StepN), and the energy meters are charged from the closed-form
+// temperature sum — the same rectangle rule the fixed-dt path accumulates,
+// evaluated at the window's mean hottest-die temperature.
+//
+// The caller owns controller scheduling: MacroStep never ticks a fan
+// controller, so it must only be asked to span windows every controller
+// has promised to stay quiet for (control.HorizonPromiser). It falls back
+// to a single plain Step — the exact reference semantics — whenever a
+// window cannot be collapsed: RK4 integration, slewing fans (the airflow
+// conductances move every step), proximity to the thermal-trip threshold,
+// or a transient faster than the drift tolerance.
+func (s *Server) MacroStep(dt float64, maxSteps int) int {
+	if maxSteps > 1 && dt > 0 && s.macroEligible() {
+		if n := s.stepMacroCore(dt, maxSteps); n > 0 {
+			s.flushMacro(dt, n)
+			s.finishMacroWindow()
+			return n
+		}
+	}
+	s.Step(dt)
+	return 1
+}
+
+// MacroWindow advances the server through exactly `steps` fixed-dt steps —
+// the rack-level macro window — chaining closed-form sub-steps and falling
+// back to plain Steps where a sub-window cannot be collapsed. The
+// window-constant bookkeeping (DIMM lag, fan energy, peak sampling, the
+// power breakdown) is deferred to flush points instead of being repeated
+// per sub-step, which is what makes a transient-heavy window cheap. It
+// returns the maxima observed at sub-step boundaries for the rack's
+// temperature roll-ups.
+func (s *Server) MacroWindow(dt float64, steps int) (maxDieC, maxDIMMC, maxInletC float64) {
+	maxDieC, maxDIMMC, maxInletC = -1e9, -1e9, -1e9
+	fold := func() {
+		if t := float64(s.MaxCPUTemp()); t > maxDieC {
+			maxDieC = t
+		}
+	}
+	foldSlow := func() { // DIMM/inlet only move at flush boundaries
+		if t := float64(s.mem.MaxTemp()); t > maxDIMMC {
+			maxDIMMC = t
+		}
+		if t := float64(s.InletTemp()); t > maxInletC {
+			maxInletC = t
+		}
+	}
+	// No window-start fold: the pre-window state was sampled by the rack's
+	// previous observation, and the fixed-dt reference only ever samples
+	// post-step states — a start fold would see "new load, pre-slew fan"
+	// combinations that never exist on the reference path.
+	pendingMem := 0
+	for done := 0; done < steps; {
+		// A macro sub-window needs at least two steps to collapse; don't
+		// pay the linearization setup on pinned (single-step) windows.
+		if steps-done >= 2 && s.macroEligible() {
+			if n := s.stepMacroCore(dt, steps-done); n > 0 {
+				done += n
+				pendingMem += n
+				fold()
+				continue
+			}
+		}
+		// Plain step: flush the deferred window state first — a slewing fan
+		// changes the DIMM equilibrium the deferred steps must not see.
+		if pendingMem > 0 {
+			s.flushMacro(dt, pendingMem)
+			pendingMem = 0
+		}
+		s.Step(dt)
+		done++
+		fold()
+		foldSlow()
+	}
+	if pendingMem > 0 {
+		s.flushMacro(dt, pendingMem)
+	}
+	s.finishMacroWindow()
+	foldSlow()
+	return maxDieC, maxDIMMC, maxInletC
+}
+
+// macroEligible reports whether the server's state permits collapsing
+// steps at all (cheap checks; the drift cap inside stepMacroCore does the
+// quantitative one).
+func (s *Server) macroEligible() bool {
+	if s.cfg.ThermalIntegrator != thermal.IntegratorExact {
+		return false
+	}
+	if !s.fans.Settled() {
+		return false
+	}
+	return float64(s.MaxCPUTemp()) < float64(s.cfg.CriticalTemp)-tripGuardC
+}
+
+// stepMacroCore attempts one closed-form sub-window: thermal state, clock
+// and the total-energy meter advance; DIMM lag, fan energy, peak and
+// breakdown refresh are left to flushMacro/finishMacroWindow. 0 means "not
+// collapsible here" with all state untouched.
+func (s *Server) stepMacroCore(dt float64, maxSteps int) int {
+	// Refresh boundary temperature, conductances and injected powers at the
+	// anchor temperatures — exactly what a plain step would apply.
+	s.syncThermalInputs()
+	m := s.net.NumNodes()
+	if len(s.macroSlopes) != m {
+		s.macroSlopes = make([]float64, m)
+		s.macroSums = make([]float64, m)
+	}
+	for i := range s.macroSlopes {
+		s.macroSlopes[i] = 0
+	}
+	nSockets := float64(len(s.dieNodes))
+	lm := s.cfg.Power.Leakage
+	for _, die := range s.dieNodes {
+		// dPleak/dT = K3·(Pleak − C) for the exponential model: reuse the
+		// (memoized) leakage evaluation instead of a second math.Exp.
+		leak := s.leakageAt(units.Celsius(s.net.Temp(die)))
+		s.macroSlopes[die] = lm.K3 * (leak - lm.C) * s.voltScale / nSockets
+	}
+	tol := s.cfg.MacroDriftTolC
+	if tol <= 0 {
+		tol = defaultMacroDriftTolC
+	}
+	if tol > tripGuardC {
+		// Never let a configured tolerance outrun the trip guard:
+		// macroEligible admits windows starting up to tripGuardC below
+		// CriticalTemp, so a drift cap at the guard band keeps a collapsed
+		// window's endpoint at or below the threshold the per-step path
+		// checks every dt.
+		tol = tripGuardC
+	}
+	n := s.net.StepLinearizedN(dt, maxSteps, s.macroSlopes, tol, s.macroSums)
+	if n == 0 {
+		return 0
+	}
+	span := float64(n) * dt
+
+	// Energy: the fixed-dt path charges the post-step breakdown every step.
+	// All components except leakage are constant over the window, and
+	// leakage is charged at the mean of the hottest die's post-step
+	// temperatures (for symmetric socket loads — the dispatcher's uniform
+	// spreading — the dies are identical and this is the exact mean; the
+	// curvature of the leakage exponential over ≤ tol of drift is the only
+	// deviation from the reference sums).
+	u := s.cpu.Utilization()
+	meanMax := s.macroSums[s.dieNodes[0]]
+	for _, die := range s.dieNodes[1:] {
+		if v := s.macroSums[die]; v > meanMax {
+			meanMax = v
+		}
+	}
+	meanMax /= float64(n)
+	constW := float64(s.cfg.Power.IdleFloor) +
+		float64(s.cfg.Power.Active.Power(s.effectiveUtil(u)))*s.dynScale() +
+		float64(s.cfg.Power.Memory.Power(u)) +
+		float64(s.fans.Power())
+	leakMean := float64(s.cfg.Power.Leakage.Power(units.Celsius(meanMax))) * s.voltScale
+	s.energy += units.Joules((constW + leakMean) * span)
+	s.clock += span
+	return n
+}
+
+// flushMacro applies the bookkeeping deferred across n collapsed steps:
+// the DIMM first-order lag (exact closed form — conditions were constant
+// while the steps were pending) and the separately metered fan energy.
+func (s *Server) flushMacro(dt float64, n int) {
+	s.mem.StepN(dt, n, s.cfg.Ambient, s.cpu.Utilization(), s.fans.MeanRPM())
+	s.fanEnergy += units.Energy(s.fans.Power(), float64(n)*dt)
+}
+
+// finishMacroWindow mirrors the tail of Step at a window boundary: trip
+// check, breakdown refresh, peak sampling. Within a collapsed sub-window
+// power moves monotonically with the ≤ tol die drift, so the boundary
+// samples are within leakage-slope·tol of the true per-step maximum.
+func (s *Server) finishMacroWindow() {
+	if s.MaxCPUTemp() >= s.cfg.CriticalTemp {
+		s.tripped = true
+		_, hi := s.fans.Range()
+		s.fans.SetAll(hi)
+	}
+	s.updateBreakdown()
+	if total := s.lastBreakdown.Total(); total > s.peak {
+		s.peak = total
+	}
+}

@@ -1,0 +1,160 @@
+package server
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/thermal"
+	"repro/internal/units"
+)
+
+// macroPair builds two identical servers for a macro-vs-fixed comparison.
+func macroPair(t *testing.T, mutate func(*Config)) (*Server, *Server) {
+	t.Helper()
+	cfg := T3Config()
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, b
+}
+
+// TestMacroStepMatchesFixedSteps drives one server through load changes
+// with macro windows and its twin with plain fixed steps: temperatures
+// stay within the drift tolerance and energies within 1e-6 relative.
+func TestMacroStepMatchesFixedSteps(t *testing.T) {
+	for _, load := range []units.Percent{0, 35, 70, 100} {
+		ev, ref := macroPair(t, nil)
+		ev.SetLoad(load)
+		ref.SetLoad(load)
+		const dt, window = 1.0, 900
+		for done := 0; done < window; {
+			done += ev.MacroStep(dt, window-done)
+		}
+		for k := 0; k < window; k++ {
+			ref.Step(dt)
+		}
+		if d := math.Abs(float64(ev.MaxCPUTemp() - ref.MaxCPUTemp())); d > 0.05 {
+			t.Fatalf("load %v: endpoint die temp off by %g °C", load, d)
+		}
+		de := math.Abs(float64(ev.Energy()-ref.Energy())) / float64(ref.Energy())
+		if de > 1e-6 {
+			t.Fatalf("load %v: energy off by %g relative (macro %v vs fixed %v)",
+				load, de, ev.Energy(), ref.Energy())
+		}
+		// Fan power is constant with settled fans, so the only difference is
+		// float summation order (few big adds vs many small ones).
+		if d := math.Abs(float64(ev.FanEnergy()-ref.FanEnergy())) / float64(ref.FanEnergy()); d > 1e-12 {
+			t.Fatalf("load %v: fan energy off by %g relative: %v vs %v",
+				load, d, ev.FanEnergy(), ref.FanEnergy())
+		}
+		if d := math.Abs(float64(ev.Memory().MaxTemp() - ref.Memory().MaxTemp())); d > 1e-9 {
+			t.Fatalf("load %v: DIMM endpoint off by %g °C", load, d)
+		}
+		if ev.Now() != ref.Now() {
+			t.Fatalf("clocks diverged: %g vs %g", ev.Now(), ref.Now())
+		}
+	}
+}
+
+// TestMacroStepLoadTransient exercises the harder case: a cold server hit
+// with a big load step mid-run, so the macro path must refine through the
+// fast transient before collapsing the tail.
+func TestMacroStepLoadTransient(t *testing.T) {
+	ev, ref := macroPair(t, nil)
+	phase := func(load units.Percent, secs int) {
+		ev.SetLoad(load)
+		ref.SetLoad(load)
+		for done := 0; done < secs; {
+			done += ev.MacroStep(1, secs-done)
+		}
+		for k := 0; k < secs; k++ {
+			ref.Step(1)
+		}
+	}
+	phase(90, 600)
+	phase(10, 600)
+	phase(65, 900)
+	de := math.Abs(float64(ev.Energy()-ref.Energy())) / float64(ref.Energy())
+	if de > 1e-6 {
+		t.Fatalf("transient energy off by %g relative", de)
+	}
+	if d := math.Abs(float64(ev.MaxCPUTemp() - ref.MaxCPUTemp())); d > 0.05 {
+		t.Fatalf("transient endpoint temp off by %g °C", d)
+	}
+	if ev.PeakPower() < ref.PeakPower()-1 {
+		t.Fatalf("macro peak %v undershoots fixed peak %v by >1 W", ev.PeakPower(), ref.PeakPower())
+	}
+}
+
+// TestMacroStepFallbacks: slewing fans and RK4 integration must advance
+// exactly one plain step.
+func TestMacroStepFallbacks(t *testing.T) {
+	srv, _ := macroPair(t, nil)
+	srv.SetLoad(50)
+	srv.Step(1) // settle the fan bank bookkeeping
+	srv.Fans().SetAll(srv.Fans().Target() + 600)
+	if n := srv.MacroStep(1, 100); n != 1 {
+		t.Fatalf("slewing fans must pin to single steps, got %d", n)
+	}
+
+	rk, _ := macroPair(t, func(c *Config) { c.ThermalIntegrator = thermal.IntegratorRK4 })
+	rk.SetLoad(50)
+	if n := rk.MacroStep(1, 100); n != 1 {
+		t.Fatalf("RK4 servers must pin to single steps, got %d", n)
+	}
+}
+
+// TestMacroStepCollapsesQuietTail: once settled, a long quiet window must
+// cost a handful of macro calls, not one per dt.
+func TestMacroStepCollapsesQuietTail(t *testing.T) {
+	srv, _ := macroPair(t, nil)
+	srv.SetLoad(40)
+	for k := 0; k < 1200; k++ {
+		srv.Step(1) // settle near steady state
+	}
+	calls := 0
+	for done := 0; done < 3600; {
+		done += srv.MacroStep(1, 3600-done)
+		calls++
+	}
+	if calls > 6 {
+		t.Fatalf("a settled hour took %d macro calls, want ≤ 6 (power-of-two windows)", calls)
+	}
+}
+
+// TestStepAllocationFree pins the zero-allocation satellite: at steady
+// state a Server.Step is pure arithmetic into preallocated buffers.
+func TestStepAllocationFree(t *testing.T) {
+	srv, _ := macroPair(t, nil)
+	srv.SetLoad(70)
+	for k := 0; k < 64; k++ {
+		srv.Step(1) // warm every lazily built propagator and buffer
+	}
+	if avg := testing.AllocsPerRun(200, func() { srv.Step(1) }); avg != 0 {
+		t.Fatalf("Server.Step allocates %.1f objects/op at steady state, want 0", avg)
+	}
+}
+
+// TestMacroStepAllocationFree: the closed-form window reuses its scratch
+// after the first call.
+func TestMacroStepAllocationFree(t *testing.T) {
+	srv, _ := macroPair(t, nil)
+	srv.SetLoad(70)
+	for k := 0; k < 1200; k++ {
+		srv.Step(1)
+	}
+	for i := 0; i < 4; i++ {
+		srv.MacroStep(1, 1<<20) // size the macro scratch
+	}
+	if avg := testing.AllocsPerRun(100, func() { srv.MacroStep(1, 1<<20) }); avg != 0 {
+		t.Fatalf("Server.MacroStep allocates %.1f objects/op at steady state, want 0", avg)
+	}
+}

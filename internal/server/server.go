@@ -56,6 +56,10 @@ type Server struct {
 	leakPower float64
 
 	sensorBuf []units.Celsius // reused by AppendCPUTempSensors
+
+	// Macro-step scratch (event-stepping kernel), reused across calls.
+	macroSlopes []float64
+	macroSums   []float64
 }
 
 // New constructs a server from cfg, starting in thermal equilibrium at idle

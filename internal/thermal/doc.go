@@ -42,7 +42,27 @@
 //     different entry; only cache-capacity eviction (LRU, 8 entries)
 //     discards one.
 //
+// Lookups are O(1) in the link count: every conductance mutation bumps a
+// generation counter (same-value writes are no-ops), entries carry the
+// generation they last matched, and a (generation, h, nodes) compare
+// proves an entry current without walking its conductance snapshot. When
+// the generation moved — a fan toggled away and back — the slow
+// float-by-float verification runs once and re-stamps the matching entry.
+//
 // In steady operation the hit rate is ~100% and one step of any length is
 // a single small matvec, which is what makes rack-scale stepping scale
 // near-linearly in server count.
+//
+// # Macro-stepping
+//
+// StepLinearizedN serves the event-driven kernel (internal/sched): with
+// constant inputs and the temperature-dependent heat sources linearized
+// around the current state (per-node feedback slopes), K consecutive
+// fixed-dt steps are one affine map applied K times, which collapses into
+// O(log K) small matrix products via a doubling ladder. The ladder also
+// returns the running temperature sum Σ T_k, turning the per-step
+// rectangle-rule energy accounting into a closed form, and caps the
+// per-window temperature drift so the linearization error stays bounded;
+// windows that would drift past the cap shrink or fall back to plain
+// stepping. See macro.go for the algebra.
 package thermal

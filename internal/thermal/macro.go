@@ -1,0 +1,216 @@
+package thermal
+
+// This file implements the closed-form composition of many exact-propagator
+// steps — the thermal half of the event-driven macro-stepping kernel
+// (internal/sched). Between scheduling events the rack's inputs are
+// piecewise constant, so the fixed-dt reference path applies the same
+// affine map over and over:
+//
+//	T_{k+1} = Ad·T_k + Phi·C⁻¹·(P + S·T_k + Σ g_b·T_b)
+//	        = M·T_k + c,   M = Ad + Phi·C⁻¹·S,   c = Phi·C⁻¹·(P − S·T₀ + Σ g_b·T_b)
+//
+// where S carries the per-node feedback slopes of the temperature-dependent
+// heat sources (CPU leakage, linearized by the caller around the current
+// temperatures T₀; P is the true injected power at T₀, so the map is exact
+// at the anchor). K applications collapse into
+//
+//	T_K       = M^K·T₀ + G_K·c,          G_K = Σ_{j<K} M^j
+//	Σ_{k≤K} T_k = (M·G_K)·T₀ + H_K·c,    H_K = Σ_{k≤K} G_k = Σ_{j<K}(K−j)·M^j
+//
+// computed by doubling (A_{2K} = A_K², G_{2K} = G_K + A_K·G_K, H_{2K} =
+// H_K + K·G_K + A_K·H_K) in O(log K) small dense multiplies. The running
+// temperature sum is what turns the fixed-dt rectangle-rule energy
+// accounting into a closed form: the caller charges K·dt·P(ΣT/K) instead of
+// K separate post-step evaluations. Because the composition reproduces the
+// *discrete* fixed-dt trajectory — not the continuous-time integral — the
+// only deviation from the reference path is the curvature of the leakage
+// model over the window's temperature excursion, which the drift cap
+// bounds.
+
+// macroScratch holds the m×m and m-vector work buffers of StepLinearizedN,
+// reused across calls so macro-stepping does not allocate at steady state.
+//
+// Only the running power A_n = M^n must be kept as a matrix (it multiplies
+// fresh vectors at every level); the geometric sums appear exclusively
+// applied to the two fixed vectors c and T₀, so they ride along as the
+// vector ladders g_n = G_n·c, y_n = G_n·T₀ and h_n = H_n·c — one matrix
+// multiply per doubling instead of three.
+type macroScratch struct {
+	m          int
+	step       []float64 // M, the one-step linearized map
+	a, a2      []float64 // A_n = M^n and its squaring scratch
+	c          []float64 // affine term of the per-step map
+	t0, tn, tc []float64 // start temps, current endpoint, candidate
+	g, y, h    []float64 // vector ladders G_n·c, G_n·T₀, H_n·c
+	vtmp       []float64 // matvec scratch
+}
+
+func (s *macroScratch) size(m int) {
+	if s.m == m {
+		return
+	}
+	s.m = m
+	s.step = make([]float64, m*m)
+	s.a = make([]float64, m*m)
+	s.a2 = make([]float64, m*m)
+	s.c = make([]float64, m)
+	s.t0 = make([]float64, m)
+	s.tn = make([]float64, m)
+	s.tc = make([]float64, m)
+	s.g = make([]float64, m)
+	s.y = make([]float64, m)
+	s.h = make([]float64, m)
+	s.vtmp = make([]float64, m)
+}
+
+// matMulInto computes dst = a·b for m×m row-major matrices.
+func matMulInto(dst, a, b []float64, m int) {
+	for i := 0; i < m; i++ {
+		di := dst[i*m : (i+1)*m]
+		ai := a[i*m : (i+1)*m]
+		for j := 0; j < m; j++ {
+			di[j] = 0
+		}
+		for k := 0; k < m; k++ {
+			f := ai[k]
+			bk := b[k*m : (k+1)*m]
+			for j := 0; j < m; j++ {
+				di[j] += f * bk[j]
+			}
+		}
+	}
+}
+
+// matVecInto computes dst = a·x.
+func matVecInto(dst, a, x []float64, m int) {
+	for i := 0; i < m; i++ {
+		ai := a[i*m : (i+1)*m]
+		s := 0.0
+		for j := 0; j < m; j++ {
+			s += ai[j] * x[j]
+		}
+		dst[i] = s
+	}
+}
+
+// StepLinearizedN advances the network by n applications of the per-step
+// affine map above, choosing the largest power-of-two n ≤ maxSteps whose
+// endpoint stays within driftCap of the start temperatures (per node, °C).
+// slopes[i] is node i's heat-source feedback dP/dT in W/°C (zero for nodes
+// without temperature-dependent sources); the node powers set via SetPower
+// must be the true injected powers at the current temperatures, so the
+// linearization is exact at the anchor. On success it updates the node
+// temperatures to T_n, stores Σ_{k=1..n} T_k into sums (len NumNodes) for
+// closed-form energy accounting, and returns n ≥ 2. It returns 0 — leaving
+// all state untouched — when no multi-step window is admissible: maxSteps
+// < 2, a non-exact integrator, an unbuildable propagator, or a first
+// doubling already beyond the drift cap (fast transients and thermal
+// runaway both land here); the caller then falls back to plain Step, which
+// is the exact fixed-dt semantics.
+func (n *Network) StepLinearizedN(dt float64, maxSteps int, slopes []float64, driftCap float64, sums []float64) int {
+	m := len(n.nodes)
+	if dt <= 0 || m == 0 || maxSteps < 2 || n.integrator != IntegratorExact {
+		return 0
+	}
+	if len(slopes) != m || len(sums) != m || driftCap <= 0 {
+		return 0
+	}
+	p := n.lookupPropagator(dt)
+	if p == nil {
+		p = n.buildPropagator(dt)
+	}
+	if p.failed {
+		return 0
+	}
+	s := &n.macro
+	s.size(m)
+
+	// One-step map M = Ad + Phi·C⁻¹·S: column j of Phi scaled by s_j/C_j.
+	for j := 0; j < m; j++ {
+		s.vtmp[j] = slopes[j] / n.nodes[j].capac
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			s.step[i*m+j] = p.ad[i*m+j] + p.phi[i*m+j]*s.vtmp[j]
+		}
+	}
+	// Affine term c = Phi·C⁻¹·(P − S·T₀ + Σ g_b·T_b), assembled exactly the
+	// way stepExact assembles its per-step input.
+	for i := range s.t0 {
+		s.t0[i] = n.nodes[i].temp
+		s.tn[i] = n.nodes[i].powerIn - slopes[i]*s.t0[i] // reuse tn as u scratch
+	}
+	for _, l := range n.links {
+		if l.toBoundary {
+			s.tn[l.a] += l.g * n.boundaries[l.bBound].temp
+		}
+	}
+	for i := range s.tn {
+		s.tn[i] /= n.nodes[i].capac
+	}
+	matVecInto(s.c, p.phi, s.tn, m)
+
+	// Ladder start: n = 1 — A = M, g = c, y = T₀, h = c, T₁ = M·T₀ + c.
+	copy(s.a, s.step)
+	copy(s.g, s.c)
+	copy(s.y, s.t0)
+	copy(s.h, s.c)
+	matVecInto(s.tn, s.step, s.t0, m)
+	for i := 0; i < m; i++ {
+		s.tn[i] += s.c[i]
+	}
+	steps := 1
+	for 2*steps <= maxSteps {
+		// Candidate endpoint T_{2n} = A_n·T_n + g_n; drift-check before
+		// committing the level.
+		matVecInto(s.tc, s.a, s.tn, m)
+		ok := true
+		for i := 0; i < m; i++ {
+			s.tc[i] += s.g[i]
+			d := s.tc[i] - s.t0[i]
+			if d < 0 {
+				d = -d
+			}
+			if !(d <= driftCap) { // NaN-safe: divergence fails the cap
+				ok = false
+			}
+		}
+		if !ok {
+			break
+		}
+		// Vector ladders, h first (it consumes this level's g and A):
+		// h_{2n} = h_n + n·g_n + A_n·h_n, then g_{2n} = g_n + A_n·g_n and
+		// y_{2n} = y_n + A_n·y_n.
+		fn := float64(steps)
+		matVecInto(s.vtmp, s.a, s.h, m)
+		for i := 0; i < m; i++ {
+			s.h[i] += fn*s.g[i] + s.vtmp[i]
+		}
+		matVecInto(s.vtmp, s.a, s.g, m)
+		for i := 0; i < m; i++ {
+			s.g[i] += s.vtmp[i]
+		}
+		matVecInto(s.vtmp, s.a, s.y, m)
+		for i := 0; i < m; i++ {
+			s.y[i] += s.vtmp[i]
+		}
+		copy(s.tn, s.tc)
+		steps *= 2
+		if 2*steps <= maxSteps {
+			// Square up only when another level can still be attempted —
+			// the single matrix multiply of the level.
+			matMulInto(s.a2, s.a, s.a, m)
+			s.a, s.a2 = s.a2, s.a
+		}
+	}
+	if steps < 2 {
+		return 0
+	}
+	// Σ_{k=1..n} T_k = M·(G_n·T₀) + H_n·c.
+	matVecInto(s.vtmp, s.step, s.y, m)
+	for i := 0; i < m; i++ {
+		sums[i] = s.vtmp[i] + s.h[i]
+		n.nodes[i].temp = s.tn[i]
+	}
+	return steps
+}

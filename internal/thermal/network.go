@@ -58,11 +58,15 @@ type link struct {
 // enter only through u, recomputed each step, so a cached entry survives
 // them. Each entry is keyed on (conductance-set, h): gs is a snapshot of
 // every link's conductance at build time, so a step matches an entry only
-// when the system matrix −C⁻¹G it was built from is the current one.
+// when the system matrix −C⁻¹G it was built from is the current one. gen
+// stamps the conductance generation the entry last matched, making the
+// steady-state lookup a three-int compare instead of an O(#links) float
+// walk (see lookupPropagator).
 type propagator struct {
 	failed bool // build attempt failed for this key; don't retry it
 	h      float64
 	m      int
+	gen    uint64    // conductance generation this entry last matched
 	gs     []float64 // per-link conductances this entry was built for
 	ad     []float64 // m×m row-major exp(−C⁻¹G·h)
 	phi    []float64 // m×m row-major ∫₀ʰ exp(−C⁻¹G·s) ds
@@ -85,7 +89,10 @@ type Network struct {
 	integrator Integrator
 	props      []*propagator // LRU of exact propagators, most recent first
 	propBuilds int           // lifetime build count, observable in tests
-	u, next    []float64     // exact-step scratch
+	condGen    uint64        // bumped whenever any link conductance changes
+	u, next    []float64     // exact-step scratch, sized at node addition
+
+	macro macroScratch // linearized macro-step work buffers
 
 	// RK4 integration scratch
 	state   []float64
@@ -122,6 +129,22 @@ func (n *Network) IntegratorInUse() Integrator { return n.integrator }
 // stays warm for when the fans switch back.
 func (n *Network) invalidate() {
 	n.props = n.props[:0]
+	n.condGen++ // the conductance vector changed meaning, not just value
+	n.sizeScratch()
+}
+
+// sizeScratch (re)sizes every per-step work buffer to the current node
+// count. Doing this at mutation time — node/link additions — keeps Step
+// allocation-free at steady state (asserted by testing.AllocsPerRun in the
+// server and rack packages).
+func (n *Network) sizeScratch() {
+	m := len(n.nodes)
+	if len(n.u) != m {
+		n.u = make([]float64, m)
+		n.next = make([]float64, m)
+		n.state = make([]float64, m)
+		n.scratch = mathx.NewScratch(m)
+	}
 }
 
 // AddNode adds a capacitive node with the given heat capacity (J/°C) and
@@ -192,9 +215,21 @@ func (n *Network) SetConductance(id LinkID, g float64) error {
 	// No cache invalidation here: propagator entries are keyed on the full
 	// conductance vector, so a change merely selects a different entry (or
 	// triggers one build) while entries for other operating points survive.
+	// Setting the value already in place is a no-op so the generation
+	// counter — the O(1) steady-state cache key — only moves when the
+	// system matrix actually changes.
+	if n.links[id].g == g {
+		return nil
+	}
 	n.links[id].g = g
+	n.condGen++
 	return nil
 }
+
+// CondGeneration returns the conductance generation counter: it advances
+// exactly when some link's conductance value changes (or the topology is
+// edited), so equal generations imply an identical system matrix.
+func (n *Network) CondGeneration() uint64 { return n.condGen }
 
 // SetBoundaryTemp updates a boundary temperature (e.g. inlet preheat).
 func (n *Network) SetBoundaryTemp(id BoundaryID, temp float64) error {
@@ -278,10 +313,6 @@ func (n *Network) stepExact(dt float64) bool {
 	if p.failed {
 		return false // a doomed operating point stays on RK4 until its key changes
 	}
-	if len(n.u) != m {
-		n.u = make([]float64, m)
-		n.next = make([]float64, m)
-	}
 	// Affine input u = C⁻¹·(P + Σ g_b·T_b); power and boundary temperature
 	// changes are picked up here without touching the cached propagator.
 	for i := range n.u {
@@ -312,10 +343,24 @@ func (n *Network) stepExact(dt float64) bool {
 
 // lookupPropagator returns the cached entry matching the current
 // (conductance-set, h) key, promoting it to the front of the LRU, or nil.
-// The comparison walks at most propCacheSize entries × len(links) floats,
-// negligible next to the matvec it guards.
+//
+// The fast path compares (gen, h, m): the generation counter advances
+// exactly when a conductance value changes, so a matching stamp proves the
+// entry's matrix is current without touching the per-link floats — the
+// steady-state lookup is O(1) in the link count. When the generation
+// moved (a fan toggled and toggled back), the slow path re-verifies the
+// snapshot float-by-float and, on a match, re-stamps the entry with the
+// current generation so subsequent steps take the fast path again. Results
+// are bit-identical to the always-walk lookup: a stamp can only equal the
+// current generation if the conductance vector is unchanged since it was
+// stamped.
 func (n *Network) lookupPropagator(h float64) *propagator {
 	m := len(n.nodes)
+	for k, p := range n.props {
+		if p.gen == n.condGen && p.h == h && p.m == m {
+			return n.promote(k, p)
+		}
+	}
 	for k, p := range n.props {
 		if p.h != h || p.m != m || len(p.gs) != len(n.links) {
 			continue
@@ -330,13 +375,19 @@ func (n *Network) lookupPropagator(h float64) *propagator {
 		if !match {
 			continue
 		}
-		if k > 0 { // move to front
-			copy(n.props[1:k+1], n.props[:k])
-			n.props[0] = p
-		}
-		return p
+		p.gen = n.condGen // re-stamp: O(1) hits until the fans move again
+		return n.promote(k, p)
 	}
 	return nil
+}
+
+// promote moves props[k] to the front of the LRU and returns it.
+func (n *Network) promote(k int, p *propagator) *propagator {
+	if k > 0 {
+		copy(n.props[1:k+1], n.props[:k])
+		n.props[0] = p
+	}
+	return p
 }
 
 // buildPropagator assembles A = −C⁻¹G from the current links, computes the
@@ -351,9 +402,10 @@ func (n *Network) buildPropagator(h float64) *propagator {
 	m := len(n.nodes)
 	n.propBuilds++
 	p := &propagator{
-		h:  h,
-		m:  m,
-		gs: make([]float64, len(n.links)),
+		h:   h,
+		m:   m,
+		gen: n.condGen,
+		gs:  make([]float64, len(n.links)),
 	}
 	for j := range n.links {
 		p.gs[j] = n.links[j].g
@@ -397,10 +449,6 @@ func (n *Network) buildPropagator(h float64) *propagator {
 // substeps, so the total integrated time is exactly dt with no float-drift
 // remainder step.
 func (n *Network) stepRK4(dt float64) {
-	if n.state == nil || len(n.state) != len(n.nodes) {
-		n.state = make([]float64, len(n.nodes))
-		n.scratch = mathx.NewScratch(len(n.nodes))
-	}
 	for i := range n.nodes {
 		n.state[i] = n.nodes[i].temp
 	}
