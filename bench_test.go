@@ -778,6 +778,31 @@ func BenchmarkRackFacilityTrace(b *testing.B) {
 	b.ReportMetric(wh, "sweetSpotFacilityWh")
 }
 
+// BenchmarkRackFaultTrace runs the full fault-scenario × policy
+// degradation catalogue (event-stepped). Reported metrics are the cascade
+// scenario's disruption bill under round-robin: requeues, destroyed
+// job-seconds and surviving servers.
+func BenchmarkRackFaultTrace(b *testing.B) {
+	base := T3Config()
+	fe := experiments.DefaultFaultEval()
+	fe.Rack.EventStepping = true
+	var rows []experiments.RackFaultResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.RackFaultComparison(base, fe)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Scenario == "cascade" && r.Policy == "round-robin" {
+			b.ReportMetric(float64(r.Sched.Requeued), "cascadeRequeued")
+			b.ReportMetric(r.Sched.LostJobSeconds, "cascadeLostJobSec")
+			b.ReportMetric(float64(r.HealthyAtEnd), "cascadeSurvivors")
+		}
+	}
+}
+
 // BenchmarkSteadyTemp measures the analytic steady-state solve.
 func BenchmarkSteadyTemp(b *testing.B) {
 	cfg := T3Config()

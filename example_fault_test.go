@@ -1,0 +1,51 @@
+package leakctl_test
+
+import (
+	"fmt"
+
+	leakctl "repro"
+)
+
+// ExampleFaultSchedule attaches a deterministic fault plan to a job-trace
+// run: one server goes dark mid-run (a PSU failure) and later returns.
+// The scheduler kills the dark server's job, requeues it at the backlog
+// head, accounts the destroyed progress, and completes it elsewhere —
+// while the placement policy routes around the failed slot.
+func ExampleFaultSchedule() {
+	specs := make([]leakctl.RackServerSpec, 2)
+	for i := range specs {
+		cfg := leakctl.T3Config()
+		cfg.NoiseSeed = int64(i + 1)
+		specs[i] = leakctl.RackServerSpec{Config: cfg}
+	}
+	r, err := leakctl.NewRack(leakctl.RackConfig{Servers: specs, Workers: 1})
+	if err != nil {
+		panic(err)
+	}
+
+	jobs := []leakctl.Job{
+		{ID: 0, Arrival: 0, Duration: 200, Demand: 60},
+		{ID: 1, Arrival: 0, Duration: 200, Demand: 60},
+	}
+	// Server 0 fails 50 s in and is repaired at t=300.
+	faults := &leakctl.FaultSchedule{Events: []leakctl.FaultEvent{
+		{Kind: leakctl.PSUFail, Server: 0, At: 50, Clear: 300},
+	}}
+
+	res, err := leakctl.RunJobTraceCfg(r, jobs, leakctl.NewRoundRobinPolicy(), leakctl.TraceConfig{
+		Dt: 1, Horizon: 700, Faults: faults,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("requeued: %d\n", res.Requeued)
+	fmt.Printf("destroyed progress: %.0f job-seconds\n", res.LostJobSeconds)
+	fmt.Printf("all jobs completed: %v\n", res.Completed == len(jobs))
+	fmt.Printf("server 0 healthy again: %v\n", r.Health(0) == leakctl.Healthy)
+	// Output:
+	// requeued: 1
+	// destroyed progress: 50 job-seconds
+	// all jobs completed: true
+	// server 0 healthy again: true
+}

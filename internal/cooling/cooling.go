@@ -210,3 +210,20 @@ func (f Facility) CoolingPower(wallW float64) float64 {
 	blowerW, chillerW := f.Split(wallW)
 	return blowerW + chillerW
 }
+
+// CoolingPowerDerated is CoolingPower with the plant's efficiency derated
+// by the given fraction in [0, 1): the same heat removal drawn at
+// 1/(1−derate) times the healthy power — the fault-injection surface for a
+// degraded chiller (fault.ChillerDegraded). Zero derate is exactly
+// CoolingPower; a derate at or past 1 is clamped to the representable
+// maximum rather than dividing by ≤ 0.
+func (f Facility) CoolingPowerDerated(wallW, derate float64) float64 {
+	p := f.CoolingPower(wallW)
+	if derate <= 0 {
+		return p
+	}
+	if derate >= 1 {
+		derate = 1 - 1e-9
+	}
+	return p / (1 - derate)
+}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/control"
 	"repro/internal/loadgen"
@@ -77,15 +78,24 @@ func RunFault(cfg server.Config, ctrl control.Controller, fc FaultConfig) (Fault
 		}
 	}
 
-	for now := 0.0; now < fc.Stabilize; now += fc.Dt {
+	// Integer step indices throughout: an accumulated `elapsed += dt` drifts
+	// under a non-integer dt (FLP sums are inexact), moving both the window
+	// length and the injection instant off the grid. Computing elapsed as
+	// k·dt and pinning the injection to the first step at or after InjectAt
+	// keeps the experiment exact for any dt — the same grid-arithmetic
+	// pinning the trace runners use.
+	for k, n := 0, stepCount(fc.Stabilize, fc.Dt); k < n; k++ {
 		srv.SetLoad(0)
 		tick()
 		srv.Step(fc.Dt)
 	}
 
+	steps := stepCount(fc.Duration, fc.Dt)
+	injectStep := stepAtOrAfterRel(fc.InjectAt, fc.Dt)
 	injected := false
-	for elapsed := 0.0; elapsed < fc.Duration; elapsed += fc.Dt {
-		if !injected && elapsed >= fc.InjectAt {
+	for k := 0; k < steps; k++ {
+		elapsed := float64(k) * fc.Dt
+		if !injected && k >= injectStep {
 			if err := srv.Fans().StickFan(fc.FanIndex); err != nil {
 				return FaultResult{}, err
 			}
@@ -108,4 +118,30 @@ func RunFault(cfg server.Config, ctrl control.Controller, fc FaultConfig) (Fault
 	res.FanChanges = changes
 	res.Tripped = srv.Tripped()
 	return res, nil
+}
+
+// stepCount is the grid-step count covering a duration: ceil(d/dt) with a
+// tolerance so an exact multiple is not rounded up by FLP noise.
+func stepCount(d, dt float64) int {
+	if d <= 0 {
+		return 0
+	}
+	return int(math.Ceil(d/dt - 1e-9))
+}
+
+// stepAtOrAfterRel returns the smallest step k with k·dt ≥ t, the fault
+// runners' pinning rule, with the correction loops evaluated on the same
+// float expression the step loop uses for elapsed.
+func stepAtOrAfterRel(t, dt float64) int {
+	k := int(t / dt)
+	if k < 0 {
+		k = 0
+	}
+	for float64(k)*dt < t {
+		k++
+	}
+	for k > 0 && float64(k-1)*dt >= t {
+		k--
+	}
+	return k
 }

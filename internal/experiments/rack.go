@@ -66,6 +66,12 @@ type RackEval struct {
 	// macro-stepping tolerance (see sched.TraceConfig.EventStepping).
 	// false is the bit-exact fixed-dt reference path.
 	EventStepping bool
+
+	// ReliabilitySampleEvery, in seconds, turns on the racks' per-server
+	// reliability roll-up (rack.Config.ReliabilitySampleEvery). 0 — the
+	// default — keeps sampling off and every metric bit-identical to the
+	// pre-roll-up experiment.
+	ReliabilitySampleEvery float64
 }
 
 // DefaultRackEval returns an 8-server rack under a one-hour trace with
@@ -126,7 +132,10 @@ func rackFor(cfgs []server.Config, tables []*lut.Table, ev RackEval, fac *coolin
 			Controller: lc,
 		}
 	}
-	return rack.New(rack.Config{Servers: specs, Workers: 1, PSU: ev.PSU, PDU: ev.PDU, Facility: fac})
+	return rack.New(rack.Config{
+		Servers: specs, Workers: 1, PSU: ev.PSU, PDU: ev.PDU, Facility: fac,
+		ReliabilitySampleEvery: ev.ReliabilitySampleEvery,
+	})
 }
 
 // buildRackTables builds one LUT per distinct server configuration

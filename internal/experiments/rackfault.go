@@ -1,0 +1,259 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/cooling"
+	"repro/internal/fault"
+	"repro/internal/par"
+	"repro/internal/plot"
+	"repro/internal/power"
+	"repro/internal/rack"
+	"repro/internal/sched"
+	"repro/internal/server"
+	"repro/internal/units"
+)
+
+// FaultScenario is one named entry of the degradation catalogue: the fault
+// schedule a run injects, over the otherwise identical rack and job trace.
+type FaultScenario struct {
+	Name     string
+	Schedule fault.Schedule
+}
+
+// DefaultFaultScenarios returns the standard catalogue, escalating from
+// the healthy baseline to a compound cascade:
+//
+//   - none: the empty schedule — the control row every degraded run is
+//     read against (and the bit-identity anchor to the fault-free rack).
+//   - fan-stick: one fan of the coldest-aisle server freezes at its
+//     current speed 10 minutes in, permanently.
+//   - psu-fail: the cold-aisle server every policy favours goes dark for
+//     25 minutes, forcing a kill/requeue surge and a re-placement.
+//   - crac-outage: the room unit dies for 15 minutes — an 8 °C heat soak
+//     on every inlet with no cooling spend while it lasts.
+//   - cascade: fan failure, then a permanent server loss, then the CRAC
+//     outage on top, then a forced trip — the compound worst case.
+func DefaultFaultScenarios() []FaultScenario {
+	return []FaultScenario{
+		{Name: "none"},
+		{Name: "fan-stick", Schedule: fault.Schedule{Events: []fault.Event{
+			{Kind: fault.FanStick, Server: 0, Fan: 0, At: 600},
+		}}},
+		{Name: "psu-fail", Schedule: fault.Schedule{Events: []fault.Event{
+			{Kind: fault.PSUFail, Server: 0, At: 700, Clear: 2200},
+		}}},
+		{Name: "crac-outage", Schedule: fault.Schedule{Events: []fault.Event{
+			{Kind: fault.CRACOutage, At: 1200, Clear: 2100},
+		}}},
+		{Name: "cascade", Schedule: fault.Schedule{Events: []fault.Event{
+			{Kind: fault.FanFail, Server: 0, Fan: 0, At: 600},
+			{Kind: fault.PSUFail, Server: 1, At: 1200},
+			{Kind: fault.CRACOutage, At: 1800, Clear: 2700},
+			{Kind: fault.ServerTrip, Server: 3, At: 2000},
+		}}},
+	}
+}
+
+// FaultEval parameterizes the scenario×policy degradation comparison.
+type FaultEval struct {
+	// Rack is the underlying rack experiment: size, trace, delivery chain,
+	// worker bound, LUT disk cache, stepping mode.
+	Rack RackEval
+	// Scenarios is the fault catalogue; every policy runs every scenario.
+	Scenarios []FaultScenario
+	// SupplyC is the facility's cold-aisle setpoint. The default (the
+	// 18 °C reference) leaves server ambients untouched, so the "none"
+	// scenario stays comparable with the plain rack experiment.
+	SupplyC units.Celsius
+	// DropOnFault switches killed jobs from requeue-at-head to abandoned
+	// (sched.TraceConfig.DropOnFault).
+	DropOnFault bool
+}
+
+// DefaultFaultEval returns the standard degradation comparison: the
+// default 8-server rack behind the default PSU/PDU chain and the reference
+// facility loop, reliability sampled every 10 s, killed jobs requeued.
+func DefaultFaultEval() FaultEval {
+	ev := DefaultRackEval()
+	psu, pdu := power.DefaultPSU(), power.DefaultPDU()
+	ev.PSU, ev.PDU = &psu, &pdu
+	ev.ReliabilitySampleEvery = 10
+	return FaultEval{
+		Rack:      ev,
+		Scenarios: DefaultFaultScenarios(),
+		SupplyC:   18,
+	}
+}
+
+// RackFaultResult is one row of the scenario×policy table.
+type RackFaultResult struct {
+	Scenario string
+	// HealthyAtEnd counts the servers still placeable when the horizon
+	// closed — the survival column.
+	HealthyAtEnd int
+	RackPolicyResult
+}
+
+// RackFaultComparison drives every placement policy through every fault
+// scenario on identical fresh racks over one shared Poisson trace, with
+// the facility loop attached and reliability sampling on. Runs fan out
+// over the worker pool (slot-per-cell); all scheduling and fault
+// application stays serial, so rows are byte-identical for every worker
+// count.
+func RackFaultComparison(base server.Config, fe FaultEval) ([]RackFaultResult, error) {
+	if len(fe.Scenarios) == 0 {
+		return nil, fmt.Errorf("experiments: fault eval needs at least one scenario")
+	}
+	ev := fe.Rack
+	s, err := prepareRackEval(base, ev)
+	if err != nil {
+		return nil, err
+	}
+	fac := cooling.DefaultFacility(fe.SupplyC)
+	if err := fac.Validate(); err != nil {
+		return nil, fmt.Errorf("experiments: fault facility: %w", err)
+	}
+	psus := make([]*power.PSUModel, len(s.cfgs))
+	for i := range psus {
+		psus[i] = ev.PSU
+	}
+	models := make([]power.ServerModel, len(s.cfgs))
+	for i, cfg := range s.cfgs {
+		models[i] = cfg.Power
+	}
+	// The pue-aware tables must be built at the ambients the CRAC actually
+	// supplies; at the reference setpoint (the default) the shift is zero
+	// and the controllers' tables are reused as-is.
+	ctlTabs := s.tables
+	if delta := fac.AmbientDelta(); delta != 0 {
+		shifted := make([]server.Config, len(s.cfgs))
+		for i, cfg := range s.cfgs {
+			shifted[i] = cfg.ShiftAmbient(delta)
+		}
+		if ctlTabs, err = buildRackTables(shifted, ev); err != nil {
+			return nil, fmt.Errorf("experiments: fault tables: %w", err)
+		}
+	}
+
+	// Serial preparation: fresh stateful policies per scenario×policy cell.
+	type cell struct {
+		scenario FaultScenario
+		policy   sched.Policy
+	}
+	var cells []cell
+	for _, sc := range fe.Scenarios {
+		la, err := sched.NewLeakageAwareFromTables(s.tables)
+		if err != nil {
+			return nil, err
+		}
+		ca, err := sched.NewCapAwareFromTables(s.tables, models, psus)
+		if err != nil {
+			return nil, err
+		}
+		pa, err := sched.NewPUEAwareFromTables(ctlTabs, models, psus, fac)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range []sched.Policy{
+			sched.NewRoundRobin(),
+			sched.NewLeastUtilized(),
+			sched.NewCoolestFirst(),
+			la,
+			ca,
+			pa,
+		} {
+			cells = append(cells, cell{scenario: sc, policy: p})
+		}
+	}
+
+	results := make([]RackFaultResult, len(cells))
+	errs := make([]error, len(cells))
+	par.ForEach(len(cells), ev.Workers, func(i int) {
+		c := cells[i]
+		facCopy := fac
+		r, err := rackFor(s.cfgs, ctlTabs, ev, &facCopy)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		if err := sched.Settle(r, ev.Dt, ev.Stabilize, ev.EventStepping); err != nil {
+			errs[i] = err
+			return
+		}
+		r.ResetAccounting()
+		tc := sched.TraceConfig{
+			Dt: ev.Dt, Horizon: ev.Horizon, WallCapW: ev.WallCapW,
+			EventStepping: ev.EventStepping,
+			DropOnFault:   fe.DropOnFault,
+		}
+		if len(c.scenario.Schedule.Events) > 0 {
+			sc := c.scenario.Schedule
+			tc.Faults = &sc
+		}
+		if ev.EventStepping {
+			// Align kernel wakes with the reliability cadence so samples
+			// land on identical instants in both stepping modes.
+			tc.SampleEvery = ev.ReliabilitySampleEvery
+		}
+		sres, err := sched.RunTraceCfg(r, s.jobs, c.policy, tc)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		healthy := 0
+		for si := 0; si < r.NumServers(); si++ {
+			if r.Health(si) == rack.Healthy {
+				healthy++
+			}
+		}
+		results[i] = RackFaultResult{
+			Scenario:     c.scenario.Name,
+			HealthyAtEnd: healthy,
+			RackPolicyResult: RackPolicyResult{
+				Policy: c.policy.Name(),
+				CapW:   ev.WallCapW,
+				Sched:  sres,
+				Rack:   r.Telemetry(),
+			},
+		}
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fault run %s/%s: %w",
+				cells[i].scenario.Name, cells[i].policy.Name(), err)
+		}
+	}
+	return results, nil
+}
+
+// FormatRackFaultTable renders the scenario×policy degradation comparison:
+// the energy bill, the disruption (requeues, losses, destroyed
+// job-seconds), the thermal peak, the reliability roll-up and the
+// surviving capacity per cell.
+func FormatRackFaultTable(w io.Writer, rows []RackFaultResult) error {
+	headers := []string{
+		"Scenario", "Policy", "Wh(DC)", "MaxCPU(°C)",
+		"Req", "Lost", "LostJob(s)", "Done", "Wait(s)",
+		"Accel", "Above75", "Surv",
+	}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Scenario,
+			r.Policy,
+			fmt.Sprintf("%.2f", r.TotalWh()),
+			fmt.Sprintf("%.1f", r.Rack.MaxCPUTempC),
+			fmt.Sprintf("%d", r.Sched.Requeued),
+			fmt.Sprintf("%d", r.Sched.Lost),
+			fmt.Sprintf("%.0f", r.Sched.LostJobSeconds),
+			fmt.Sprintf("%d/%d", r.Sched.Completed, r.Sched.Submitted),
+			fmt.Sprintf("%.1f", r.Sched.MeanWaitSec),
+			fmt.Sprintf("%.2f", r.Rack.WorstAccel),
+			fmt.Sprintf("%.1f%%", 100*r.Rack.WorstAbove75),
+			fmt.Sprintf("%d/%d", r.HealthyAtEnd, r.Rack.Servers),
+		})
+	}
+	return plot.Table(w, headers, cells)
+}

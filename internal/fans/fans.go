@@ -247,6 +247,21 @@ func (b *Bank) StickFan(i int) error {
 	return nil
 }
 
+// FailFan spins fan i down to zero and latches it there — an outright
+// failure, unlike StickFan's freeze-at-current-speed: a failed fan moves no
+// air and draws no power. Commands are ignored until UnstickFan, which lets
+// the fan slew back to its commanded target.
+func (b *Bank) FailFan(i int) error {
+	if i < 0 || i >= len(b.fans) {
+		return fmt.Errorf("fans: fan %d out of range", i)
+	}
+	b.fans[i].stuck = true
+	b.fans[i].actual = 0
+	b.meanValid = false
+	b.powerValid = false
+	return nil
+}
+
 // UnstickFan clears the fault on fan i.
 func (b *Bank) UnstickFan(i int) error {
 	if i < 0 || i >= len(b.fans) {
@@ -257,6 +272,18 @@ func (b *Bank) UnstickFan(i int) error {
 	// it again.
 	b.settled = false
 	return nil
+}
+
+// Spindown drops every fan to zero immediately — host power loss, not a
+// commanded speed — and marks the bank unsettled so that, once the host is
+// powered again and Step runs, the fans slew back to their targets.
+func (b *Bank) Spindown() {
+	for _, f := range b.fans {
+		f.actual = 0
+	}
+	b.meanValid = false
+	b.powerValid = false
+	b.settled = false
 }
 
 // Range returns the legal command range.

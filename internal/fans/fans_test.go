@@ -229,3 +229,64 @@ func TestSupplyCalibration(t *testing.T) {
 		t.Fatalf("CurrentFor huge speed = %g", a)
 	}
 }
+
+func TestFailedFanStopsAndDrawsNothing(t *testing.T) {
+	b := newBank(t)
+	b.SetAll(3000)
+	b.Step(10)
+	healthy := float64(b.Power())
+	if err := b.FailFan(0); err != nil {
+		t.Fatal(err)
+	}
+	// A failed fan moves no air and draws no power, immediately.
+	r, _ := b.Tach(0, 0)
+	if r != 0 {
+		t.Fatalf("failed fan still spinning at %v", r)
+	}
+	want := 5 * 3000.0 / 6
+	if got := float64(b.MeanRPM()); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("mean with failed fan = %g, want %g", got, want)
+	}
+	if got := float64(b.Power()); got >= healthy {
+		t.Fatalf("power %g did not drop below healthy %g", got, healthy)
+	}
+	// Commands are ignored while failed.
+	b.SetAll(4200)
+	b.Step(10)
+	if r, _ := b.Tach(0, 0); r != 0 {
+		t.Fatalf("failed fan obeyed a command: %v", r)
+	}
+	// UnstickFan lets it slew back to its last pre-fault command (commands
+	// while failed were dropped, target included).
+	if err := b.UnstickFan(0); err != nil {
+		t.Fatal(err)
+	}
+	b.Step(10)
+	if r, _ := b.Tach(0, 0); r != 3000 {
+		t.Fatalf("recovered fan at %v, want pre-fault 3000", r)
+	}
+	if err := b.FailFan(6); err == nil {
+		t.Error("bad index should error")
+	}
+}
+
+func TestSpindownAndRecovery(t *testing.T) {
+	b := newBank(t)
+	b.SetAll(3600)
+	b.Step(10)
+	b.Spindown()
+	if b.MeanRPM() != 0 || b.Power() != 0 {
+		t.Fatalf("after spindown mean=%v power=%v, want both 0", b.MeanRPM(), b.Power())
+	}
+	if b.Settled() {
+		t.Fatal("spun-down bank must not report settled")
+	}
+	// The targets were never cleared: stepping slews every fan back.
+	b.Step(10)
+	if b.MeanRPM() != 3600 {
+		t.Fatalf("recovery mean = %v, want 3600", b.MeanRPM())
+	}
+	if !b.Settled() {
+		t.Fatal("recovered bank should settle")
+	}
+}

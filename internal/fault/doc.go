@@ -1,0 +1,37 @@
+// Package fault is the deterministic fault-schedule subsystem: a typed,
+// timestamped catalogue of component failures a rack run injects and clears
+// at exact simulation-grid instants, so degraded runs stay reproducible and
+// byte-identical across worker counts.
+//
+// A Schedule is a sorted list of Events. Each Event names a Kind (fan
+// stick/fail, PSU droop/failure, forced server trip, ambient excursion,
+// CRAC outage, degraded chiller COP), a target scope (one server, one fan,
+// or the whole rack), an inject time At and an optional Clear time. The
+// schedule itself owns no simulation state: the trace runner
+// (sched.RunTraceCfg) pins every At/Clear to an integer grid step up front
+// — the same integer-step arithmetic that keeps job arrivals exact under a
+// non-integer dt — and calls rack.ApplyFault / rack.ClearFault at those
+// steps, serially, before any placement decision of the step.
+//
+// # Interaction with the event kernel (PR 5 contract)
+//
+// Fault inject and clear instants join the event taxonomy: the
+// event-stepping kernel wakes at every fault step, so degraded runs take
+// scheduling decisions at exactly the instants the fixed-dt reference
+// does. A *windowed* event — one with a Clear time — additionally pins its
+// affected servers to plain fixed-dt sub-steps for the whole [At, Clear)
+// window (server.PinFixedDt), so the physics inside a bounded fault window
+// is bit-exact, not merely within the macro-stepping drift tolerance.
+// Permanent faults (no Clear) leave the server macro-steppable once its
+// transient settles: a quiet degraded interval still collapses into
+// closed-form windows.
+//
+// # Determinism
+//
+// Events are applied in schedule order at their pinned grid steps; all
+// application is serial (it runs in the trace runner's decision phase,
+// never inside the per-server step fan-out), so fault runs inherit the
+// repo-wide determinism contract unchanged: telemetry is byte-identical
+// for any worker count, and an empty schedule leaves every metric
+// bit-identical to a fault-free run.
+package fault

@@ -1,0 +1,184 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Kind enumerates the fault taxonomy.
+type Kind int
+
+const (
+	// FanStick freezes fan Fan of server Server at its current speed;
+	// controller commands are ignored until the event clears.
+	FanStick Kind = iota
+	// FanFail spins fan Fan of server Server down to zero and latches it
+	// there — an outright failure: no airflow, no fan power. Clearing lets
+	// the fan slew back to its commanded target.
+	FanFail
+	// PSUDroop degrades server Server's supply efficiency: the AC input
+	// drawn for a given DC load is inflated by 1/(1−Severity). Severity
+	// must lie in (0, 1); zero selects DefaultPSUDroop.
+	PSUDroop
+	// PSUFail takes server Server dark: the slot draws nothing at the wall,
+	// injects no heat, its fans spin down and its health reports Failed —
+	// the scheduler must kill and requeue (or drop) its jobs. Clearing
+	// restores power; the machine rejoins the rack from its cooled state.
+	PSUFail
+	// ServerTrip forces server Server's thermal protection: the trip
+	// latches (sticky for the run), fans are driven to maximum, and health
+	// reports Tripped. Clearing is the operator's explicit trip reset.
+	ServerTrip
+	// AmbientExcursion shifts the inlet ambient of server Server (or of
+	// every server when Server < 0) by Severity °C for the event's window.
+	AmbientExcursion
+	// CRACOutage is the facility-scope heat soak: every server's ambient
+	// rises by Severity °C (zero selects DefaultCRACOutageC) and the
+	// CRAC/chiller cooling power is zero while the outage lasts — the room
+	// unit is dark, so no energy is spent removing the heat that is now
+	// soaking the aisles.
+	CRACOutage
+	// ChillerDegraded derates the chiller: cooling power is inflated by
+	// 1/(1−Severity) — the COP chain delivering the same heat removal at
+	// degraded efficiency. Severity must lie in (0, 1).
+	ChillerDegraded
+)
+
+// DefaultPSUDroop is the efficiency derate a PSUDroop event with zero
+// Severity applies.
+const DefaultPSUDroop = 0.05
+
+// DefaultCRACOutageC is the aisle heat-soak a CRACOutage event with zero
+// Severity applies, in °C.
+const DefaultCRACOutageC = 8
+
+// kindNames also fixes the taxonomy's table-rendering order.
+var kindNames = map[Kind]string{
+	FanStick:         "fan-stick",
+	FanFail:          "fan-fail",
+	PSUDroop:         "psu-droop",
+	PSUFail:          "psu-fail",
+	ServerTrip:       "server-trip",
+	AmbientExcursion: "ambient-excursion",
+	CRACOutage:       "crac-outage",
+	ChillerDegraded:  "chiller-degraded",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("fault.Kind(%d)", int(k))
+}
+
+// RackScope reports whether the kind targets the whole rack rather than one
+// server (Event.Server is ignored for rack-scope kinds except
+// AmbientExcursion, where Server < 0 selects rack scope).
+func (k Kind) RackScope() bool { return k == CRACOutage || k == ChillerDegraded }
+
+// Event is one scheduled fault: injected at At and, when Clear > At,
+// cleared again at Clear. Times are seconds relative to the start of the
+// trace window the schedule is attached to; the trace runner pins both to
+// the first grid step at or after them. Clear ≤ 0 means the fault is
+// permanent for the run.
+type Event struct {
+	Kind   Kind
+	Server int     // target slot; -1 with AmbientExcursion = every server
+	Fan    int     // target fan for FanStick/FanFail
+	At     float64 // inject time, seconds from trace start
+	Clear  float64 // optional clear time; ≤ 0 = never
+	// Severity is the kind-specific magnitude: the efficiency derate in
+	// (0,1) for PSUDroop/ChillerDegraded, the ambient shift in °C for
+	// AmbientExcursion/CRACOutage. Ignored by the other kinds. Zero picks
+	// the kind's documented default.
+	Severity float64
+}
+
+// Windowed reports whether the event carries a clear time — the bounded
+// fault windows that pin their affected servers to fixed-dt stepping.
+func (e Event) Windowed() bool { return e.Clear > e.At }
+
+// Validate reports structural errors against a rack of nServers servers
+// with nFans fans each.
+func (e Event) Validate(nServers, nFans int) error {
+	if _, ok := kindNames[e.Kind]; !ok {
+		return fmt.Errorf("fault: unknown kind %d", int(e.Kind))
+	}
+	if e.At < 0 {
+		return fmt.Errorf("fault: %s at %g: inject time must be >= 0", e.Kind, e.At)
+	}
+	if e.Clear != 0 && e.Clear <= e.At {
+		return fmt.Errorf("fault: %s: clear %g must follow inject %g (or be 0 = never)", e.Kind, e.Clear, e.At)
+	}
+	needServer := !e.Kind.RackScope() && !(e.Kind == AmbientExcursion && e.Server < 0)
+	if needServer && (e.Server < 0 || e.Server >= nServers) {
+		return fmt.Errorf("fault: %s: server %d out of range [0,%d)", e.Kind, e.Server, nServers)
+	}
+	if e.Kind == FanStick || e.Kind == FanFail {
+		if e.Fan < 0 || e.Fan >= nFans {
+			return fmt.Errorf("fault: %s server %d: fan %d out of range [0,%d)", e.Kind, e.Server, e.Fan, nFans)
+		}
+	}
+	switch e.Kind {
+	case PSUDroop, ChillerDegraded:
+		if e.Severity < 0 || e.Severity >= 1 {
+			return fmt.Errorf("fault: %s: severity %g must lie in [0,1)", e.Kind, e.Severity)
+		}
+	}
+	return nil
+}
+
+func (e Event) String() string {
+	s := e.Kind.String()
+	switch {
+	case e.Kind.RackScope():
+	case e.Kind == AmbientExcursion && e.Server < 0:
+		s += "[rack]"
+	default:
+		s += fmt.Sprintf("[srv%d", e.Server)
+		if e.Kind == FanStick || e.Kind == FanFail {
+			s += fmt.Sprintf(" fan%d", e.Fan)
+		}
+		s += "]"
+	}
+	s += fmt.Sprintf("@%gs", e.At)
+	if e.Windowed() {
+		s += fmt.Sprintf("..%gs", e.Clear)
+	}
+	return s
+}
+
+// Schedule is a deterministic fault plan: the events a run injects, in
+// inject-time order. The zero value (no events) is the healthy run and is
+// guaranteed not to perturb any metric.
+type Schedule struct {
+	Events []Event
+}
+
+// Validate checks every event against the rack shape and that the schedule
+// is sorted by inject time (ties broken by declaration order are fine; a
+// descending pair is rejected so plans stay readable).
+func (s *Schedule) Validate(nServers, nFans int) error {
+	if s == nil {
+		return nil
+	}
+	for i, e := range s.Events {
+		if err := e.Validate(nServers, nFans); err != nil {
+			return fmt.Errorf("event %d: %w", i, err)
+		}
+		if i > 0 && e.At < s.Events[i-1].At {
+			return fmt.Errorf("fault: events must be sorted by inject time (event %d at %g after %g)", i, e.At, s.Events[i-1].At)
+		}
+	}
+	return nil
+}
+
+// Sort orders the events by inject time (stable, so same-instant events
+// keep their declaration order — the order they are applied in).
+func (s *Schedule) Sort() {
+	sort.SliceStable(s.Events, func(a, b int) bool { return s.Events[a].At < s.Events[b].At })
+}
+
+// Empty reports whether the schedule carries no events; a nil schedule is
+// empty.
+func (s *Schedule) Empty() bool { return s == nil || len(s.Events) == 0 }

@@ -62,6 +62,30 @@
 // how the kernel preserves exact fixed-dt semantics wherever a quiet
 // window cannot be granted.
 //
+// # Faults and health
+//
+// ApplyFault/ClearFault inject internal/fault events between steps — fan
+// stick/failure (the bank's per-fan latches), PSU droop (a per-slot
+// efficiency derate on the AC lift), PSU failure (server.SetPowered:
+// dark slot, zero draw and heat, skipped controller tick), forced trips,
+// ambient excursions and facility faults (a CRAC outage zeroes cooling
+// power and heat-soaks every aisle; a degraded chiller inflates cooling
+// power). Both calls are serial rack mutations, never concurrent with
+// Step/Advance; windowed events additionally pin their affected servers to
+// plain fixed-dt stepping (server.PinFixedDt) for the window, preserving
+// the macro-window contract. Health(i) folds the fault state into the
+// scheduler-facing Healthy/Tripped/Failed view, and TripRisk reports when
+// any live server sits inside the trip-guard band so the event kernel can
+// shorten its windows to observe an imminent latch on the step it happens.
+//
+// When Config.ReliabilitySampleEvery > 0, each server's hottest die is
+// sampled at that cadence (serially, at the observation instants of steps
+// and macro windows) and folded through reliability.Analyze into the
+// telemetry's roll-up: worst Arrhenius acceleration, worst time above the
+// paper's 75 °C cap, summed thermal-cycling damage. Sampling off (the
+// default) leaves every metric bit-identical to a rack without the
+// feature.
+//
 // The rack is the substrate for internal/sched: a dispatcher places jobs
 // onto servers, the rack advances the physics, and the telemetry says
 // which placement policy heated the room — and loaded the wall — least.

@@ -8,6 +8,7 @@ import (
 	"repro/internal/cooling"
 	"repro/internal/par"
 	"repro/internal/power"
+	"repro/internal/reliability"
 	"repro/internal/server"
 	"repro/internal/units"
 )
@@ -58,6 +59,44 @@ type Config struct {
 	// ambients are untouched, and every pre-existing metric is bit
 	// identical to a facility-less rack.
 	Facility *cooling.Facility
+	// ReliabilitySampleEvery, in seconds, turns on the per-server
+	// reliability roll-up: every server's hottest die temperature is
+	// sampled at this cadence (at the observation instant of the step or
+	// macro window crossing each sample time) and summarized as a
+	// reliability.Report in the telemetry. 0 — the default — disables
+	// sampling, leaving every metric bit-identical to a rack without the
+	// feature. Under event stepping, align the trace runner's SampleEvery
+	// with this cadence so samples land on exact grid instants in both
+	// stepping modes.
+	ReliabilitySampleEvery float64
+}
+
+// Health is the scheduler-facing state of one rack slot.
+type Health int
+
+const (
+	// Healthy slots accept placements.
+	Healthy Health = iota
+	// Tripped means the server's thermal protection latched (naturally or
+	// via fault.ServerTrip). The machine is up and cooling itself, but the
+	// dispatcher must drain it: jobs on it are killed and no new work may
+	// be placed until an explicit trip reset clears the latch.
+	Tripped
+	// Failed means the server is dark (fault.PSUFail): zero draw, zero
+	// capacity, jobs on it are gone.
+	Failed
+)
+
+func (h Health) String() string {
+	switch h {
+	case Healthy:
+		return "healthy"
+	case Tripped:
+		return "tripped"
+	case Failed:
+		return "failed"
+	}
+	return fmt.Sprintf("rack.Health(%d)", int(h))
 }
 
 // serverState is the slot-i state a step job owns exclusively.
@@ -69,6 +108,11 @@ type serverState struct {
 	load       units.Percent
 	fanChanges int
 
+	// psuDerate is the summed fault.PSUDroop severity on this slot: the AC
+	// input for a given DC load is inflated by 1/(1−psuDerate). Overlapping
+	// droop windows compose additively and must sum below 1.
+	psuDerate float64
+
 	// Per-macro-window scratch (Advance): the energy meter at window start
 	// and the temperature maxima sampled at every sub-step boundary, folded
 	// into the rack aggregates serially after the barrier.
@@ -79,12 +123,17 @@ type serverState struct {
 }
 
 // psuIn returns the AC power this slot draws from the PDU to deliver its
-// current DC load — the identity when no PSU is configured.
+// current DC load — the identity when no PSU is configured and no droop
+// fault is active.
 func (st *serverState) psuIn(dc float64) float64 {
-	if st.psu == nil {
-		return dc
+	w := dc
+	if st.psu != nil {
+		w = float64(st.psu.Wall(units.Watts(dc)))
 	}
-	return float64(st.psu.Wall(units.Watts(dc)))
+	if st.psuDerate > 0 {
+		w /= 1 - st.psuDerate
+	}
+	return w
 }
 
 // Rack is a set of simulated servers stepped in lockstep.
@@ -121,6 +170,19 @@ type Rack struct {
 	coolEnergyJ float64
 	facEnergyJ  float64
 
+	// Facility-scope fault state: cracOut counts active CRAC outages (the
+	// room unit is dark, cooling power exactly zero); chillerDerate is the
+	// summed fault.ChillerDegraded severity inflating cooling power by
+	// 1/(1−derate).
+	cracOut       int
+	chillerDerate float64
+
+	// Reliability sampling (Config.ReliabilitySampleEvery): per-server
+	// hottest-die traces appended serially at observation instants.
+	relEvery   float64
+	relNext    float64
+	relSamples [][]float64
+
 	// Prebuilt fan-out closures with their per-call arguments staged in
 	// fields: a closure passed to par.ForEach escapes (the parallel branch
 	// hands it to goroutines), so building it per Step would cost one heap
@@ -150,6 +212,11 @@ func New(cfg Config) (*Rack, error) {
 		ambientDelta = cfg.Facility.AmbientDelta()
 	}
 	r := &Rack{workers: cfg.Workers, pdu: cfg.PDU, fac: cfg.Facility}
+	if cfg.ReliabilitySampleEvery > 0 {
+		r.relEvery = cfg.ReliabilitySampleEvery
+		r.relNext = cfg.ReliabilitySampleEvery
+		r.relSamples = make([][]float64, len(cfg.Servers))
+	}
 	for i, spec := range cfg.Servers {
 		spec.Config = spec.Config.ShiftAmbient(ambientDelta)
 		srv, err := server.New(spec.Config)
@@ -214,10 +281,7 @@ func (r *Rack) observe() {
 	r.lastWallW = r.pduIn(acInW)
 	// Facility roll-up: every wall Watt is room heat the CRAC/chiller pair
 	// removes. Serial scalar math after the barrier, like every reduction.
-	r.lastCoolW = 0
-	if r.fac != nil {
-		r.lastCoolW = r.fac.CoolingPower(r.lastWallW)
-	}
+	r.lastCoolW = r.coolingPowerNow(r.lastWallW)
 	if totalW > r.peakPowerW {
 		r.peakPowerW = totalW
 	}
@@ -235,6 +299,33 @@ func (r *Rack) pduIn(acIn float64) float64 {
 		return acIn
 	}
 	return float64(r.pdu.Wall(units.Watts(acIn)))
+}
+
+// coolingPowerNow is the facility cooling power under the current
+// facility-scope fault state: exactly zero with no facility or while a
+// CRAC outage is active (the dark room unit spends nothing — the heat
+// soaks the aisles instead, which the outage's ambient shift models), and
+// derated by the summed chiller degradation otherwise.
+func (r *Rack) coolingPowerNow(wallW float64) float64 {
+	if r.fac == nil || r.cracOut > 0 {
+		return 0
+	}
+	if r.chillerDerate > 0 {
+		return r.fac.CoolingPowerDerated(wallW, r.chillerDerate)
+	}
+	return r.fac.CoolingPower(wallW)
+}
+
+// sampleReliability appends the per-server hottest-die temperatures for
+// every sample instant the clock has crossed since the last observation.
+// Serial, index order — part of the post-barrier reduction phase.
+func (r *Rack) sampleReliability() {
+	for r.relEvery > 0 && r.clock >= r.relNext-1e-9 {
+		for i, st := range r.servers {
+			r.relSamples[i] = append(r.relSamples[i], float64(st.srv.MaxCPUTemp()))
+		}
+		r.relNext += r.relEvery
+	}
 }
 
 // NumServers returns the number of servers in the rack.
@@ -261,8 +352,13 @@ func (r *Rack) FanChanges(i int) int { return r.servers[i].fanChanges }
 func (r *Rack) Now() float64 { return r.clock }
 
 // tick applies the dispatcher load and runs the slot's fan controller for
-// the decision instant `now`. It touches only slot-i state.
+// the decision instant `now`. It touches only slot-i state. A dark slot
+// (fault.PSUFail) has no controller and takes no load — both return with
+// power.
 func (st *serverState) tick(now float64) {
+	if !st.srv.Powered() {
+		return
+	}
 	st.srv.SetLoad(st.load)
 	if st.ctrl != nil {
 		obs := control.Observation{
@@ -313,6 +409,7 @@ func (r *Rack) Step(dt float64) {
 	r.coolEnergyJ += r.lastCoolW * dt
 	r.facEnergyJ += (r.lastWallW + r.lastCoolW) * dt
 	r.clock += dt
+	r.sampleReliability()
 }
 
 // TickControllers applies the dispatcher loads and runs every slot's fan
@@ -386,16 +483,14 @@ func (r *Rack) Advance(dt float64, steps int) {
 		}
 	}
 	wallMeanW := r.pduIn(acInMeanW)
-	coolMeanW := 0.0
-	if r.fac != nil {
-		coolMeanW = r.fac.CoolingPower(wallMeanW)
-	}
+	coolMeanW := r.coolingPowerNow(wallMeanW)
 	r.dcEnergyJ += dcMeanW * span
 	r.wallEnergyJ += wallMeanW * span
 	r.coolEnergyJ += coolMeanW * span
 	r.facEnergyJ += (wallMeanW + coolMeanW) * span
 	r.observe() // endpoint instantaneous draws and peak samples
 	r.clock += span
+	r.sampleReliability()
 }
 
 // DCPower returns the rack's instantaneous DC draw (Σ server power) at the
@@ -484,6 +579,12 @@ func (r *Rack) ResetAccounting() {
 	r.wallEnergyJ = 0
 	r.coolEnergyJ = 0
 	r.facEnergyJ = 0
+	if r.relEvery > 0 {
+		for i := range r.relSamples {
+			r.relSamples[i] = r.relSamples[i][:0]
+		}
+		r.relNext = r.clock + r.relEvery
+	}
 	r.resetPeaks()
 }
 
@@ -499,6 +600,7 @@ type Telemetry struct {
 	MaxInletC      float64 // hottest CPU inlet air seen on any server
 	FanChanges     int     // Σ controller-commanded fan-speed changes
 	Tripped        int     // servers whose thermal protection engaged
+	Failed         int     // servers currently dark (fault.PSUFail)
 
 	// Wall-side (AC) accounting through the PSU/PDU delivery chain. With
 	// an ideal chain (no PSUs, no PDU) the wall energy equals the DC
@@ -514,6 +616,13 @@ type Telemetry struct {
 	FacilityEnergyKWh  float64 // wall + cooling energy: the total bill
 	PUE                float64 // facility energy over wall energy (≥ 1)
 	PeakFacilityPowerW float64 // highest simultaneous facility draw
+
+	// Reliability roll-up from the sampled hottest-die traces
+	// (Config.ReliabilitySampleEvery > 0; exactly zero otherwise, keeping
+	// a sampling-off rack bit-identical to one without the feature).
+	WorstAccel    float64 // highest per-server mean Arrhenius acceleration
+	WorstAbove75  float64 // highest per-server fraction of samples > 75 °C
+	CyclingDamage float64 // Σ per-server Coffin-Manson damage
 }
 
 // Telemetry aggregates the rack in server-index order (deterministic
@@ -542,6 +651,24 @@ func (r *Rack) Telemetry() Telemetry {
 		tel.FanChanges += st.fanChanges
 		if st.srv.Tripped() {
 			tel.Tripped++
+		}
+		if !st.srv.Powered() {
+			tel.Failed++
+		}
+	}
+	if r.relEvery > 0 && len(r.relSamples) > 0 && len(r.relSamples[0]) > 0 {
+		for i := range r.servers {
+			rep, err := reliability.Analyze(r.relSamples[i])
+			if err != nil {
+				continue
+			}
+			if rep.Acceleration > tel.WorstAccel {
+				tel.WorstAccel = rep.Acceleration
+			}
+			if rep.TimeAbove75 > tel.WorstAbove75 {
+				tel.WorstAbove75 = rep.TimeAbove75
+			}
+			tel.CyclingDamage += rep.CyclingDamage
 		}
 	}
 	return tel

@@ -76,4 +76,37 @@
 // horizon (reactive, temperature-thresholding controllers like BangBang
 // never can), while fans are slewing, or near the thermal-trip threshold.
 // EventStepping=false (the default) is the bit-exact reference path.
+//
+// # Faults and graceful degradation
+//
+// TraceConfig.Faults attaches a deterministic internal/fault schedule.
+// Every event edge (inject, and the clear of a windowed event) is pinned
+// up front to the first grid step at or after its time — the same
+// grid-arithmetic rule in both stepping modes, so fault runs stay
+// byte-identical between fixed-dt and the event kernel and across worker
+// counts. Within a step the order is fixed: completions, then fault edges
+// (clears before applies when they share a step), then the kill scan, then
+// arrivals and placement — a job ending exactly at a fault instant
+// completes, and an apply+clear pair collapsing onto one step is dropped
+// as a no-op.
+//
+// The kill scan removes every running job whose slot is no longer
+// rack.Healthy: by default the job rejoins the backlog HEAD (ahead of
+// waiting arrivals — it has the oldest claim), restarts from scratch with
+// its wait clock reset, and its destroyed progress is charged to
+// Result.LostJobSeconds; TraceConfig.DropOnFault abandons it instead,
+// charging its full duration. Policies see slot health in ServerView and
+// must not place on unhealthy slots — the runner enforces this with a hard
+// error. FIFO head-blocking is unchanged, so degraded runs remain
+// starvation-free: a requeued head blocks until some healthy slot fits it,
+// and the run always terminates at its horizon.
+//
+// Under event stepping, fault edges are wake events bounding every quiet
+// window, windowed faults pin their targets to fixed-dt for the window's
+// duration, and the kernel degrades to single-step windows while any live
+// server sits inside the trip-guard band (rack.TripRisk), so a natural
+// trip — and the kills it implies — is observed on the step it latches.
+// One caveat mirrors the controller PollPeriod contract: a natural trip
+// latching strictly inside a granted macro window (possible only when no
+// fault schedule is attached) defers its kill scan to the window's end.
 package sched

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/cooling"
+	"repro/internal/fault"
 	"repro/internal/loadgen"
 	"repro/internal/lut"
 	"repro/internal/power"
@@ -43,6 +44,10 @@ type ServerView struct {
 	InletTemp  units.Celsius // current CPU inlet air temperature
 	DCPower    units.Watts   // instantaneous total DC draw
 	WallPower  units.Watts   // DC draw lifted through the slot's PSU
+	// Health is the slot's degradation state (rack.Health). Only Healthy
+	// slots may take placements; the zero value is Healthy, so views built
+	// without fault awareness stay placeable.
+	Health rack.Health
 }
 
 // Policy decides where a job runs. Place returns the chosen rack slot, or
@@ -56,8 +61,12 @@ type Policy interface {
 	Place(j Job, views []ServerView) int
 }
 
-// fits reports whether the job's demand fits server v's free capacity.
-func fits(v ServerView, j Job) bool { return v.Free >= j.Demand }
+// fits reports whether server v can take the job at all: it must be
+// healthy — tripped and failed slots are out of rotation until their
+// fault clears — with enough free capacity for the demand. Every shipped
+// policy filters candidates through this predicate, which is what keeps
+// all six fault-aware at once.
+func fits(v ServerView, j Job) bool { return v.Health == rack.Healthy && v.Free >= j.Demand }
 
 // ---------------------------------------------------------------------------
 // Round-robin
@@ -473,11 +482,19 @@ func MarginalDCPower(m power.ServerModel, u, d units.Percent) units.Watts {
 type Result struct {
 	Submitted   int
 	Completed   int     // jobs that finished within the horizon
-	Placed      int     // jobs that started (Completed plus still-running)
-	MeanWaitSec float64 // mean queueing delay of placed jobs
+	Placed      int     // jobs currently or finally placed (kills decrement, re-placements increment)
+	MeanWaitSec float64 // mean of the waits charged at every placement, over net Placed
 	MaxQueueLen int     // worst backlog observed
 	Deferrals   int     // placements deferred by the wall-power cap
 	RackSteps   int     // rack advances taken: fixed-dt = horizon/dt; event mode = macro windows
+
+	// Degradation outcome (zero on a fault-free run).
+	Requeued int // job kills that rejoined the backlog head (a job can count twice)
+	Lost     int // jobs abandoned under TraceConfig.DropOnFault
+	// LostJobSeconds totals the work destroyed by kills: the discarded
+	// progress of each requeued job (it restarts from scratch) plus the
+	// full duration of each dropped job (its service is never delivered).
+	LostJobSeconds float64
 }
 
 // TraceConfig parameterizes a trace run.
@@ -528,15 +545,48 @@ type TraceConfig struct {
 	// a fixed telemetry cadence, bounding how coarse the peak/maxima
 	// sampling can get inside long quiet gaps. 0 (the default) samples
 	// only at events and macro sub-step boundaries. Ignored by the
-	// fixed-dt path, which observes every step anyway.
+	// fixed-dt path, which observes every step anyway. Align it with
+	// rack.Config.ReliabilitySampleEvery so reliability samples land on
+	// identical instants in both stepping modes.
 	SampleEvery float64
+
+	// Faults, when non-nil and non-empty, is the deterministic fault
+	// schedule (internal/fault) injected through the run. Every event's
+	// inject and clear times are pinned up front to the first grid step at
+	// or after them — the same integer-step arithmetic that keeps arrivals
+	// exact under a non-integer dt — and applied serially at those steps,
+	// clears before applies at a shared instant, before any placement
+	// decision of the step. Jobs running on a server that turns unhealthy
+	// are killed the same instant: requeued at the backlog head in
+	// kill order (the default), or abandoned under DropOnFault. A job
+	// completing exactly at a fault instant completes — completions are
+	// processed first. An empty or nil schedule leaves every metric
+	// bit-identical to a fault-free run.
+	Faults *fault.Schedule
+
+	// DropOnFault switches the kill policy from requeue-at-head to drop:
+	// killed jobs are counted Lost and never rejoin the backlog. Use it to
+	// model work without a retry path (the default models idempotent batch
+	// jobs restarted from scratch).
+	DropOnFault bool
 }
 
-// active is a placed job with its completion time.
+// active is a placed job with its completion time. The original Job and
+// the placement instant ride along so a fault-kill can requeue it and
+// account the discarded progress.
 type active struct {
 	end    float64
 	slot   int
 	demand units.Percent
+	job    Job
+	start  float64 // elapsed (trace-relative) placement instant
+}
+
+// faultAction is one pinned fault edge: apply or clear ev at grid step k.
+type faultAction struct {
+	k     int
+	apply bool
+	ev    fault.Event
 }
 
 // RunTrace drives the rack through the job trace under the policy with a
@@ -583,6 +633,12 @@ func RunTraceCfg(r *rack.Rack, jobs []Job, p Policy, tc TraceConfig) (Result, er
 		start:     r.Now(),
 		steps:     int(math.Ceil(horizon/dt - 1e-9)),
 	}
+	if !tc.Faults.Empty() {
+		if err := tc.Faults.Validate(r.NumServers(), r.Server(0).Fans().NumFans()); err != nil {
+			return Result{}, fmt.Errorf("sched: fault schedule: %w", err)
+		}
+		e.buildFaultActions()
+	}
 	var err error
 	if tc.EventStepping {
 		err = e.runEvents()
@@ -618,6 +674,13 @@ type traceRun struct {
 	nextJob   int
 	start     float64
 	steps     int
+
+	// Pinned fault edges in application order (k ascending, clears before
+	// applies at a shared step), the cursor into them, and the sorted wake
+	// steps the event kernel must not macro-step past.
+	actions    []faultAction
+	nextAction int
+	faultSteps []int
 }
 
 // runFixed is the fixed-dt reference path: every grid step processes
@@ -657,6 +720,54 @@ func (e *traceRun) processStep(k int) error {
 	}
 	e.running = keep
 
+	// Fault edges pinned to this step fire now, serially in application
+	// order — after completions (a job ending exactly at a fault instant
+	// completes), before the kill scan and any placement of the step.
+	for e.nextAction < len(e.actions) && e.actions[e.nextAction].k <= k {
+		a := e.actions[e.nextAction]
+		var err error
+		if a.apply {
+			err = e.r.ApplyFault(a.ev)
+		} else {
+			err = e.r.ClearFault(a.ev)
+		}
+		if err != nil {
+			return fmt.Errorf("sched: fault at step %d: %w", k, err)
+		}
+		e.nextAction++
+	}
+
+	// Kill scan: work running on a slot that is no longer healthy — a
+	// fault edge above, or a natural thermal trip latched by the physics
+	// since the last decision — is destroyed this instant. Requeued jobs
+	// rejoin the backlog HEAD in kill order (arrival fairness: they were
+	// placed before anything still queued), with their wait clock
+	// restarted at the kill instant; under DropOnFault they are abandoned.
+	var killed []Job
+	keep = e.running[:0]
+	for _, a := range e.running {
+		if e.r.Health(a.slot) == rack.Healthy {
+			keep = append(keep, a)
+			continue
+		}
+		e.loads[a.slot] -= a.demand
+		e.res.Placed--
+		if e.tc.DropOnFault {
+			e.res.Lost++
+			e.res.LostJobSeconds += a.job.Duration
+		} else {
+			e.res.Requeued++
+			e.res.LostJobSeconds += elapsed - a.start
+			j := a.job
+			j.Arrival = elapsed
+			killed = append(killed, j)
+		}
+	}
+	e.running = keep
+	if len(killed) > 0 {
+		e.pending = append(killed, e.pending...)
+	}
+
 	// Arrivals join the FIFO backlog. A job is admitted at the tick of
 	// the step interval [elapsed, elapsed+dt) containing its arrival —
 	// the standard event-to-fixed-step collapse (anticipation < dt) —
@@ -683,6 +794,7 @@ func (e *traceRun) processStep(k int) error {
 				InletTemp:  e.r.Server(i).InletTemp(),
 				DCPower:    e.r.ServerDCPower(i),
 				WallPower:  e.r.ServerWallPower(i),
+				Health:     e.r.Health(i),
 			}
 		}
 		j := e.pending[0]
@@ -692,6 +804,9 @@ func (e *traceRun) processStep(k int) error {
 		}
 		if slot >= len(e.loads) || e.loads[slot]+j.Demand > 100 {
 			return fmt.Errorf("sched: policy %s placed job %d on invalid/overloaded server %d", e.p.Name(), j.ID, slot)
+		}
+		if h := e.r.Health(slot); h != rack.Healthy {
+			return fmt.Errorf("sched: policy %s placed job %d on %v server %d", e.p.Name(), j.ID, h, slot)
 		}
 		if e.tc.WallCapW > 0 {
 			mdc := MarginalDCPower(e.r.Server(slot).Config().Power, e.loads[slot], j.Demand)
@@ -713,7 +828,7 @@ func (e *traceRun) processStep(k int) error {
 			}
 		}
 		e.loads[slot] += j.Demand
-		e.running = append(e.running, active{end: now + j.Duration, slot: slot, demand: j.Demand})
+		e.running = append(e.running, active{end: now + j.Duration, slot: slot, demand: j.Demand, job: j, start: elapsed})
 		// Clamp at zero: admission rounds an arrival down to its step's
 		// tick (anticipation < dt), which is not a queueing delay.
 		if wait := elapsed - j.Arrival; wait > 0 {
@@ -777,10 +892,28 @@ func (e *traceRun) runEvents() error {
 // window returns the macro-window length from step k: up to, exclusive,
 // the next grid step at which anything can happen.
 func (e *traceRun) window(k int, now float64, sampleSteps int) int {
+	if len(e.actions) > 0 && e.r.TripRisk() {
+		// Fault runs pin to single steps while any live server sits inside
+		// the trip-guard band: a natural trip latching mid-window would
+		// defer its job kills to the window's end, diverging from the
+		// fixed-dt reference that observes the trip on its exact step.
+		return 1
+	}
 	next := e.steps
 	if e.nextJob < len(e.jobs) {
 		if ka := e.arrivalStep(e.jobs[e.nextJob].Arrival); ka < next {
 			next = ka
+		}
+	}
+	// Fault edges are wake events: the kernel must take the decision step
+	// at exactly the pinned inject/clear instants. faultSteps is sorted, so
+	// the first entry past k is the nearest.
+	for _, kf := range e.faultSteps {
+		if kf > k {
+			if kf < next {
+				next = kf
+			}
+			break
 		}
 	}
 	for _, a := range e.running {
@@ -820,6 +953,63 @@ func (e *traceRun) arrivalStep(a float64) int {
 		k++
 	}
 	for k > 0 && admits(k-1) {
+		k--
+	}
+	return k
+}
+
+// buildFaultActions pins every schedule event to its integer grid steps:
+// the apply edge at the first step with k·dt ≥ At, the clear edge (for
+// windowed events) at the first step with k·dt ≥ Clear. Edges landing past
+// the horizon are dropped — a fault injecting too late never happens; a
+// clear past the horizon leaves the fault active to the end. An apply and
+// its clear pinning to the same step collapse to nothing (a zero-step
+// fault window has no observable effect at any decision instant). The
+// surviving edges are ordered by step, clears before applies at a shared
+// step, declaration order as the final tie-break.
+func (e *traceRun) buildFaultActions() {
+	for _, ev := range e.tc.Faults.Events {
+		ka := e.relStepAtOrAfter(ev.At)
+		if ka >= e.steps {
+			continue
+		}
+		if ev.Windowed() {
+			kc := e.relStepAtOrAfter(ev.Clear)
+			if kc == ka {
+				continue
+			}
+			e.actions = append(e.actions, faultAction{k: ka, apply: true, ev: ev})
+			if kc < e.steps {
+				e.actions = append(e.actions, faultAction{k: kc, apply: false, ev: ev})
+			}
+			continue
+		}
+		e.actions = append(e.actions, faultAction{k: ka, apply: true, ev: ev})
+	}
+	sort.SliceStable(e.actions, func(a, b int) bool {
+		if e.actions[a].k != e.actions[b].k {
+			return e.actions[a].k < e.actions[b].k
+		}
+		return !e.actions[a].apply && e.actions[b].apply
+	})
+	for _, a := range e.actions {
+		e.faultSteps = append(e.faultSteps, a.k)
+	}
+}
+
+// relStepAtOrAfter returns the smallest grid step k with k·dt ≥ t for a
+// trace-relative time t — the pinning rule for fault inject/clear edges.
+// The correction loops evaluate the same float expression processStep's
+// elapsed uses, so both stepping modes agree on the step.
+func (e *traceRun) relStepAtOrAfter(t float64) int {
+	k := int(t / e.dt)
+	if k < 0 {
+		k = 0
+	}
+	for float64(k)*e.dt < t {
+		k++
+	}
+	for k > 0 && float64(k-1)*e.dt >= t {
 		k--
 	}
 	return k

@@ -1,9 +1,3 @@
-// Package server wires the CPU, memory, fan and thermal substrates into a
-// simulated enterprise server that stands in for the paper's SPARC T3-2
-// class machine. It exposes exactly the signals the paper's setup exposes:
-// four CPU die temperature sensors (two per die), 32 DIMM temperatures,
-// per-core voltage/current, whole-system power, and separately metered fan
-// power.
 package server
 
 import (

@@ -121,6 +121,12 @@ func (s *Server) macroEligible() bool {
 	if s.cfg.ThermalIntegrator != thermal.IntegratorExact {
 		return false
 	}
+	if !s.powered || s.fixedPin > 0 {
+		// A dark machine's relaxation and any active bounded fault window
+		// (PinFixedDt) integrate with plain fixed-dt steps — the PR 5
+		// contract for fault windows.
+		return false
+	}
 	if !s.fans.Settled() {
 		return false
 	}
@@ -207,7 +213,7 @@ func (s *Server) flushMacro(dt float64, n int) {
 // power moves monotonically with the ≤ tol die drift, so the boundary
 // samples are within leakage-slope·tol of the true per-step maximum.
 func (s *Server) finishMacroWindow() {
-	if s.MaxCPUTemp() >= s.cfg.CriticalTemp {
+	if s.powered && s.MaxCPUTemp() >= s.cfg.CriticalTemp {
 		s.tripped = true
 		_, hi := s.fans.Range()
 		s.fans.SetAll(hi)

@@ -37,6 +37,14 @@ type Server struct {
 	peak      units.Watts
 	tripped   bool
 
+	// Fault-injection state (see internal/fault and doc.go). powered=false
+	// is a dark machine: zero draw, zero injected heat, fans spun down.
+	// baseAmbient anchors SetAmbientOffset; fixedPin counts active fault
+	// windows that pin macro-stepping to plain fixed-dt steps.
+	powered     bool
+	baseAmbient units.Celsius
+	fixedPin    int
+
 	// DVFS state (extension): scaling factors relative to the top P-state.
 	// Dynamic CPU power scales as freqScale·voltScale², leakage as
 	// voltScale, and the demanded load inflates to demanded/freqScale.
@@ -82,14 +90,16 @@ func New(cfg Config) (*Server, error) {
 	}
 
 	s := &Server{
-		cfg:       cfg,
-		cpu:       cpx,
-		mem:       memBank,
-		fans:      fanBank,
-		net:       newNetwork(cfg),
-		noise:     randx.New(cfg.NoiseSeed),
-		freqScale: 1,
-		voltScale: 1,
+		cfg:         cfg,
+		cpu:         cpx,
+		mem:         memBank,
+		fans:        fanBank,
+		net:         newNetwork(cfg),
+		noise:       randx.New(cfg.NoiseSeed),
+		freqScale:   1,
+		voltScale:   1,
+		powered:     true,
+		baseAmbient: cfg.Ambient,
 	}
 
 	s.inlet = s.net.AddBoundary("inlet", float64(cfg.Ambient))
@@ -144,6 +154,17 @@ func (s *Server) sinkResistance(r units.RPM) float64 {
 // syncThermalInputs refreshes boundary temperature, conductances and node
 // powers from the current utilization, fan speed and die temperatures.
 func (s *Server) syncThermalInputs() {
+	if !s.powered {
+		// Dark machine: no preheat, no injected heat; the sinks cool to the
+		// aisle through the zero-airflow resistance.
+		_ = s.net.SetBoundaryTemp(s.inlet, float64(s.cfg.Ambient))
+		g := 1 / s.sinkResistance(0)
+		for i, link := range s.sinkLinks {
+			_ = s.net.SetConductance(link, g)
+			_ = s.net.SetPower(s.dieNodes[i], 0)
+		}
+		return
+	}
 	u := s.cpu.Utilization()
 	rpm := s.fans.MeanRPM()
 	preheat := s.mem.InletPreheat(u, rpm)
@@ -177,6 +198,10 @@ func (s *Server) leakageAt(t units.Celsius) float64 {
 }
 
 func (s *Server) updateBreakdown() {
+	if !s.powered {
+		s.lastBreakdown = power.Breakdown{}
+		return
+	}
 	u := s.cpu.Utilization()
 	s.lastBreakdown = power.Breakdown{
 		Idle:    s.cfg.Power.IdleFloor,
@@ -233,14 +258,22 @@ func (s *Server) Step(dt float64) {
 	if dt <= 0 {
 		return
 	}
-	s.fans.Step(dt)
+	if s.powered {
+		s.fans.Step(dt)
+	}
 	s.syncThermalInputs()
 	s.net.Step(dt)
-	s.mem.Step(dt, s.cfg.Ambient, s.cpu.Utilization(), s.fans.MeanRPM())
+	if s.powered {
+		s.mem.Step(dt, s.cfg.Ambient, s.cpu.Utilization(), s.fans.MeanRPM())
+	} else {
+		s.mem.Step(dt, s.cfg.Ambient, 0, 0)
+	}
 
 	// Thermal protection: above the critical threshold the service
-	// processor forces maximum cooling, as a real machine would.
-	if s.MaxCPUTemp() >= s.cfg.CriticalTemp {
+	// processor forces maximum cooling, as a real machine would. The trip
+	// latches — see Tripped — and a dark machine cannot trip (it is
+	// cooling with nothing driving it).
+	if s.powered && s.MaxCPUTemp() >= s.cfg.CriticalTemp {
 		s.tripped = true
 		_, hi := s.fans.Range()
 		s.fans.SetAll(hi)
@@ -300,7 +333,11 @@ func (s *Server) MaxCPUTemp() units.Celsius {
 // InletTemp returns the true CPU inlet air temperature: the configured
 // ambient plus the DIMM preheat at the current utilization and fan speed.
 // Rack-level telemetry aggregates this across heterogeneous servers.
+// A dark machine has no preheat: its inlet sits at the aisle ambient.
 func (s *Server) InletTemp() units.Celsius {
+	if !s.powered {
+		return s.cfg.Ambient
+	}
 	return s.cfg.Ambient + s.mem.InletPreheat(s.cpu.Utilization(), s.fans.MeanRPM())
 }
 
@@ -373,8 +410,83 @@ func (s *Server) FanEnergy() units.Joules { return s.fanEnergy }
 // PeakPower returns the highest instantaneous total power observed.
 func (s *Server) PeakPower() units.Watts { return s.peak }
 
-// Tripped reports whether thermal protection ever engaged.
+// Tripped reports whether thermal protection ever engaged. The trip
+// LATCHES: once the hottest die touches Config.CriticalTemp (or ForceTrip
+// is called) the flag stays true for the rest of the run even after the
+// machine cools, exactly like a real service processor's fault log.
+// Clearing requires the operator's explicit ResetTrip. See doc.go.
 func (s *Server) Tripped() bool { return s.tripped }
+
+// ForceTrip latches the thermal trip immediately (fault injection:
+// fault.ServerTrip), driving the fans to maximum exactly as a natural trip
+// would.
+func (s *Server) ForceTrip() {
+	s.tripped = true
+	_, hi := s.fans.Range()
+	s.fans.SetAll(hi)
+}
+
+// ResetTrip is the operator's explicit trip reset — the only way the
+// latched Tripped flag clears. The fans keep their current command; the
+// controller's next tick re-decides the speed.
+func (s *Server) ResetTrip() { s.tripped = false }
+
+// TripRisk reports whether the machine is live and within tripGuardC of
+// its critical temperature — the zone where macro-stepping already refuses
+// to coarsen (see macro.go) and where the rack trace runner shortens its
+// event-kernel windows so a natural trip is observed on the step it
+// happens.
+func (s *Server) TripRisk() bool {
+	return s.powered && !s.tripped && s.MaxCPUTemp() >= s.cfg.CriticalTemp-tripGuardC
+}
+
+// SetPowered powers the machine on or off (fault injection: fault.PSUFail
+// takes it dark). Powering off spins the fans down, drops the load and
+// zeroes the power breakdown — the slot draws nothing and injects no heat
+// while dark, and its dies relax toward the aisle ambient. Powering back
+// on restores nothing by itself: the machine rejoins cold and idle, fans
+// slewing back to their last command, and the scheduler re-places work.
+func (s *Server) SetPowered(on bool) {
+	if s.powered == on {
+		return
+	}
+	s.powered = on
+	if !on {
+		s.cpu.SetUniformLoad(0)
+		s.fans.Spindown()
+	}
+	s.leakValid = false
+	s.syncThermalInputs()
+	s.updateBreakdown()
+}
+
+// Powered reports whether the machine is drawing power (false = dark,
+// see SetPowered).
+func (s *Server) Powered() bool { return s.powered }
+
+// PinFixedDt adjusts the count of active fault windows pinning this server
+// to plain fixed-dt stepping (delta +1 on inject, -1 on clear). While the
+// count is positive, macro-stepping is ineligible and MacroWindow falls
+// back to exact per-step integration — the PR 5 contract for bounded fault
+// windows.
+func (s *Server) PinFixedDt(delta int) {
+	s.fixedPin += delta
+	if s.fixedPin < 0 {
+		s.fixedPin = 0
+	}
+}
+
+// SetAmbientOffset shifts the inlet ambient to the construction-time base
+// plus delta °C (fault injection: ambient excursions and CRAC-outage heat
+// soak). Offsets compose additively; pass the summed offset.
+func (s *Server) SetAmbientOffset(delta units.Celsius) {
+	s.cfg.Ambient = s.baseAmbient + delta
+	s.syncThermalInputs()
+}
+
+// AmbientOffset returns the current shift from the construction-time
+// ambient.
+func (s *Server) AmbientOffset() units.Celsius { return s.cfg.Ambient - s.baseAmbient }
 
 // ResetAccounting zeroes energy/peak accounting, used at the start of the
 // measured window of an experiment (after stabilization).

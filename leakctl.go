@@ -38,6 +38,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dvfs"
 	"repro/internal/experiments"
+	"repro/internal/fault"
 	"repro/internal/fitting"
 	"repro/internal/loadgen"
 	"repro/internal/lut"
@@ -453,6 +454,69 @@ func FormatRackTable(w io.Writer, rows []RackPolicyResult) error {
 // FormatRackACTable renders the AC-side (wall power) comparison table.
 func FormatRackACTable(w io.Writer, res *RackACResult) error {
 	return experiments.FormatRackACTable(w, res)
+}
+
+// Fault injection and graceful degradation.
+type (
+	// FaultKind enumerates the fault taxonomy (fan, PSU, trip, ambient,
+	// facility faults).
+	FaultKind = fault.Kind
+	// FaultEvent is one scheduled fault: a kind, its target, an inject
+	// time and an optional clear time.
+	FaultEvent = fault.Event
+	// FaultSchedule is a deterministic fault plan attached to a trace run
+	// via TraceConfig.Faults.
+	FaultSchedule = fault.Schedule
+	// ServerHealth is the scheduler-facing state of one rack slot
+	// (healthy, tripped, or failed/dark).
+	ServerHealth = rack.Health
+	// FaultEval parameterizes the fault-scenario × policy comparison.
+	FaultEval = experiments.FaultEval
+	// FaultScenario is one named schedule of the degradation catalogue.
+	FaultScenario = experiments.FaultScenario
+	// RackFaultResult is one row of the scenario×policy table.
+	RackFaultResult = experiments.RackFaultResult
+)
+
+// Fault kinds (see FaultKind).
+const (
+	FanStick         = fault.FanStick
+	FanFail          = fault.FanFail
+	PSUDroop         = fault.PSUDroop
+	PSUFail          = fault.PSUFail
+	ServerTrip       = fault.ServerTrip
+	AmbientExcursion = fault.AmbientExcursion
+	CRACOutage       = fault.CRACOutage
+	ChillerDegraded  = fault.ChillerDegraded
+)
+
+// Server health states (see ServerHealth).
+const (
+	Healthy = rack.Healthy
+	Tripped = rack.Tripped
+	Failed  = rack.Failed
+)
+
+// DefaultFaultScenarios returns the standard degradation catalogue, from
+// the healthy baseline to the compound cascade.
+func DefaultFaultScenarios() []FaultScenario { return experiments.DefaultFaultScenarios() }
+
+// DefaultFaultEval returns the standard fault-scenario × policy comparison
+// configuration.
+func DefaultFaultEval() FaultEval { return experiments.DefaultFaultEval() }
+
+// RackFaultComparison drives every placement policy through every fault
+// scenario on identical racks over one shared job trace: jobs on dead or
+// tripped servers are killed and requeued (or dropped), policies place
+// around unhealthy slots, and each row carries the disruption and
+// reliability bill of its scenario.
+func RackFaultComparison(base ServerConfig, fe FaultEval) ([]RackFaultResult, error) {
+	return experiments.RackFaultComparison(base, fe)
+}
+
+// FormatRackFaultTable renders the scenario×policy degradation table.
+func FormatRackFaultTable(w io.Writer, rows []RackFaultResult) error {
+	return experiments.FormatRackFaultTable(w, rows)
 }
 
 // Extensions beyond the paper (DESIGN.md §6).
