@@ -16,6 +16,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/loadgen"
 	"repro/internal/lut"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/rack"
 	"repro/internal/reliability"
@@ -618,12 +619,17 @@ func BenchmarkRackStepParallel(b *testing.B) {
 // benchRackTrace regenerates the rack policy-comparison experiment — the
 // five placement policies over the default Poisson trace — and reports
 // the headline energies plus the rack-step count of the selected kernel.
-func benchRackTrace(b *testing.B, eventStepping bool) {
+func benchRackTrace(b *testing.B, eventStepping, metrics bool) {
 	base := T3Config()
 	ev := experiments.DefaultRackEval()
 	ev.EventStepping = eventStepping
 	var rows []experiments.RackPolicyResult
 	for i := 0; i < b.N; i++ {
+		if metrics {
+			// Fresh registry per iteration, like a real instrumented run;
+			// its cost is what the CI overhead gate bounds.
+			ev.Metrics = obs.NewRegistry()
+		}
 		var err error
 		rows, err = experiments.RackPolicyComparison(base, ev)
 		if err != nil {
@@ -651,11 +657,18 @@ func benchRackTrace(b *testing.B, eventStepping bool) {
 // not horizon/dt. Compare against BenchmarkRackTraceFixed for the
 // macro-stepping speedup; physics metrics agree within 1e-6 relative
 // (asserted by TestEventSteppingSmoke).
-func BenchmarkRackTrace(b *testing.B) { benchRackTrace(b, true) }
+func BenchmarkRackTrace(b *testing.B) { benchRackTrace(b, true, false) }
 
 // BenchmarkRackTraceFixed is the fixed-dt reference path of the same
 // experiment — the pre-PR 5 baseline, bit-identical to PR 4's metrics.
-func BenchmarkRackTraceFixed(b *testing.B) { benchRackTrace(b, false) }
+func BenchmarkRackTraceFixed(b *testing.B) { benchRackTrace(b, false, false) }
+
+// BenchmarkRackTraceMetrics is BenchmarkRackTrace with a live obs
+// registry attached to every cell: the full pin-reason/macro-window/
+// scheduler instrumentation on the hot path. CI gates its ns/op within
+// 5% of the nil-registry baseline — the "observability is free enough
+// to leave on" contract.
+func BenchmarkRackTraceMetrics(b *testing.B) { benchRackTrace(b, true, true) }
 
 // BenchmarkRackStepWall is BenchmarkRackStep/servers=16 with the full
 // power-delivery chain attached (per-server PSU + shared PDU): the wall

@@ -11,8 +11,13 @@
 //	go test -run='^$' -bench=. -benchmem -count=10 . | go run ./cmd/benchjson > BENCH_PR5.json
 //	go run ./cmd/benchjson -in bench.txt -label pr5 > BENCH_PR5.json
 //
-// To diff two archives, compare the matching benchmark names' ns_per_op
-// (and metric) fields — the JSON is stable, sorted by name.
+// To diff two archives:
+//
+//	go run ./cmd/benchjson -diff BENCH_PR5.json BENCH_PR7.json
+//
+// which prints mean ns/op and every shared custom metric side by side
+// with relative deltas, plus the benchmarks only one archive has. The
+// JSON is stable, sorted by name, so diffs are order-independent.
 package main
 
 import (
@@ -80,7 +85,27 @@ type Archive struct {
 func main() {
 	in := flag.String("in", "", "bench output file (default: stdin)")
 	label := flag.String("label", "", "archive label, e.g. the PR identifier")
+	diff := flag.Bool("diff", false, "compare two archives: benchjson -diff old.json new.json")
 	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -diff needs exactly two archives: benchjson -diff old.json new.json")
+			os.Exit(2)
+		}
+		oldArch, err := loadArchive(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		newArch, err := loadArchive(flag.Arg(1))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		diffArchives(os.Stdout, oldArch, newArch)
+		return
+	}
 
 	r := io.Reader(os.Stdin)
 	if *in != "" {

@@ -29,6 +29,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/plot"
 	"repro/internal/power"
 	"repro/internal/server"
@@ -74,10 +75,31 @@ func main() {
 	eventStep := flag.Bool("eventstep", false,
 		"event-driven trace kernel for -rack/-facility: advance the rack per scheduling event "+
 			"instead of per fixed dt (several-fold faster; energies within 1e-6 of the fixed-dt reference)")
+	metricsFlag := flag.Bool("metrics", false,
+		"for -rack/-facility/-faults: attach a run-metrics registry (internal/obs) and print the "+
+			"pin-reason breakdown plus the full sorted counter dump after the tables")
+	debugAddr := flag.String("debugaddr", "",
+		"host:port serving /metrics (Prometheus text format of the live run-metrics registry) and "+
+			"/debug/pprof for the duration of the run, e.g. localhost:6060")
 	flag.Parse()
 
 	cfg := server.T3Config()
 	ec := experiments.DefaultEval()
+
+	// One registry is shared by every run of the selected experiment; the
+	// HTTP surface serves it live while the runs are still in flight.
+	var reg *obs.Registry
+	if *metricsFlag || *debugAddr != "" {
+		reg = obs.NewRegistry()
+	}
+	if *debugAddr != "" {
+		hostport, err := serveDebug(*debugAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("debug server: http://%s/metrics and http://%s/debug/pprof/\n", hostport, hostport)
+	}
 
 	if *facilityCmp {
 		fe := experiments.DefaultFacilityEval()
@@ -91,6 +113,7 @@ func main() {
 		fe.Rack.WallCapW = *capW
 		fe.Rack.LUTCacheDir = *lutCache
 		fe.Rack.EventStepping = *eventStep
+		fe.Rack.Metrics = reg
 		if *ideal {
 			fe.Rack.PSU, fe.Rack.PDU = nil, nil
 		}
@@ -126,6 +149,9 @@ func main() {
 				fmt.Printf("%-12s sweet spot: %g °C supply (%.1f Wh facility)\n", p, sp, wh)
 			}
 		}
+		if *metricsFlag {
+			printMetrics(os.Stdout, reg)
+		}
 		return
 	}
 
@@ -141,6 +167,7 @@ func main() {
 		fe.Rack.WallCapW = *capW
 		fe.Rack.LUTCacheDir = *lutCache
 		fe.Rack.EventStepping = *eventStep
+		fe.Rack.Metrics = reg
 		if *ideal {
 			fe.Rack.PSU, fe.Rack.PDU = nil, nil
 		}
@@ -164,6 +191,9 @@ func main() {
 		fmt.Println("disruption bill, Accel/Above75 the reliability bill (Arrhenius vs the 75°C cap),")
 		fmt.Println("Surv the slots still placeable at the horizon — schedules are deterministic,")
 		fmt.Println("so every cell is reproducible bit-for-bit at any worker count")
+		if *metricsFlag {
+			printMetrics(os.Stdout, reg)
+		}
 		return
 	}
 
@@ -179,6 +209,7 @@ func main() {
 		ev.WallCapW = *capW
 		ev.LUTCacheDir = *lutCache
 		ev.EventStepping = *eventStep
+		ev.Metrics = reg
 		if !*ideal {
 			psu, pdu := power.DefaultPSU(), power.DefaultPDU()
 			ev.PSU, ev.PDU = &psu, &pdu
@@ -216,7 +247,14 @@ func main() {
 		fmt.Println("\nPSU/PDU losses are monotone in load, so every DC watt a placement saves is")
 		fmt.Println("amplified at the wall; under the cap, Defer counts placements the runner held")
 		fmt.Println("back to keep the predicted wall draw within budget")
+		if *metricsFlag {
+			printMetrics(os.Stdout, reg)
+		}
 		return
+	}
+
+	if *metricsFlag {
+		fmt.Fprintln(os.Stderr, "evalctl: -metrics instruments the rack experiments; combine it with -rack, -facility or -faults")
 	}
 
 	if *fig3 {

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+
+	"repro/internal/obs"
+	"repro/internal/sched"
+)
+
+// printMetrics renders the run-metrics registry after an experiment: the
+// pin-reason breakdown with its sum identity — Σ per-reason single steps =
+// total rack advances − macro windows, exact by construction — followed by
+// the full sorted dump.
+func printMetrics(w io.Writer, reg *obs.Registry) {
+	steps := reg.Counter("kernel.steps.total").Value()
+	macro := reg.Counter("kernel.windows.macro").Value()
+	grid := reg.Counter("kernel.grid.steps").Value()
+	fmt.Fprintf(w, "\nPin-reason breakdown (why the kernel advanced one step instead of a macro window):\n")
+	var sum int64
+	for _, name := range sched.PinReasonNames() {
+		v := reg.Counter("kernel.pin." + name).Value()
+		sum += v
+		if v > 0 {
+			fmt.Fprintf(w, "  %-12s %10d\n", name, v)
+		}
+	}
+	fmt.Fprintf(w, "pin identity: Σ pins %d = rack advances %d − macro windows %d (grid steps crossed: %d)\n",
+		sum, steps, macro, grid)
+	fmt.Fprintf(w, "\nRun metrics (sorted; deterministic for every worker count):\n")
+	reg.WriteText(w)
+}
+
+// serveDebug binds addr and serves /metrics (Prometheus text format of the
+// live registry) plus the standard net/http/pprof endpoints for the rest
+// of the process lifetime — the long-run introspection surface. Binding
+// errors are returned immediately; serve errors after a successful bind
+// are ignored (the experiment is the process's real job).
+func serveDebug(addr string, reg *obs.Registry) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("evalctl: -debugaddr %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go http.Serve(ln, mux) //nolint:errcheck — see doc comment
+	hostport := ln.Addr().String()
+	// Rewrite the unspecified host for a copy-pasteable URL.
+	if host, port, err := net.SplitHostPort(hostport); err == nil {
+		if host == "::" || host == "0.0.0.0" || strings.TrimSpace(host) == "" {
+			hostport = net.JoinHostPort("127.0.0.1", port)
+		}
+	}
+	return hostport, nil
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestPrintMetricsIdentityLine exercises the breakdown printer on a
+// hand-built registry: only nonzero pin reasons appear, and the identity
+// line reports Σ pins, total advances and macro windows verbatim.
+func TestPrintMetricsIdentityLine(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("kernel.steps.total").Add(10)
+	reg.Counter("kernel.windows.macro").Add(7)
+	reg.Counter("kernel.grid.steps").Add(100)
+	reg.Counter("kernel.pin.arrival").Add(2)
+	reg.Counter("kernel.pin.backlog").Add(1)
+
+	var sb strings.Builder
+	printMetrics(&sb, reg)
+	out := sb.String()
+	if !strings.Contains(out, "pin identity: Σ pins 3 = rack advances 10 − macro windows 7 (grid steps crossed: 100)") {
+		t.Errorf("identity line missing or wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "arrival") || !strings.Contains(out, "backlog") {
+		t.Errorf("nonzero pin rows missing:\n%s", out)
+	}
+	if strings.Contains(out, "  trip-guard") {
+		t.Errorf("zero pin reason should not be listed in the breakdown:\n%s", out)
+	}
+	if !strings.Contains(out, "kernel.steps.total 10") {
+		t.Errorf("sorted dump missing:\n%s", out)
+	}
+}
+
+// TestServeDebug spins the -debugaddr server on an ephemeral port and
+// checks both halves of the surface: /metrics serves the registry in
+// Prometheus text format, and the pprof index answers.
+func TestServeDebug(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("kernel.steps.total").Add(42)
+
+	hostport, err := serveDebug("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(path string) (int, string) {
+		resp, err := http.Get("http://" + hostport + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: read: %v", path, err)
+		}
+		return resp.StatusCode, string(b)
+	}
+	code, body := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: status %d", code)
+	}
+	if !strings.Contains(body, "# TYPE kernel_steps_total counter") ||
+		!strings.Contains(body, "kernel_steps_total 42") {
+		t.Errorf("/metrics body not Prometheus text format:\n%s", body)
+	}
+	if code, _ := get("/debug/pprof/"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/: status %d", code)
+	}
+}

@@ -168,6 +168,7 @@ func RackFacilityComparison(base server.Config, fe FacilityEval) ([]FacilityPoli
 		r.ResetAccounting()
 		sres, err := sched.RunTraceCfg(r, s.jobs, c.policy, sched.TraceConfig{
 			Dt: ev.Dt, Horizon: ev.Horizon, WallCapW: ev.WallCapW, EventStepping: ev.EventStepping,
+			Metrics: ev.Metrics,
 		})
 		if err != nil {
 			errs[i] = err

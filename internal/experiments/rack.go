@@ -8,6 +8,7 @@ import (
 	"repro/internal/cooling"
 	"repro/internal/loadgen"
 	"repro/internal/lut"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/plot"
 	"repro/internal/power"
@@ -72,6 +73,18 @@ type RackEval struct {
 	// default — keeps sampling off and every metric bit-identical to the
 	// pre-roll-up experiment.
 	ReliabilitySampleEvery float64
+
+	// Metrics, when non-nil, is the run-metrics registry every measured
+	// trace of the experiment instruments (sched.TraceConfig.Metrics). One
+	// registry is shared across all concurrently running cells: the
+	// instrumentation uses only commutative updates (internal/obs), so the
+	// final dump is byte-identical for every Workers value — the dump is
+	// the experiment's roll-up, not one run's. Stabilization windows
+	// (sched.Settle) are deliberately uninstrumented: the counters
+	// describe the measured horizon, so the pin-reason identity holds
+	// against the reported RackSteps. nil — the default — records nothing
+	// and leaves every output bit-identical.
+	Metrics *obs.Registry
 }
 
 // DefaultRackEval returns an 8-server rack under a one-hour trace with
@@ -326,6 +339,7 @@ func (s *rackSetup) runRackPolicy(p sched.Policy, ev RackEval, capW float64) (Ra
 	r.ResetAccounting()
 	sres, err := sched.RunTraceCfg(r, s.jobs, p, sched.TraceConfig{
 		Dt: ev.Dt, Horizon: ev.Horizon, WallCapW: capW, EventStepping: ev.EventStepping,
+		Metrics: ev.Metrics,
 	})
 	if err != nil {
 		return RackPolicyResult{}, err

@@ -187,6 +187,7 @@ func RackFaultComparison(base server.Config, fe FaultEval) ([]RackFaultResult, e
 			Dt: ev.Dt, Horizon: ev.Horizon, WallCapW: ev.WallCapW,
 			EventStepping: ev.EventStepping,
 			DropOnFault:   fe.DropOnFault,
+			Metrics:       ev.Metrics,
 		}
 		if len(c.scenario.Schedule.Events) > 0 {
 			sc := c.scenario.Schedule

@@ -1,0 +1,383 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind tags a metric in Snapshot output.
+type Kind int
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+// Counter is a monotonically increasing int64. The zero value is unusable;
+// obtain counters from Registry.Counter. All methods are safe on a nil
+// receiver (no registry attached) and safe for concurrent use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count; 0 on a nil receiver.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 cell. Set is last-writer-wins and therefore only
+// deterministic from serial sections; SetMax commutes and may be used from
+// concurrent runs sharing a registry. Starts at 0.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v. Serial sections only (last writer wins).
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// SetMax raises the gauge to v if v exceeds the current value. Max
+// commutes, so concurrent SetMax calls stay deterministic.
+func (g *Gauge) SetMax(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value; 0 on a nil receiver.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed buckets with ascending upper
+// bounds (a final +Inf bucket is implicit). Observing integer-valued
+// samples keeps the running sum exact in float64, which is what makes a
+// shared histogram order-independent across concurrent runs.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last is +Inf
+	n      atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-added
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.n.Add(1)
+	for {
+		old := h.sum.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// HistView is an immutable snapshot of a histogram. Counts are cumulative
+// (Prometheus-style): Counts[i] is the number of samples <= Bounds[i], and
+// the final entry (the implicit +Inf bucket) equals Count.
+type HistView struct {
+	Bounds []float64
+	Counts []uint64
+	Count  uint64
+	Sum    float64
+}
+
+func (h *Histogram) view() *HistView {
+	v := &HistView{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.counts)),
+		Count:  h.n.Load(),
+		Sum:    math.Float64frombits(h.sum.Load()),
+	}
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		v.Counts[i] = cum
+	}
+	return v
+}
+
+// ExpBuckets returns n exponentially spaced upper bounds: start,
+// start·factor, start·factor², … — the usual ladder for window lengths.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	b := make([]float64, n)
+	v := start
+	for i := range b {
+		b[i] = v
+		v *= factor
+	}
+	return b
+}
+
+// Registry is a named set of metrics. The zero value is unusable; use
+// NewRegistry. All methods are safe on a nil receiver: lookups return nil
+// handles whose operations are no-ops, so "no registry" costs one nil
+// check on the hot path and nothing else.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+func (r *Registry) taken(name string, self Kind) {
+	if self != KindCounter {
+		if _, ok := r.counters[name]; ok {
+			panic("obs: " + name + " already registered as a counter")
+		}
+	}
+	if self != KindGauge {
+		if _, ok := r.gauges[name]; ok {
+			panic("obs: " + name + " already registered as a gauge")
+		}
+	}
+	if self != KindHistogram {
+		if _, ok := r.hists[name]; ok {
+			panic("obs: " + name + " already registered as a histogram")
+		}
+	}
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use. Returns nil (a no-op handle) on a nil registry. Panics if name is
+// already registered as a different kind.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	r.taken(name, KindCounter)
+	c := &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	r.taken(name, KindGauge)
+	g := &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given ascending upper bounds on first use. Panics if name exists
+// with different bounds — concurrent runs sharing a registry must agree.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[name]; ok {
+		if len(h.bounds) != len(bounds) {
+			panic("obs: " + name + " re-registered with different bounds")
+		}
+		for i := range bounds {
+			if h.bounds[i] != bounds[i] {
+				panic("obs: " + name + " re-registered with different bounds")
+			}
+		}
+		return h
+	}
+	r.taken(name, KindHistogram)
+	for i := 1; i < len(bounds); i++ {
+		if !(bounds[i] > bounds[i-1]) {
+			panic("obs: " + name + " bounds must be strictly ascending")
+		}
+	}
+	h := &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+	r.hists[name] = h
+	return h
+}
+
+// Metric is one entry of a Snapshot.
+type Metric struct {
+	Name  string
+	Kind  Kind
+	Value float64   // counter (exact below 2^53) or gauge value
+	Hist  *HistView // histogram kinds only
+}
+
+// Snapshot returns every metric sorted by name. Sorting is what keeps the
+// dump independent of registration order, which varies across worker
+// schedules.
+func (r *Registry) Snapshot() []Metric {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Metric, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for name, c := range r.counters {
+		out = append(out, Metric{Name: name, Kind: KindCounter, Value: float64(c.Value())})
+	}
+	for name, g := range r.gauges {
+		out = append(out, Metric{Name: name, Kind: KindGauge, Value: g.Value()})
+	}
+	for name, h := range r.hists {
+		out = append(out, Metric{Name: name, Kind: KindHistogram, Hist: h.view()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func formatBound(b float64) string {
+	if math.IsInf(b, 1) {
+		return "+Inf"
+	}
+	return formatFloat(b)
+}
+
+// WriteText writes the sorted plain-text dump evalctl -metrics prints.
+// Counters print as integers, gauges as shortest-round-trip floats, and
+// histograms expand to cumulative .bucket{le=...} lines plus .count and
+// .sum — the same shape as the Prometheus export, keeping the two surfaces
+// diffable against each other.
+func (r *Registry) WriteText(w io.Writer) error {
+	for _, m := range r.Snapshot() {
+		var err error
+		switch m.Kind {
+		case KindCounter:
+			_, err = fmt.Fprintf(w, "%s %d\n", m.Name, int64(m.Value))
+		case KindGauge:
+			_, err = fmt.Fprintf(w, "%s %s\n", m.Name, formatFloat(m.Value))
+		case KindHistogram:
+			err = writeHist(w, m.Name, m.Hist, ".bucket", ".sum", ".count")
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeHist(w io.Writer, name string, h *HistView, bucket, sum, count string) error {
+	for i, c := range h.Counts {
+		b := math.Inf(1)
+		if i < len(h.Bounds) {
+			b = h.Bounds[i]
+		}
+		if _, err := fmt.Fprintf(w, "%s%s{le=%q} %d\n", name, bucket, formatBound(b), c); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s%s %s\n", name, sum, formatFloat(h.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s%s %d\n", name, count, h.Count)
+	return err
+}
+
+// PromName sanitizes a dotted metric (or telemetry sensor) name into the
+// Prometheus charset: dots and any other disallowed rune become '_', and a
+// leading digit gains a '_' prefix. Exported so the telemetry harness and
+// the registry share one naming rule.
+func PromName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		ok := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')
+		if r >= '0' && r <= '9' && i == 0 {
+			b.WriteByte('_')
+		}
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus writes the registry in Prometheus text exposition
+// format, sorted by name, with names sanitized through PromName.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, m := range r.Snapshot() {
+		name := PromName(m.Name)
+		var err error
+		switch m.Kind {
+		case KindCounter:
+			_, err = fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, int64(m.Value))
+		case KindGauge:
+			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", name, name, formatFloat(m.Value))
+		case KindHistogram:
+			if _, err = fmt.Fprintf(w, "# TYPE %s histogram\n", name); err == nil {
+				err = writeHist(w, name, m.Hist, "_bucket", "_sum", "_count")
+			}
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

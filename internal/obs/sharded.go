@@ -1,0 +1,56 @@
+package obs
+
+// Sharded is the fan-out counterpart of Counter: one int64 lane per slot,
+// padded a cache line apart. Inside a par.ForEach fan-out, job i writes
+// only lane i — exclusive access, so plain (non-atomic) adds are race-free
+// and cost a single store. After the barrier, ReduceInto folds the lanes
+// into a Counter serially in index order, which is what keeps the total
+// byte-identical for every worker count.
+type Sharded struct {
+	lanes []lane
+}
+
+type lane struct {
+	v int64
+	_ [7]int64 // pad to 64 bytes so neighbouring slots never share a line
+}
+
+// NewSharded returns a shard set with one lane per slot.
+func NewSharded(slots int) *Sharded {
+	return &Sharded{lanes: make([]lane, slots)}
+}
+
+// Add increments lane slot by n. Call only from the job that owns slot.
+// Safe on a nil receiver.
+func (s *Sharded) Add(slot int, n int64) {
+	if s == nil {
+		return
+	}
+	s.lanes[slot].v += n
+}
+
+// Reduce sums the lanes in index order. Call after the barrier only.
+func (s *Sharded) Reduce() int64 {
+	if s == nil {
+		return 0
+	}
+	var sum int64
+	for i := range s.lanes {
+		sum += s.lanes[i].v
+	}
+	return sum
+}
+
+// ReduceInto adds the lane sum to c and zeroes the lanes, readying the
+// shard set for the next fan-out window. Call after the barrier only.
+func (s *Sharded) ReduceInto(c *Counter) {
+	if s == nil {
+		return
+	}
+	var sum int64
+	for i := range s.lanes {
+		sum += s.lanes[i].v
+		s.lanes[i].v = 0
+	}
+	c.Add(sum)
+}

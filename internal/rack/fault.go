@@ -103,6 +103,7 @@ func (r *Rack) ApplyFault(ev fault.Event) error {
 	if ev.Windowed() {
 		r.targets(ev, func(st *serverState) { st.srv.PinFixedDt(+1) })
 	}
+	r.faultsApplied++
 	return nil
 }
 
@@ -143,6 +144,7 @@ func (r *Rack) ClearFault(ev fault.Event) error {
 	if ev.Windowed() {
 		r.targets(ev, func(st *serverState) { st.srv.PinFixedDt(-1) })
 	}
+	r.faultsCleared++
 	return nil
 }
 

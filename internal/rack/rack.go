@@ -177,6 +177,11 @@ type Rack struct {
 	cracOut       int
 	chillerDerate float64
 
+	// Lifetime fault-edge counters (ApplyFault/ClearFault successes),
+	// folded into the run-metrics registry by MetricsInto.
+	faultsApplied int
+	faultsCleared int
+
 	// Reliability sampling (Config.ReliabilitySampleEvery): per-server
 	// hottest-die traces appended serially at observation instants.
 	relEvery   float64
@@ -430,23 +435,61 @@ func (r *Rack) TickControllers(now float64) {
 // pinning the kernel to fixed-dt ticking, the reference semantics.
 // +Inf means every controller is quiet until an input changes.
 func (r *Rack) QuietHorizon(now, dt float64) float64 {
+	h, _ := r.QuietHorizonCause(now, dt)
+	return h
+}
+
+// QuietCause labels what bounded a QuietHorizonCause answer, for the event
+// kernel's pin-reason attribution.
+type QuietCause int
+
+const (
+	// QuietUnbounded: every controller is quiet until an input changes
+	// (the horizon is +Inf).
+	QuietUnbounded QuietCause = iota
+	// QuietPromise: the nearest finite HorizonPromiser promise binds.
+	QuietPromise
+	// QuietNoPromiser: some controller does not implement
+	// control.HorizonPromiser, collapsing the horizon to now+dt.
+	QuietNoPromiser
+)
+
+// QuietHorizonCause is QuietHorizon plus the cause of the bound. The scan
+// is serial in slot index order, so the attributed cause — like the
+// horizon itself — is identical for every worker count.
+func (r *Rack) QuietHorizonCause(now, dt float64) (float64, QuietCause) {
 	h := math.Inf(1)
+	cause := QuietUnbounded
 	for _, st := range r.servers {
 		if st.ctrl == nil {
 			continue
 		}
 		hp, ok := st.ctrl.(control.HorizonPromiser)
 		if !ok {
-			return now + dt
+			return now + dt, QuietNoPromiser
 		}
 		if q := hp.QuietUntil(now); q < h {
 			h = q
+			cause = QuietPromise
 		}
 		if h <= now+dt {
-			return now + dt
+			return now + dt, QuietPromise
 		}
 	}
-	return h
+	return h, cause
+}
+
+// FansUnsettled reports whether any powered slot's fan bank is still
+// slewing toward its command — the refinement that lets the kernel tell a
+// fan-slew pin apart from an ordinary controller-holdoff pin when a quiet
+// promise lands at the very next step.
+func (r *Rack) FansUnsettled() bool {
+	for _, st := range r.servers {
+		if st.srv.Powered() && !st.srv.FansSettled() {
+			return true
+		}
+	}
+	return false
 }
 
 // Advance moves the whole rack through a macro window of `steps` fixed-dt

@@ -1,0 +1,56 @@
+package rack
+
+import (
+	"fmt"
+
+	"repro/internal/telemetry"
+)
+
+// AttachTelemetry fans the paper's per-server CSTH channel list out over
+// every slot of the rack on one shared harness: slot i's sensors are
+// registered under the "rack<i>." prefix (zero-padded to two digits, so
+// names sort by slot), followed by the rack-level delivery-chain
+// channels the single-server harness cannot see:
+//
+//	rack.dc.power       summed DC draw at the server plugs (W)
+//	rack.wall.power     AC draw behind the PSU/PDU chain (W)
+//	rack.cooling.power  CRAC+chiller electrical draw, 0 without a facility (W)
+//	rack.facility.power wall + cooling (W)
+//	rack.pue            facility/wall ratio, 1 without a facility
+//
+// Drive the harness with h.Advance(r.Now()) after each Step or Advance.
+// Under the event kernel (sched.TraceConfig.EventStepping), the rack is
+// advanced in macro windows, so a poll cadence finer than the window
+// length would observe nothing between window boundaries: set
+// sched.TraceConfig.SampleEvery to the harness period and the kernel
+// pins a wake step on every poll instant — samples then land on exactly
+// the same simulated seconds in both stepping modes.
+func (r *Rack) AttachTelemetry(h *telemetry.Harness) error {
+	for i, st := range r.servers {
+		prefix := fmt.Sprintf("rack%02d.", i)
+		if err := st.srv.AttachTelemetryPrefixed(h, prefix); err != nil {
+			return err
+		}
+	}
+	if err := h.Register("rack.dc.power", "W", func() float64 {
+		return float64(r.DCPower())
+	}); err != nil {
+		return err
+	}
+	if err := h.Register("rack.wall.power", "W", func() float64 {
+		return float64(r.WallPower())
+	}); err != nil {
+		return err
+	}
+	if err := h.Register("rack.cooling.power", "W", func() float64 {
+		return float64(r.CoolingPower())
+	}); err != nil {
+		return err
+	}
+	if err := h.Register("rack.facility.power", "W", func() float64 {
+		return float64(r.FacilityPower())
+	}); err != nil {
+		return err
+	}
+	return h.Register("rack.pue", "", func() float64 { return r.PUE() })
+}

@@ -1,0 +1,105 @@
+package rack
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+	"repro/internal/units"
+)
+
+// TestAttachTelemetry pins the rack-wide CSTH fan-out: every slot's
+// channel list appears under its "rack<N>." prefix, the five rack-level
+// delivery-chain channels ride along, and polled values are live.
+func TestAttachTelemetry(t *testing.T) {
+	r, err := New(Config{Servers: testSpecs(t, 3), Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := telemetry.NewHarness(10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AttachTelemetry(h); err != nil {
+		t.Fatal(err)
+	}
+
+	names := h.Names()
+	perSlot := make(map[string]int)
+	for _, n := range names {
+		if strings.HasPrefix(n, "rack0") && len(n) > 7 && n[6] == '.' {
+			perSlot[n[:7]]++
+		}
+	}
+	if len(perSlot) != 3 {
+		t.Fatalf("slot prefixes = %v, want 3 slots", perSlot)
+	}
+	// Even slots carry 32 DIMMs, odd slots 24 (testSpecs), so slot 1
+	// registers exactly 8 fewer channels than its neighbours.
+	if perSlot["rack00."] == 0 || perSlot["rack00."] != perSlot["rack02."] ||
+		perSlot["rack01."] != perSlot["rack00."]-8 {
+		t.Fatalf("per-slot channel counts off: %v", perSlot)
+	}
+	for _, want := range []string{
+		"rack00.cpu0.temp0", "rack02.system.power", "rack01.fans.rpm",
+		"rack.dc.power", "rack.wall.power", "rack.cooling.power",
+		"rack.facility.power", "rack.pue",
+	} {
+		if i := sort.SearchStrings(sortedCopy(names), want); i >= len(names) || sortedCopy(names)[i] != want {
+			t.Errorf("missing channel %q", want)
+		}
+	}
+
+	// Attaching a second time must fail on the duplicate names, not
+	// silently double-register.
+	if err := r.AttachTelemetry(h); err == nil {
+		t.Error("double attach should error on duplicate channels")
+	}
+
+	// Run the rack under load and poll: slot sensors diverge with the
+	// ambient gradient and the rack channels track the summed draw.
+	for i := 0; i < r.NumServers(); i++ {
+		r.SetLoad(i, units.Percent(60))
+	}
+	for s := 0; s < 120; s++ {
+		r.Step(1)
+	}
+	h.PollNow(r.Now())
+	snap := h.Snapshot()
+	if snap["rack00.system.power"] <= 0 || snap["rack02.system.power"] <= 0 {
+		t.Fatalf("dead per-slot power channels: %v %v",
+			snap["rack00.system.power"], snap["rack02.system.power"])
+	}
+	// rack.dc.power is the true summed draw; the per-slot system.power
+	// channels carry the CSTH measurement noise, so they agree only to
+	// within the noise band.
+	sum := snap["rack00.system.power"] + snap["rack01.system.power"] + snap["rack02.system.power"]
+	if dc := snap["rack.dc.power"]; dc <= 0 || abs(dc-sum) > 0.01*dc {
+		t.Errorf("rack.dc.power = %g, Σ slot system.power = %g", dc, sum)
+	}
+	// No PSU/PDU chain and no facility here: wall == dc, cooling == 0,
+	// facility == wall, PUE == 1.
+	if snap["rack.wall.power"] != snap["rack.dc.power"] {
+		t.Errorf("ideal chain: wall %g != dc %g", snap["rack.wall.power"], snap["rack.dc.power"])
+	}
+	if snap["rack.cooling.power"] != 0 || snap["rack.pue"] != 1 {
+		t.Errorf("no facility: cooling = %g, pue = %g", snap["rack.cooling.power"], snap["rack.pue"])
+	}
+	if snap["rack.facility.power"] != snap["rack.wall.power"] {
+		t.Errorf("facility %g != wall %g", snap["rack.facility.power"], snap["rack.wall.power"])
+	}
+}
+
+func sortedCopy(names []string) []string {
+	out := append([]string(nil), names...)
+	sort.Strings(out)
+	return out
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

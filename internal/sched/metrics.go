@@ -1,0 +1,130 @@
+package sched
+
+import "repro/internal/obs"
+
+// pinReason labels why the event kernel advanced exactly one grid step
+// instead of a macro window — the attribution ROADMAP's "kill the
+// remaining fixed-dt cliffs" needs. Exactly one reason is charged per
+// single-step advance, at the moment the kernel declines the window, so
+// the per-reason counts always sum to (total rack advances − macro
+// windows) by construction, in both stepping modes.
+type pinReason int
+
+const (
+	// pinFixedDt: the fixed-dt reference kernel — every step is pinned by
+	// mode, keeping the sum identity meaningful without event stepping.
+	pinFixedDt pinReason = iota
+	// pinBacklog: non-empty backlog; the FIFO head retries every step.
+	pinBacklog
+	// pinTripGuard: a fault run with some live server inside the
+	// trip-guard band — trips must latch on their exact step.
+	pinTripGuard
+	// pinArrival: the next job arrival lands on the very next step.
+	pinArrival
+	// pinCompletion: a running job completes at the next step.
+	pinCompletion
+	// pinFaultEdge: a pinned fault inject/clear fires at the next step.
+	pinFaultEdge
+	// pinController: a fan controller's quiet-horizon promise expires at
+	// the next step (holdoff or poll boundary), fans settled.
+	pinController
+	// pinFanSlew: as pinController, but some powered slot's fans are still
+	// slewing — the window is held shut while conductances move.
+	pinFanSlew
+	// pinNoPromise: some controller implements no quiet horizon
+	// (control.HorizonPromiser), collapsing every window to one step.
+	pinNoPromise
+	// pinSample: the TraceConfig.SampleEvery telemetry grid.
+	pinSample
+	// pinHorizonEnd: the trace window itself ends at the next step.
+	pinHorizonEnd
+	pinReasons // count
+)
+
+// pinNames maps reasons to the "kernel.pin.<reason>" metric suffixes (the
+// README's pin-reason taxonomy table mirrors these).
+var pinNames = [pinReasons]string{
+	pinFixedDt:    "fixed-dt",
+	pinBacklog:    "backlog",
+	pinTripGuard:  "trip-guard",
+	pinArrival:    "arrival",
+	pinCompletion: "completion",
+	pinFaultEdge:  "fault-edge",
+	pinController: "controller",
+	pinFanSlew:    "fan-slew",
+	pinNoPromise:  "no-promise",
+	pinSample:     "sample",
+	pinHorizonEnd: "horizon-end",
+}
+
+// PinReasonNames returns the metric suffixes of the pin-reason taxonomy,
+// in attribution-priority order; "kernel.pin." + name is the counter each
+// appears under. Exported for evalctl's breakdown table and the identity
+// tests.
+func PinReasonNames() []string {
+	out := make([]string, pinReasons)
+	copy(out, pinNames[:])
+	return out
+}
+
+// windowLenBounds are the kernel.window.len histogram buckets: powers of
+// two up to 16384 steps (a 1 s grid's 4.5-hour window), +Inf implicit.
+func windowLenBounds() []float64 { return obs.ExpBuckets(1, 2, 15) }
+
+// runMetrics carries one trace run's metric handles, fetched once at run
+// start so the per-step hot path never touches the registry's lock. With
+// no registry attached every handle is nil and every call below is a
+// nil-receiver no-op — the zero-cost default the golden tables pin.
+type runMetrics struct {
+	steps     *obs.Counter // kernel.steps.total: rack advances (== RackSteps)
+	gridSteps *obs.Counter // kernel.grid.steps: fixed-dt steps crossed (Σ window)
+	macroWins *obs.Counter // kernel.windows.macro: advances with window > 1
+	winLen    *obs.Histogram
+	pins      [pinReasons]*obs.Counter
+
+	submitted  *obs.Counter
+	placements *obs.Counter // placement events (a requeued job counts again)
+	deferrals  *obs.Counter
+	completed  *obs.Counter
+	requeued   *obs.Counter
+	dropped    *obs.Counter
+	backlogHW  *obs.Gauge
+}
+
+func newRunMetrics(reg *obs.Registry) runMetrics {
+	if reg == nil {
+		// All-nil handles. Returning before the name concatenations keeps
+		// the uninstrumented run's allocation profile untouched.
+		return runMetrics{}
+	}
+	m := runMetrics{
+		steps:      reg.Counter("kernel.steps.total"),
+		gridSteps:  reg.Counter("kernel.grid.steps"),
+		macroWins:  reg.Counter("kernel.windows.macro"),
+		winLen:     reg.Histogram("kernel.window.len", windowLenBounds()),
+		submitted:  reg.Counter("sched.jobs.submitted"),
+		placements: reg.Counter("sched.placements"),
+		deferrals:  reg.Counter("sched.deferrals"),
+		completed:  reg.Counter("sched.jobs.completed"),
+		requeued:   reg.Counter("sched.kills.requeued"),
+		dropped:    reg.Counter("sched.kills.dropped"),
+		backlogHW:  reg.Gauge("sched.backlog.highwater"),
+	}
+	for i := range m.pins {
+		m.pins[i] = reg.Counter("kernel.pin." + pinNames[i])
+	}
+	return m
+}
+
+// advance charges one rack advance spanning `window` grid steps, pinned by
+// `reason` when the window is a single step.
+func (m *runMetrics) advance(window int, reason pinReason) {
+	m.steps.Inc()
+	m.gridSteps.Add(int64(window))
+	m.winLen.Observe(float64(window))
+	if window > 1 {
+		m.macroWins.Inc()
+	} else {
+		m.pins[reason].Inc()
+	}
+}

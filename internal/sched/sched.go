@@ -9,6 +9,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/loadgen"
 	"repro/internal/lut"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/rack"
 	"repro/internal/server"
@@ -495,6 +496,12 @@ type Result struct {
 	// progress of each requeued job (it restarts from scratch) plus the
 	// full duration of each dropped job (its service is never delivered).
 	LostJobSeconds float64
+
+	// Metrics echoes TraceConfig.Metrics after the run's counters — the
+	// kernel's pin-reason breakdown, the scheduling counts, the rack's
+	// propagator and macro attribution — have been folded in. nil when no
+	// registry was attached.
+	Metrics *obs.Registry
 }
 
 // TraceConfig parameterizes a trace run.
@@ -569,6 +576,18 @@ type TraceConfig struct {
 	// model work without a retry path (the default models idempotent batch
 	// jobs restarted from scratch).
 	DropOnFault bool
+
+	// Metrics, when non-nil, receives the run's observability counters:
+	// per-advance kernel accounting (steps, macro windows, window-length
+	// histogram, the pin-reason breakdown) during the run, scheduling
+	// counts as they happen, and the rack's propagator/macro/fault roll-up
+	// (rack.MetricsInto) after the loop. Handles are fetched once at run
+	// start; per-step updates are atomic, commutative and allocation-free,
+	// so one registry may be shared by concurrent runs (the experiments
+	// fan-out does exactly that) and still dump byte-identically for every
+	// worker count — see internal/obs. nil (the default) records nothing
+	// and leaves every result and golden table bit-identical.
+	Metrics *obs.Registry
 }
 
 // active is a placed job with its completion time. The original Job and
@@ -632,7 +651,9 @@ func RunTraceCfg(r *rack.Rack, jobs []Job, p Policy, tc TraceConfig) (Result, er
 		pendingDC: make([]units.Watts, r.NumServers()),
 		start:     r.Now(),
 		steps:     int(math.Ceil(horizon/dt - 1e-9)),
+		m:         newRunMetrics(tc.Metrics),
 	}
+	e.m.submitted.Add(int64(len(jobs)))
 	if !tc.Faults.Empty() {
 		if err := tc.Faults.Validate(r.NumServers(), r.Server(0).Fans().NumFans()); err != nil {
 			return Result{}, fmt.Errorf("sched: fault schedule: %w", err)
@@ -647,6 +668,12 @@ func RunTraceCfg(r *rack.Rack, jobs []Job, p Policy, tc TraceConfig) (Result, er
 	}
 	if e.res.Placed > 0 {
 		e.res.MeanWaitSec = e.totalWait / float64(e.res.Placed)
+	}
+	if tc.Metrics != nil {
+		// Serial post-run fold of the physics-layer counters; the per-step
+		// kernel and scheduling counts were charged as they happened.
+		r.MetricsInto(tc.Metrics)
+		e.res.Metrics = tc.Metrics
 	}
 	return e.res, err
 }
@@ -681,6 +708,9 @@ type traceRun struct {
 	actions    []faultAction
 	nextAction int
 	faultSteps []int
+
+	// Metric handles for tc.Metrics, all nil (free no-ops) by default.
+	m runMetrics
 }
 
 // runFixed is the fixed-dt reference path: every grid step processes
@@ -694,6 +724,7 @@ func (e *traceRun) runFixed() error {
 		e.applyLoads()
 		e.r.Step(e.dt)
 		e.res.RackSteps++
+		e.m.advance(1, pinFixedDt)
 	}
 	return nil
 }
@@ -714,6 +745,7 @@ func (e *traceRun) processStep(k int) error {
 		if a.end <= now {
 			e.loads[a.slot] -= a.demand
 			e.res.Completed++
+			e.m.completed.Inc()
 			continue
 		}
 		keep = append(keep, a)
@@ -754,9 +786,11 @@ func (e *traceRun) processStep(k int) error {
 		e.res.Placed--
 		if e.tc.DropOnFault {
 			e.res.Lost++
+			e.m.dropped.Inc()
 			e.res.LostJobSeconds += a.job.Duration
 		} else {
 			e.res.Requeued++
+			e.m.requeued.Inc()
 			e.res.LostJobSeconds += elapsed - a.start
 			j := a.job
 			j.Arrival = elapsed
@@ -781,6 +815,7 @@ func (e *traceRun) processStep(k int) error {
 	if len(e.pending) > e.res.MaxQueueLen {
 		e.res.MaxQueueLen = len(e.pending)
 	}
+	e.m.backlogHW.SetMax(float64(len(e.pending)))
 
 	// Place from the head while the policy accepts.
 	for len(e.pending) > 0 {
@@ -824,6 +859,7 @@ func (e *traceRun) processStep(k int) error {
 				// retried next step, after completions free power.
 				e.pendingDC[slot] -= mdc
 				e.res.Deferrals++
+				e.m.deferrals.Inc()
 				break
 			}
 		}
@@ -835,6 +871,7 @@ func (e *traceRun) processStep(k int) error {
 			e.totalWait += wait
 		}
 		e.res.Placed++
+		e.m.placements.Inc()
 		e.pending = e.pending[1:]
 	}
 	return nil
@@ -875,34 +912,40 @@ func (e *traceRun) runEvents() error {
 		// fan decision by one grid step between the modes.
 		now := e.start + float64(k)*e.dt
 		e.r.TickControllers(now)
-		window := 1
+		window, reason := 1, pinBacklog
 		// A non-empty backlog pins the kernel to fixed-dt: the head is
 		// retried — against freshly evolved telemetry views — every step,
 		// exactly like the reference path.
 		if len(e.pending) == 0 {
-			window = e.window(k, now, sampleSteps)
+			window, reason = e.window(k, now, sampleSteps)
 		}
 		e.r.Advance(e.dt, window)
 		e.res.RackSteps++
+		e.m.advance(window, reason)
 		k += window
 	}
 	return nil
 }
 
-// window returns the macro-window length from step k: up to, exclusive,
-// the next grid step at which anything can happen.
-func (e *traceRun) window(k int, now float64, sampleSteps int) int {
+// window returns the macro-window length from step k — up to, exclusive,
+// the next grid step at which anything can happen — plus the pin reason
+// charged when that length is a single step. The reason is the bound that
+// strictly lowered `next` last; on ties the earlier check wins, so the
+// attribution precedence is horizon-end, arrival, fault-edge, completion,
+// controller horizon, sample grid — deterministic for every worker count
+// because every bound is computed from serial state.
+func (e *traceRun) window(k int, now float64, sampleSteps int) (int, pinReason) {
 	if len(e.actions) > 0 && e.r.TripRisk() {
 		// Fault runs pin to single steps while any live server sits inside
 		// the trip-guard band: a natural trip latching mid-window would
 		// defer its job kills to the window's end, diverging from the
 		// fixed-dt reference that observes the trip on its exact step.
-		return 1
+		return 1, pinTripGuard
 	}
-	next := e.steps
+	next, cause := e.steps, pinHorizonEnd
 	if e.nextJob < len(e.jobs) {
 		if ka := e.arrivalStep(e.jobs[e.nextJob].Arrival); ka < next {
-			next = ka
+			next, cause = ka, pinArrival
 		}
 	}
 	// Fault edges are wake events: the kernel must take the decision step
@@ -911,30 +954,38 @@ func (e *traceRun) window(k int, now float64, sampleSteps int) int {
 	for _, kf := range e.faultSteps {
 		if kf > k {
 			if kf < next {
-				next = kf
+				next, cause = kf, pinFaultEdge
 			}
 			break
 		}
 	}
 	for _, a := range e.running {
 		if kc := e.stepAtOrAfter(a.end); kc < next {
-			next = kc
+			next, cause = kc, pinCompletion
 		}
 	}
-	if q := e.r.QuietHorizon(now, e.dt); !math.IsInf(q, 1) {
+	if q, qc := e.r.QuietHorizonCause(now, e.dt); !math.IsInf(q, 1) {
 		if kq := e.stepAtOrAfter(q); kq < next {
 			next = kq
+			switch {
+			case qc == rack.QuietNoPromiser:
+				cause = pinNoPromise
+			case e.r.FansUnsettled():
+				cause = pinFanSlew
+			default:
+				cause = pinController
+			}
 		}
 	}
 	if sampleSteps > 0 {
 		if ks := (k/sampleSteps + 1) * sampleSteps; ks < next {
-			next = ks
+			next, cause = ks, pinSample
 		}
 	}
 	if next <= k {
 		next = k + 1
 	}
-	return next - k
+	return next - k, cause
 }
 
 // arrivalStep returns the grid step at which the fixed-dt loop admits an

@@ -87,13 +87,22 @@ func (s *Server) MacroWindow(dt float64, steps int) (maxDieC, maxDIMMC, maxInlet
 	for done := 0; done < steps; {
 		// A macro sub-window needs at least two steps to collapse; don't
 		// pay the linearization setup on pinned (single-step) windows.
-		if steps-done >= 2 && s.macroEligible() {
-			if n := s.stepMacroCore(dt, steps-done); n > 0 {
-				done += n
-				pendingMem += n
-				fold()
-				continue
+		if steps-done >= 2 {
+			if s.macroEligible() {
+				if n := s.stepMacroCore(dt, steps-done); n > 0 {
+					done += n
+					pendingMem += n
+					fold()
+					continue
+				}
+				// Eligible but the doubling ladder refused its first level:
+				// a transient faster than the drift cap.
+				s.macroStats.PlainDrift++
+			} else {
+				s.countVetoPlain()
 			}
+		} else {
+			s.macroStats.PlainTail++
 		}
 		// Plain step: flush the deferred window state first — a slewing fan
 		// changes the DIMM equilibrium the deferred steps must not see.
@@ -112,6 +121,52 @@ func (s *Server) MacroWindow(dt float64, steps int) (maxDieC, maxDIMMC, maxInlet
 	s.finishMacroWindow()
 	foldSlow()
 	return maxDieC, maxDIMMC, maxInletC
+}
+
+// MacroStats is the server's lifetime macro-vs-plain step attribution —
+// the per-slot answer to "which pin ate the collapsed steps". Counters are
+// plain ints bumped only by the goroutine stepping this server, so they
+// are read after the rack fan-out's barrier (rack.MetricsInto) and never
+// reset.
+type MacroStats struct {
+	// Anchors counts successful closed-form sub-windows: each one is a
+	// fresh linearization of the leakage feedback around the current die
+	// temperatures.
+	Anchors int
+	// CollapsedSteps is the total fixed-dt steps those anchors absorbed.
+	CollapsedSteps int
+	// Plain-step fallbacks inside macro windows, split by the veto that
+	// forced them (checked in macroEligible's order).
+	PlainIntegrator int // RK4 configured: closed form needs the exact map
+	PlainPinned     int // dark machine or active fault window (PinFixedDt)
+	PlainSlew       int // fans slewing: conductances move every step
+	PlainTripBand   int // within tripGuardC of CriticalTemp
+	PlainDrift      int // drift cap rejected the first doubling
+	PlainTail       int // odd single-step remainder of a window, no veto
+}
+
+// MacroStats returns the lifetime attribution counters.
+func (s *Server) MacroStats() MacroStats { return s.macroStats }
+
+// PropagatorStats surfaces the thermal network's propagator-cache and
+// drift-ladder counters for the same roll-up.
+func (s *Server) PropagatorStats() thermal.PropagatorStats {
+	return s.net.PropagatorStats()
+}
+
+// countVetoPlain attributes one plain-step fallback to the macroEligible
+// veto that caused it, re-checking the conditions in the same order.
+func (s *Server) countVetoPlain() {
+	switch {
+	case s.cfg.ThermalIntegrator != thermal.IntegratorExact:
+		s.macroStats.PlainIntegrator++
+	case !s.powered || s.fixedPin > 0:
+		s.macroStats.PlainPinned++
+	case !s.fans.Settled():
+		s.macroStats.PlainSlew++
+	default:
+		s.macroStats.PlainTripBand++
+	}
 }
 
 // macroEligible reports whether the server's state permits collapsing
@@ -197,6 +252,8 @@ func (s *Server) stepMacroCore(dt float64, maxSteps int) int {
 	leakMean := float64(s.cfg.Power.Leakage.Power(units.Celsius(meanMax))) * s.voltScale
 	s.energy += units.Joules((constW + leakMean) * span)
 	s.clock += span
+	s.macroStats.Anchors++
+	s.macroStats.CollapsedSteps += n
 	return n
 }
 

@@ -68,6 +68,8 @@ type Server struct {
 	// Macro-step scratch (event-stepping kernel), reused across calls.
 	macroSlopes []float64
 	macroSums   []float64
+
+	macroStats MacroStats // lifetime macro-vs-plain attribution (macro.go)
 }
 
 // New constructs a server from cfg, starting in thermal equilibrium at idle
@@ -463,6 +465,10 @@ func (s *Server) SetPowered(on bool) {
 // Powered reports whether the machine is drawing power (false = dark,
 // see SetPowered).
 func (s *Server) Powered() bool { return s.powered }
+
+// FansSettled reports whether the fan bank has reached its commanded
+// speeds (fans.Bank.Settled) — false while a slew is in flight.
+func (s *Server) FansSettled() bool { return s.fans.Settled() }
 
 // PinFixedDt adjusts the count of active fault windows pinning this server
 // to plain fixed-dt stepping (delta +1 on inject, -1 on clear). While the

@@ -195,6 +195,33 @@ func (h *Harness) Reset() {
 	h.nextDue = 0
 }
 
+// csvField quotes s per RFC 4180 when it contains a comma, a double
+// quote, or a line break; everything else passes through verbatim, so
+// the repo's dotted sensor names and unit symbols are unchanged.
+func csvField(s string) string {
+	if !strings.ContainsAny(s, ",\"\r\n") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}
+
+// WriteUnitsCSV emits the sensor metadata as a two-column CSV
+// (sensor,unit) in registration order — the sidecar that gives the wide
+// WriteCSV export its units. Names and unit strings are RFC 4180-quoted
+// when they need it (a unit like `W, "wall"` survives a round trip).
+func (h *Harness) WriteUnitsCSV(w io.Writer) error {
+	if _, err := io.WriteString(w, "sensor,unit\n"); err != nil {
+		return err
+	}
+	for _, n := range h.order {
+		row := csvField(n) + "," + csvField(h.series[n].Unit) + "\n"
+		if _, err := io.WriteString(w, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // WriteCSV emits all series as a wide CSV: time plus one column per sensor.
 // Sensors are sampled on the same schedule, so rows align; if they do not
 // (PollNow mixed with Advance), the union of timestamps is used and missing
@@ -218,7 +245,7 @@ func (h *Harness) WriteCSV(w io.Writer) error {
 	sb.WriteString("time_s")
 	for _, n := range names {
 		sb.WriteString(",")
-		sb.WriteString(n)
+		sb.WriteString(csvField(n))
 	}
 	sb.WriteString("\n")
 	if _, err := io.WriteString(w, sb.String()); err != nil {

@@ -176,6 +176,7 @@ func (n *Network) StepLinearizedN(dt float64, maxSteps int, slopes []float64, dr
 			}
 		}
 		if !ok {
+			n.driftStops++ // ladder cut short by the drift cap, not maxSteps
 			break
 		}
 		// Vector ladders, h first (it consumes this level's g and A):

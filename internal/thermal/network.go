@@ -89,6 +89,9 @@ type Network struct {
 	integrator Integrator
 	props      []*propagator // LRU of exact propagators, most recent first
 	propBuilds int           // lifetime build count, observable in tests
+	propHits   int           // lifetime cache hits (fast or slow path)
+	propMisses int           // lifetime lookup failures (each triggers a build)
+	driftStops int           // macro doubling ladders cut short by the drift cap
 	condGen    uint64        // bumped whenever any link conductance changes
 	u, next    []float64     // exact-step scratch, sized at node addition
 
@@ -358,6 +361,7 @@ func (n *Network) lookupPropagator(h float64) *propagator {
 	m := len(n.nodes)
 	for k, p := range n.props {
 		if p.gen == n.condGen && p.h == h && p.m == m {
+			n.propHits++
 			return n.promote(k, p)
 		}
 	}
@@ -376,8 +380,10 @@ func (n *Network) lookupPropagator(h float64) *propagator {
 			continue
 		}
 		p.gen = n.condGen // re-stamp: O(1) hits until the fans move again
+		n.propHits++
 		return n.promote(k, p)
 	}
+	n.propMisses++
 	return nil
 }
 
