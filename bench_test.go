@@ -619,10 +619,11 @@ func BenchmarkRackStepParallel(b *testing.B) {
 // benchRackTrace regenerates the rack policy-comparison experiment — the
 // five placement policies over the default Poisson trace — and reports
 // the headline energies plus the rack-step count of the selected kernel.
-func benchRackTrace(b *testing.B, eventStepping, metrics bool) {
+func benchRackTrace(b *testing.B, eventStepping, metrics bool, rateScale float64) {
 	base := T3Config()
 	ev := experiments.DefaultRackEval()
 	ev.EventStepping = eventStepping
+	ev.Rate *= rateScale
 	var rows []experiments.RackPolicyResult
 	for i := 0; i < b.N; i++ {
 		if metrics {
@@ -657,18 +658,31 @@ func benchRackTrace(b *testing.B, eventStepping, metrics bool) {
 // not horizon/dt. Compare against BenchmarkRackTraceFixed for the
 // macro-stepping speedup; physics metrics agree within 1e-6 relative
 // (asserted by TestEventSteppingSmoke).
-func BenchmarkRackTrace(b *testing.B) { benchRackTrace(b, true, false) }
+func BenchmarkRackTrace(b *testing.B) { benchRackTrace(b, true, false, 1) }
 
 // BenchmarkRackTraceFixed is the fixed-dt reference path of the same
 // experiment — the pre-PR 5 baseline, bit-identical to PR 4's metrics.
-func BenchmarkRackTraceFixed(b *testing.B) { benchRackTrace(b, false, false) }
+func BenchmarkRackTraceFixed(b *testing.B) { benchRackTrace(b, false, false, 1) }
+
+// BenchmarkRackTraceSaturated is the event kernel on the overloaded
+// variant of the same trace (4× the default arrival rate ≈ 1.2× rack
+// capacity, the TestEventSteppingSmoke saturated shape): before PR 8 the
+// never-draining backlog pinned every policy to fixed-dt stepping; with
+// the load-only refusal un-pin the load-only policies macro-step
+// completion-to-completion, so this benchmark tracks the kernel's
+// saturated-regime cost alongside the drained-queue headline above.
+func BenchmarkRackTraceSaturated(b *testing.B) { benchRackTrace(b, true, false, 4) }
+
+// BenchmarkRackTraceSaturatedFixed is the fixed-dt reference of the
+// saturated trace — the denominator of the PR 8 collapse claim.
+func BenchmarkRackTraceSaturatedFixed(b *testing.B) { benchRackTrace(b, false, false, 4) }
 
 // BenchmarkRackTraceMetrics is BenchmarkRackTrace with a live obs
 // registry attached to every cell: the full pin-reason/macro-window/
 // scheduler instrumentation on the hot path. CI gates its ns/op within
 // 5% of the nil-registry baseline — the "observability is free enough
 // to leave on" contract.
-func BenchmarkRackTraceMetrics(b *testing.B) { benchRackTrace(b, true, true) }
+func BenchmarkRackTraceMetrics(b *testing.B) { benchRackTrace(b, true, true, 1) }
 
 // BenchmarkRackStepWall is BenchmarkRackStep/servers=16 with the full
 // power-delivery chain attached (per-server PSU + shared PDU): the wall

@@ -69,12 +69,24 @@ func main() {
 	setpoints := flag.String("setpoints", "", "comma-separated supply setpoints in °C for -facility (default 14,21,28)")
 	servers := flag.Int("servers", 0, "rack size for -rack/-facility (0 = default)")
 	horizon := flag.Float64("horizon", 0, "measured window in seconds for -rack/-facility (0 = default)")
-	capW := flag.Float64("cap", 0, "wall-power budget in W (-rack: 0 = auto; -facility: 0 = uncapped)")
+	capW := flag.Float64("cap", 0, "wall-power budget in W (-rack: 0 = auto, negative = uncapped runs only; -facility: 0 = uncapped)")
+	policyFlag := flag.String("policy", "",
+		"for -rack: restrict the comparison to one placement policy by name "+
+			"(round-robin, least-utilized, coolest-first, leakage-aware, cap-aware); useful with "+
+			"-metrics, whose registry otherwise aggregates every policy's run into one dump")
 	ideal := flag.Bool("ideal", false, "lossless delivery chain for -rack/-facility: no PSU/PDU, wall == DC")
 	lutCache := flag.String("lutcache", "", "directory for the cross-process LUT disk cache")
 	eventStep := flag.Bool("eventstep", false,
 		"event-driven trace kernel for -rack/-facility: advance the rack per scheduling event "+
 			"instead of per fixed dt (several-fold faster; energies within 1e-6 of the fixed-dt reference)")
+	rate := flag.Float64("rate", 0,
+		"job arrival rate in jobs/s for -rack/-facility/-faults (0 = experiment default; raise it "+
+			"well past capacity for a saturated backlog)")
+	backfill := flag.Bool("backfill", false,
+		"for -rack/-facility/-faults: let jobs queued behind a blocked head place out of order "+
+			"(FIFO backfill pass under the same cap admission; the head keeps strict priority)")
+	fanCtl := flag.String("fanctl", "",
+		"fan controller for -rack/-facility/-faults: lut (default) or bang (the Section V reactive policy)")
 	metricsFlag := flag.Bool("metrics", false,
 		"for -rack/-facility/-faults: attach a run-metrics registry (internal/obs) and print the "+
 			"pin-reason breakdown plus the full sorted counter dump after the tables")
@@ -113,7 +125,12 @@ func main() {
 		fe.Rack.WallCapW = *capW
 		fe.Rack.LUTCacheDir = *lutCache
 		fe.Rack.EventStepping = *eventStep
+		fe.Rack.Backfill = *backfill
+		fe.Rack.FanControl = *fanCtl
 		fe.Rack.Metrics = reg
+		if *rate > 0 {
+			fe.Rack.Rate = *rate
+		}
 		if *ideal {
 			fe.Rack.PSU, fe.Rack.PDU = nil, nil
 		}
@@ -167,7 +184,12 @@ func main() {
 		fe.Rack.WallCapW = *capW
 		fe.Rack.LUTCacheDir = *lutCache
 		fe.Rack.EventStepping = *eventStep
+		fe.Rack.Backfill = *backfill
+		fe.Rack.FanControl = *fanCtl
 		fe.Rack.Metrics = reg
+		if *rate > 0 {
+			fe.Rack.Rate = *rate
+		}
 		if *ideal {
 			fe.Rack.PSU, fe.Rack.PDU = nil, nil
 		}
@@ -209,10 +231,41 @@ func main() {
 		ev.WallCapW = *capW
 		ev.LUTCacheDir = *lutCache
 		ev.EventStepping = *eventStep
+		ev.Backfill = *backfill
+		ev.FanControl = *fanCtl
 		ev.Metrics = reg
+		if *rate > 0 {
+			ev.Rate = *rate
+		}
 		if !*ideal {
 			psu, pdu := power.DefaultPSU(), power.DefaultPDU()
 			ev.PSU, ev.PDU = &psu, &pdu
+		}
+		ev.Policy = *policyFlag
+		if *capW < 0 {
+			// Uncapped runs only: the capped half deliberately keeps the
+			// backlog pin (cap admission watches evolving transients), so
+			// skipping it — typically together with -policy — makes the
+			// -metrics pin shares of one trace readable.
+			ev.WallCapW = 0
+			rows, err := experiments.RackPolicyComparison(cfg, ev)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "evalctl:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("Rack policy comparison (uncapped runs only): %d servers (ambients %s °C), "+
+				"%.0f min Poisson trace (seed %d)\n\n",
+				ev.Servers, ambientList(cfg, ev.Servers), ev.Horizon/60, ev.TraceSeed)
+			if err := experiments.FormatRackTable(os.Stdout, rows); err != nil {
+				fmt.Fprintln(os.Stderr, "evalctl:", err)
+				os.Exit(1)
+			}
+			fmt.Println("\nall policies serve the identical job trace; Total(Wh) differences are the")
+			fmt.Println("placement's leakage+fan cost — thermally aware policies should be lowest")
+			if *metricsFlag {
+				printMetrics(os.Stdout, reg)
+			}
+			return
 		}
 		res, err := experiments.RackACComparison(cfg, ev)
 		if err != nil {

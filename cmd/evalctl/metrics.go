@@ -15,7 +15,8 @@ import (
 // printMetrics renders the run-metrics registry after an experiment: the
 // pin-reason breakdown with its sum identity — Σ per-reason single steps =
 // total rack advances − macro windows, exact by construction — followed by
-// the full sorted dump.
+// the full sorted dump. Every reason in the taxonomy prints, zero or not,
+// in the fixed PinReasonNames order, so runs are diffable line-by-line.
 func printMetrics(w io.Writer, reg *obs.Registry) {
 	steps := reg.Counter("kernel.steps.total").Value()
 	macro := reg.Counter("kernel.windows.macro").Value()
@@ -25,9 +26,7 @@ func printMetrics(w io.Writer, reg *obs.Registry) {
 	for _, name := range sched.PinReasonNames() {
 		v := reg.Counter("kernel.pin." + name).Value()
 		sum += v
-		if v > 0 {
-			fmt.Fprintf(w, "  %-12s %10d\n", name, v)
-		}
+		fmt.Fprintf(w, "  %-12s %10d\n", name, v)
 	}
 	fmt.Fprintf(w, "pin identity: Σ pins %d = rack advances %d − macro windows %d (grid steps crossed: %d)\n",
 		sum, steps, macro, grid)

@@ -7,10 +7,12 @@ import (
 	"testing"
 
 	"repro/internal/obs"
+	"repro/internal/sched"
 )
 
 // TestPrintMetricsIdentityLine exercises the breakdown printer on a
-// hand-built registry: only nonzero pin reasons appear, and the identity
+// hand-built registry: every pin reason in the taxonomy appears (zero
+// counts included) in the fixed PinReasonNames order, and the identity
 // line reports Σ pins, total advances and macro windows verbatim.
 func TestPrintMetricsIdentityLine(t *testing.T) {
 	reg := obs.NewRegistry()
@@ -26,11 +28,19 @@ func TestPrintMetricsIdentityLine(t *testing.T) {
 	if !strings.Contains(out, "pin identity: Σ pins 3 = rack advances 10 − macro windows 7 (grid steps crossed: 100)") {
 		t.Errorf("identity line missing or wrong:\n%s", out)
 	}
-	if !strings.Contains(out, "arrival") || !strings.Contains(out, "backlog") {
-		t.Errorf("nonzero pin rows missing:\n%s", out)
-	}
-	if strings.Contains(out, "  trip-guard") {
-		t.Errorf("zero pin reason should not be listed in the breakdown:\n%s", out)
+	// The full taxonomy prints in fixed order, zero counts included, so
+	// two runs diff line-by-line.
+	prev := -1
+	for _, name := range sched.PinReasonNames() {
+		idx := strings.Index(out, "  "+name+" ")
+		if idx < 0 {
+			t.Errorf("pin reason %q missing from breakdown:\n%s", name, out)
+			continue
+		}
+		if idx < prev {
+			t.Errorf("pin reason %q out of order:\n%s", name, out)
+		}
+		prev = idx
 	}
 	if !strings.Contains(out, "kernel.steps.total 10") {
 		t.Errorf("sorted dump missing:\n%s", out)

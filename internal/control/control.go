@@ -12,6 +12,17 @@
 // Controllers are pure decision functions driven by Observations; a Runner
 // in internal/experiments wires them to the simulated server. This keeps
 // every policy unit-testable without a server.
+//
+// All three shipped controllers also implement HorizonPromiser, the
+// opt-in contract the event-driven kernel (internal/sched) builds macro
+// windows from. BangBang — reactive, so it can never promise quiet from
+// its inputs alone — promises its own decision cadence (ticks strictly
+// before the next due instant are non-mutating no-ops) and additionally
+// implements BandPromiser: it publishes the temperature band [TLow,
+// THigh] inside which a due decision provably changes nothing, and the
+// kernel extends the promise across every future decision instant whose
+// predicted observation stays inside the band (server.BandDecisionHorizon
+// does the thermal forecasting).
 package control
 
 import (
@@ -61,9 +72,15 @@ type Controller interface {
 //
 // Controllers whose decisions depend on observations that evolve between
 // scheduling events — the bang-bang policy thresholds on die temperature,
-// which moves every step — cannot make this promise and must NOT implement
-// the interface; the kernel then pins itself to one Tick per fixed-dt step,
-// which is exactly the reference semantics.
+// which moves every step — can promise at most their own decision cadence
+// through this interface alone (BangBang promises its nextDue: ticks
+// strictly before it are non-mutating no-ops under any observation). To
+// promise *past* a decision instant they additionally implement
+// BandPromiser, handing the kernel the observation band within which the
+// pending decisions would take no action; the kernel then verifies the
+// band against the predicted thermal trajectory before extending the
+// window. A controller implementing neither pins the kernel to one Tick
+// per fixed-dt step, which is exactly the reference semantics.
 //
 // One caveat is inherited from the poll-grid collapse: a promiser's
 // internal poll anchor (LUT's nextPoll) goes stale across a skipped window
@@ -71,8 +88,34 @@ type Controller interface {
 // poll at the experiments' 1 s step — every step polls in both modes and
 // the collapse is exact; with a sparser poll the first decision after a
 // hold-off may land up to one PollPeriod earlier than under fixed-dt.
+// (BangBang instead re-anchors to its own decision lattice — see the
+// catch-up in its Tick — so its skipped instants stay aligned with the
+// fixed-dt cadence whenever the lattice lands on the grid.)
 type HorizonPromiser interface {
 	QuietUntil(now float64) float64
+}
+
+// BandPromiser extends HorizonPromiser for periodic reactive controllers:
+// QuietBand, queried immediately after a Tick at time now, describes the
+// decisions the controller has already committed to pending instants. It
+// returns the time of the next decision instant, the spacing of the
+// instants after it, and the closed observation band [lo, hi] (either side
+// may be infinite) such that a decision instant observing
+// MaxCPUTemp ∈ [lo, hi] provably changes nothing — neither the commanded
+// speed nor any internal state that could alter a later decision. ok=false
+// withdraws the band (no extension past the base QuietUntil promise).
+//
+// The kernel owns the other half of the bargain: it may skip a decision
+// instant only after verifying, against the predicted thermal trajectory
+// (server.BandDecisionHorizon), that the instant's observation falls
+// inside the band with margin for sensor noise — and it must wake the
+// controller at or before the first unverified instant. Skipped in-band
+// instants are reconstructed by the controller's own lattice catch-up, so
+// the decision cadence matches fixed-dt exactly when period and offset sit
+// on the step grid (the kernel refuses band extensions otherwise).
+type BandPromiser interface {
+	HorizonPromiser
+	QuietBand(now float64) (next, period float64, lo, hi units.Celsius, ok bool)
 }
 
 // ---------------------------------------------------------------------------
@@ -165,6 +208,10 @@ type BangBang struct {
 	cfg     BangBangConfig
 	nextDue float64
 	started bool
+	// lastRPM is the speed observed by the most recent Tick — the anchor of
+	// the quiet band's clamp widening (QuietBand): at the rail, further
+	// steps in that direction clamp to no-change.
+	lastRPM units.RPM
 }
 
 // NewBangBang builds the controller, validating cfg.
@@ -179,7 +226,7 @@ func NewBangBang(cfg BangBangConfig) (*BangBang, error) {
 func (b *BangBang) Name() string { return "Bang-bang" }
 
 // Reset implements Controller.
-func (b *BangBang) Reset() { b.nextDue = 0; b.started = false }
+func (b *BangBang) Reset() { b.nextDue = 0; b.started = false; b.lastRPM = 0 }
 
 // Tick implements the five actions of Section V:
 //  1. Tmax < 60 °C → lowest speed;
@@ -192,8 +239,26 @@ func (b *BangBang) Tick(obs Observation) Decision {
 		b.started = true
 		b.nextDue = obs.Now
 	}
+	b.lastRPM = obs.CurrentRPM
 	if obs.Now < b.nextDue {
 		return Decision{Target: obs.CurrentRPM}
+	}
+	if obs.Now >= b.nextDue+b.cfg.Period {
+		// Lattice catch-up for the event kernel's band extension: under
+		// per-step ticking (dt ≤ Period) a due decision fires within one
+		// period of coming due, so this branch only runs when whole
+		// decision instants were skipped — instants the kernel verified as
+		// in-band no-actions. Replaying them advances nextDue exactly as
+		// the skipped no-action Ticks would have (the kernel only skips
+		// instants sitting on the step grid, where fixed-dt decides at the
+		// due times themselves), and if the wake lands *between* lattice
+		// points the decision is not yet due again.
+		for b.nextDue < obs.Now {
+			b.nextDue += b.cfg.Period
+		}
+		if obs.Now < b.nextDue {
+			return Decision{Target: obs.CurrentRPM}
+		}
 	}
 	b.nextDue = obs.Now + b.cfg.Period
 
@@ -211,6 +276,39 @@ func (b *BangBang) Tick(obs Observation) Decision {
 	}
 	target = units.ClampRPM(target, b.cfg.MinRPM, b.cfg.MaxRPM)
 	return Decision{Target: target, Changed: target != cur}
+}
+
+// QuietUntil implements HorizonPromiser with the controller's own decision
+// cadence: a Tick strictly before nextDue returns the commanded speed
+// unchanged and mutates nothing, under any observation — so the promise is
+// sound regardless of how the die temperature moves meanwhile.
+func (b *BangBang) QuietUntil(now float64) float64 {
+	if !b.started || b.nextDue <= now {
+		return now
+	}
+	return b.nextDue
+}
+
+// QuietBand implements BandPromiser: pending decision instants sit at
+// nextDue + j·Period, and an instant observing MaxCPUTemp ∈ [lo, hi] takes
+// no action. The base band is [TLow, THigh] (the strict-inequality
+// no-action case 3 of Section V); at a rail it widens to infinity on the
+// clamped side — at MinRPM both "minimum speed" and "step down" commands
+// clamp to the current speed, and symmetrically at MaxRPM — since the
+// thresholds are strictly ordered, so the panic and floor actions are
+// subsumed by their clamps.
+func (b *BangBang) QuietBand(now float64) (next, period float64, lo, hi units.Celsius, ok bool) {
+	if !b.started || b.nextDue <= now {
+		return 0, 0, 0, 0, false
+	}
+	lo, hi = b.cfg.TLow, b.cfg.THigh
+	if b.lastRPM <= b.cfg.MinRPM {
+		lo = units.Celsius(math.Inf(-1))
+	}
+	if b.lastRPM >= b.cfg.MaxRPM {
+		hi = units.Celsius(math.Inf(1))
+	}
+	return b.nextDue, b.cfg.Period, lo, hi, true
 }
 
 // ---------------------------------------------------------------------------

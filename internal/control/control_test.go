@@ -256,3 +256,25 @@ func TestLUTReset(t *testing.T) {
 		t.Fatal("reset did not clear hold-off")
 	}
 }
+
+// TestDefaultBangBangSectionVGolden pins the paper's Section V reactive
+// policy verbatim: these numbers are the published experiment's contract —
+// the quiet-band promise ([TLow, THigh] on a 10 s cadence) and every
+// threshold-crossing test above are calibrated against them, so a drift
+// here silently re-tunes the whole evaluation.
+func TestDefaultBangBangSectionVGolden(t *testing.T) {
+	got := DefaultBangBang()
+	want := BangBangConfig{
+		Period:    10,
+		TLowFloor: 60,
+		TLow:      65,
+		THigh:     75,
+		TPanic:    80,
+		StepRPM:   600,
+		MinRPM:    1800,
+		MaxRPM:    4200,
+	}
+	if got != want {
+		t.Fatalf("DefaultBangBang drifted from Section V:\ngot  %+v\nwant %+v", got, want)
+	}
+}

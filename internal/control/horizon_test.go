@@ -96,16 +96,107 @@ func TestDefaultQuietUntil(t *testing.T) {
 	}
 }
 
-// TestBangBangDoesNotPromise pins the negative contract: the reactive
-// controller thresholds on a continuously evolving temperature and must
-// not advertise a horizon.
-func TestBangBangDoesNotPromise(t *testing.T) {
+// TestBangBangQuietUntil pins the base promise: ticks strictly before the
+// next due decision are non-mutating no-ops under any observation, so
+// BangBang may always promise its own decision cadence — and nothing
+// before the first tick.
+func TestBangBangQuietUntil(t *testing.T) {
 	b, err := NewBangBang(DefaultBangBang())
 	if err != nil {
 		t.Fatal(err)
 	}
 	var c Controller = b
-	if _, ok := c.(HorizonPromiser); ok {
-		t.Fatal("BangBang must not implement HorizonPromiser")
+	if _, ok := c.(HorizonPromiser); !ok {
+		t.Fatal("BangBang must implement HorizonPromiser")
+	}
+	if _, ok := c.(BandPromiser); !ok {
+		t.Fatal("BangBang must implement BandPromiser")
+	}
+	if q := b.QuietUntil(0); q != 0 {
+		t.Fatalf("unstarted BangBang must promise nothing, got %g", q)
+	}
+	// First tick decides immediately and opens one period of quiet.
+	b.Tick(Observation{Now: 0, MaxCPUTemp: 70, CurrentRPM: 3000})
+	if q := b.QuietUntil(0); q != 10 {
+		t.Fatalf("promise after a decision must be the next due time, got %g", q)
+	}
+	// Mid-period ticks are no-ops regardless of temperature and must not
+	// move the promise.
+	if dec := b.Tick(Observation{Now: 4, MaxCPUTemp: 99, CurrentRPM: 3000}); dec.Changed {
+		t.Fatal("mid-period tick must not act")
+	}
+	if q := b.QuietUntil(4); q != 10 {
+		t.Fatalf("mid-period promise must stay 10, got %g", q)
+	}
+	// A stale promise collapses to now.
+	if q := b.QuietUntil(10); q != 10 {
+		t.Fatalf("promise at the due instant must be now, got %g", q)
+	}
+	b.Reset()
+	if q := b.QuietUntil(5); q != 5 {
+		t.Fatalf("reset controller must promise nothing, got %g", q)
+	}
+}
+
+// TestBangBangQuietBand: the no-action band is [TLow, THigh], widening to
+// infinity on a clamped side at the RPM rails, and is withdrawn when no
+// decision is pending.
+func TestBangBangQuietBand(t *testing.T) {
+	cfg := DefaultBangBang()
+	b, err := NewBangBang(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, _, ok := b.QuietBand(0); ok {
+		t.Fatal("unstarted BangBang must withdraw the band")
+	}
+	b.Tick(Observation{Now: 0, MaxCPUTemp: 70, CurrentRPM: 3000})
+	next, period, lo, hi, ok := b.QuietBand(0)
+	if !ok || next != 10 || period != cfg.Period {
+		t.Fatalf("band lattice wrong: next=%g period=%g ok=%v", next, period, ok)
+	}
+	if lo != cfg.TLow || hi != cfg.THigh {
+		t.Fatalf("mid-range band must be [TLow, THigh], got [%v, %v]", lo, hi)
+	}
+	if _, _, _, _, ok := b.QuietBand(10); ok {
+		t.Fatal("band at the due instant must be withdrawn")
+	}
+	// At the min rail every cooling-side action clamps to no-change.
+	b.Tick(Observation{Now: 10, MaxCPUTemp: 70, CurrentRPM: cfg.MinRPM})
+	_, _, lo, hi, ok = b.QuietBand(10)
+	if !ok || !math.IsInf(float64(lo), -1) || hi != cfg.THigh {
+		t.Fatalf("min-rail band must be (-Inf, THigh], got [%v, %v] ok=%v", lo, hi, ok)
+	}
+	// And at the max rail every heating-side action clamps to no-change.
+	b.Tick(Observation{Now: 20, MaxCPUTemp: 70, CurrentRPM: cfg.MaxRPM})
+	_, _, lo, hi, ok = b.QuietBand(20)
+	if !ok || lo != cfg.TLow || !math.IsInf(float64(hi), 1) {
+		t.Fatalf("max-rail band must be [TLow, +Inf), got [%v, %v] ok=%v", lo, hi, ok)
+	}
+}
+
+// TestBangBangLatticeCatchUp: after skipped in-band decision instants the
+// controller re-anchors to its own lattice — a wake between instants is
+// not yet due, a wake on an instant decides there, and the cadence stays
+// aligned with the fixed-dt reference.
+func TestBangBangLatticeCatchUp(t *testing.T) {
+	b, err := NewBangBang(DefaultBangBang())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Tick(Observation{Now: 0, MaxCPUTemp: 70, CurrentRPM: 3000}) // nextDue = 10
+	// Instants 10, 20 skipped; wake at 23 is between lattice points.
+	if dec := b.Tick(Observation{Now: 23, MaxCPUTemp: 99, CurrentRPM: 3000}); dec.Changed {
+		t.Fatal("off-lattice wake must not act")
+	}
+	if q := b.QuietUntil(23); q != 30 {
+		t.Fatalf("catch-up must land on the lattice: want 30, got %g", q)
+	}
+	// The reconstructed instant then decides normally.
+	if dec := b.Tick(Observation{Now: 30, MaxCPUTemp: 80, CurrentRPM: 3000}); !dec.Changed || dec.Target != 3600 {
+		t.Fatalf("lattice instant must step up, got %+v", dec)
+	}
+	if q := b.QuietUntil(30); q != 40 {
+		t.Fatalf("promise after the lattice decision must be 40, got %g", q)
 	}
 }

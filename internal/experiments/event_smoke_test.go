@@ -7,16 +7,14 @@ import (
 	"repro/internal/server"
 )
 
-// TestEventSteppingSmoke is the CI gate for the event-driven kernel on the
-// real experiment: the default RackPolicyComparison Poisson trace, fixed-dt
-// vs event-driven. It logs the macro-vs-fixed step counts and the speedup
-// factor per policy and fails if event stepping cannot collapse the
-// default trace at least 5× — the regression bar for the kernel — or if
-// any headline metric drifts past the macro-stepping tolerance.
-func TestEventSteppingSmoke(t *testing.T) {
+// compareKernels runs RackPolicyComparison on both kernels and checks the
+// per-row equivalence contract: identical scheduling outcomes, energies
+// within the macro-stepping tolerance, identical fan-change counts. It
+// returns the per-policy speedup factors keyed by policy name plus the
+// aggregate fixed/event step totals.
+func compareKernels(t *testing.T, ev RackEval) (rows []RackPolicyResult, speedups map[string]float64, fixedSteps, eventSteps int) {
+	t.Helper()
 	base := server.T3Config()
-	ev := DefaultRackEval()
-
 	fixedRows, err := RackPolicyComparison(base, ev)
 	if err != nil {
 		t.Fatal(err)
@@ -29,7 +27,7 @@ func TestEventSteppingSmoke(t *testing.T) {
 	if len(fixedRows) != len(eventRows) {
 		t.Fatalf("row count mismatch: %d vs %d", len(fixedRows), len(eventRows))
 	}
-	var fixedSteps, eventSteps int
+	speedups = make(map[string]float64, len(fixedRows))
 	for i, f := range fixedRows {
 		e := eventRows[i]
 		if f.Policy != e.Policy {
@@ -37,10 +35,10 @@ func TestEventSteppingSmoke(t *testing.T) {
 		}
 		fixedSteps += f.Sched.RackSteps
 		eventSteps += e.Sched.RackSteps
+		speedups[f.Policy] = float64(f.Sched.RackSteps) / float64(e.Sched.RackSteps)
 		t.Logf("%-14s rack steps %d → %d (%.1f×), Wh %.3f → %.3f",
 			f.Policy, f.Sched.RackSteps, e.Sched.RackSteps,
-			float64(f.Sched.RackSteps)/float64(e.Sched.RackSteps),
-			f.TotalWh(), e.TotalWh())
+			speedups[f.Policy], f.TotalWh(), e.TotalWh())
 
 		// Identical scheduling outcomes.
 		fs, es := f.Sched, e.Sched
@@ -73,12 +71,56 @@ func TestEventSteppingSmoke(t *testing.T) {
 			t.Errorf("%s: MaxCPUTempC off by %g °C", f.Policy, d)
 		}
 	}
-	speedup := float64(fixedSteps) / float64(eventSteps)
-	t.Logf("default trace: %d fixed rack steps vs %d event rack steps — %.1f× fewer", fixedSteps, eventSteps, speedup)
-	if eventSteps >= fixedSteps {
-		t.Fatalf("event stepping took %d rack steps, fixed-dt %d: no collapse at all", eventSteps, fixedSteps)
-	}
-	if speedup < 5 {
-		t.Fatalf("event stepping collapsed the default trace only %.1f×, want ≥5×", speedup)
-	}
+	return fixedRows, speedups, fixedSteps, eventSteps
+}
+
+// TestEventSteppingSmoke is the CI gate for the event-driven kernel on the
+// real experiment: the RackPolicyComparison Poisson trace, fixed-dt vs
+// event-driven, on the default (drained-queue) shape and on a saturated
+// variant whose backlog never empties. It logs the macro-vs-fixed step
+// counts and the speedup factor per policy and fails if event stepping
+// cannot collapse the default trace at least 5× in aggregate — or, since
+// PR 8's load-only refusal un-pin, the saturated trace at least 5× on the
+// load-only policies — or if any headline metric drifts past the
+// macro-stepping tolerance.
+func TestEventSteppingSmoke(t *testing.T) {
+	t.Run("default", func(t *testing.T) {
+		_, _, fixedSteps, eventSteps := compareKernels(t, DefaultRackEval())
+		speedup := float64(fixedSteps) / float64(eventSteps)
+		t.Logf("default trace: %d fixed rack steps vs %d event rack steps — %.1f× fewer", fixedSteps, eventSteps, speedup)
+		if eventSteps >= fixedSteps {
+			t.Fatalf("event stepping took %d rack steps, fixed-dt %d: no collapse at all", eventSteps, fixedSteps)
+		}
+		if speedup < 5 {
+			t.Fatalf("event stepping collapsed the default trace only %.1f×, want ≥5×", speedup)
+		}
+	})
+	t.Run("saturated", func(t *testing.T) {
+		ev := DefaultRackEval()
+		// 4× the default offered load ≈ 1.2× rack capacity: the backlog
+		// never drains, while arrivals stay sparse enough that an
+		// O(#events) kernel still has a collapse to show (at much higher
+		// rates the arrival events themselves dominate the step count).
+		ev.Rate *= 4
+		rows, speedups, fixedSteps, eventSteps := compareKernels(t, ev)
+		t.Logf("saturated trace: %d fixed rack steps vs %d event rack steps", fixedSteps, eventSteps)
+		for _, r := range rows {
+			if r.Sched.MaxQueueLen < 4 {
+				t.Fatalf("%s: max queue %d — the trace is not saturated and the gate below is vacuous",
+					r.Policy, r.Sched.MaxQueueLen)
+			}
+		}
+		// Load-only refusers macro-step completion-to-completion even with
+		// jobs queued; the thermally-informed policies keep the backlog pin
+		// (exactness first), so only the load-only rows carry the gate.
+		for _, policy := range []string{"round-robin", "least-utilized"} {
+			s, ok := speedups[policy]
+			if !ok {
+				t.Fatalf("policy %q missing from comparison rows", policy)
+			}
+			if s < 5 {
+				t.Errorf("%s: saturated trace collapsed only %.1f×, want ≥5× from the load-only un-pin", policy, s)
+			}
+		}
+	})
 }

@@ -68,6 +68,30 @@ type RackEval struct {
 	// false is the bit-exact fixed-dt reference path.
 	EventStepping bool
 
+	// Backfill enables the dispatcher's FIFO backfill pass in every run
+	// (sched.TraceConfig.Backfill): jobs queued behind a blocked head may
+	// place on servers the policy accepts, under the same cap admission the
+	// head failed. false — the default — keeps strict FIFO, bit-identical
+	// to the pre-backfill experiment.
+	Backfill bool
+
+	// FanControl selects the per-server fan controller: "" or "lut" (the
+	// default) builds the paper's utilization-indexed LUT controller per
+	// slot; "bang" runs the reactive Section V bang-bang policy instead.
+	// The LUT grid is still built either way — the table-driven placement
+	// policies consume it regardless of who drives the fans.
+	FanControl string
+
+	// Policy, when non-empty, restricts RackPolicyComparison and
+	// RackACComparison to the single named placement policy (a
+	// sched.Policy.Name(), e.g. "round-robin"). The shared Metrics
+	// registry aggregates every run it instruments, so a full comparison
+	// mixes macro-stepping and deliberately conservative policies in one
+	// pin-reason dump; filtering to one policy makes the per-trace pin
+	// shares readable. "" — the default — runs the full set. The facility
+	// and fault experiments build their own policy cells and ignore it.
+	Policy string
+
 	// ReliabilitySampleEvery, in seconds, turns on the racks' per-server
 	// reliability roll-up (rack.Config.ReliabilitySampleEvery). 0 — the
 	// default — keeps sampling off and every metric bit-identical to the
@@ -135,14 +159,27 @@ func RackServerConfigs(base server.Config, n int) []server.Config {
 func rackFor(cfgs []server.Config, tables []*lut.Table, ev RackEval, fac *cooling.Facility) (*rack.Rack, error) {
 	specs := make([]rack.ServerSpec, len(cfgs))
 	for i, cfg := range cfgs {
-		lc, err := control.NewLUT(tables[i], control.DefaultLUT())
-		if err != nil {
-			return nil, err
+		var ctl control.Controller
+		switch ev.FanControl {
+		case "", "lut":
+			lc, err := control.NewLUT(tables[i], control.DefaultLUT())
+			if err != nil {
+				return nil, err
+			}
+			ctl = lc
+		case "bang", "bangbang":
+			bb, err := control.NewBangBang(control.DefaultBangBang())
+			if err != nil {
+				return nil, err
+			}
+			ctl = bb
+		default:
+			return nil, fmt.Errorf("experiments: unknown fan control %q (want lut or bang)", ev.FanControl)
 		}
 		specs[i] = rack.ServerSpec{
 			Name:       fmt.Sprintf("srv%02d-amb%g", i, float64(cfg.Ambient)),
 			Config:     cfg,
-			Controller: lc,
+			Controller: ctl,
 		}
 	}
 	return rack.New(rack.Config{
@@ -238,6 +275,20 @@ func prepareRackEval(base server.Config, ev RackEval) (*rackSetup, error) {
 	policies, err := RackPolicies(cfgs, tables, psus)
 	if err != nil {
 		return nil, err
+	}
+	if ev.Policy != "" {
+		var kept []sched.Policy
+		names := make([]string, len(policies))
+		for i, p := range policies {
+			names[i] = p.Name()
+			if names[i] == ev.Policy {
+				kept = append(kept, p)
+			}
+		}
+		if len(kept) == 0 {
+			return nil, fmt.Errorf("experiments: unknown policy %q (want one of %v)", ev.Policy, names)
+		}
+		policies = kept
 	}
 	specs, err := loadgen.PoissonTrace(loadgen.PoissonTraceConfig{
 		Seed:         ev.TraceSeed,
@@ -339,7 +390,7 @@ func (s *rackSetup) runRackPolicy(p sched.Policy, ev RackEval, capW float64) (Ra
 	r.ResetAccounting()
 	sres, err := sched.RunTraceCfg(r, s.jobs, p, sched.TraceConfig{
 		Dt: ev.Dt, Horizon: ev.Horizon, WallCapW: capW, EventStepping: ev.EventStepping,
-		Metrics: ev.Metrics,
+		Backfill: ev.Backfill, Metrics: ev.Metrics,
 	})
 	if err != nil {
 		return RackPolicyResult{}, err

@@ -143,3 +143,40 @@ func TestRackEvalValidation(t *testing.T) {
 		t.Fatal("empty demand levels must be rejected")
 	}
 }
+
+// TestRackPolicyFilter pins the RackEval.Policy contract: a named policy
+// shrinks the comparison to exactly that row — identical to the same row
+// of the unfiltered run, since the shared LUT grid and job trace don't
+// depend on which policies consume them — and an unknown name is a
+// configuration error, not an empty table.
+func TestRackPolicyFilter(t *testing.T) {
+	base := server.T3Config()
+	ev := DefaultRackEval()
+	ev.Servers = 4
+	ev.Horizon = 900
+	ev.Stabilize = 60
+
+	full, err := RackPolicyComparison(base, ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev.Policy = "least-utilized"
+	one, err := RackPolicyComparison(base, ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one) != 1 {
+		t.Fatalf("filtered comparison returned %d rows, want 1", len(one))
+	}
+	if !reflect.DeepEqual(one[0], rackRow(t, full, "least-utilized")) {
+		t.Fatalf("filtered row differs from the unfiltered run:\nfiltered:   %+v\nunfiltered: %+v",
+			one[0], rackRow(t, full, "least-utilized"))
+	}
+
+	ev.Policy = "no-such-policy"
+	if _, err := RackPolicyComparison(base, ev); err == nil {
+		t.Fatal("unknown policy name must be rejected")
+	} else if !strings.Contains(err.Error(), "round-robin") {
+		t.Fatalf("error should list the valid names, got: %v", err)
+	}
+}

@@ -2,6 +2,7 @@ package fault
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -103,6 +104,13 @@ func (e Event) Windowed() bool { return e.Clear > e.At }
 func (e Event) Validate(nServers, nFans int) error {
 	if _, ok := kindNames[e.Kind]; !ok {
 		return fmt.Errorf("fault: unknown kind %d", int(e.Kind))
+	}
+	for _, v := range []float64{e.At, e.Clear, e.Severity} {
+		// NaN and ±Inf would pass every ordered comparison below and then
+		// poison the grid-step pinning; reject them up front.
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("fault: %s: non-finite time/severity %g", e.Kind, v)
+		}
 	}
 	if e.At < 0 {
 		return fmt.Errorf("fault: %s at %g: inject time must be >= 0", e.Kind, e.At)

@@ -1,0 +1,75 @@
+package loadgen
+
+import (
+	"testing"
+
+	"repro/internal/units"
+)
+
+// FuzzPoissonTrace drives the trace synthesizer with arbitrary
+// configurations and checks the contract both ways: invalid configs must
+// be rejected by Validate (never hang or panic the generator), and every
+// accepted config must yield a trace that is sorted, inside the horizon,
+// positive-duration, demand-closed and seed-deterministic. The seed corpus
+// under testdata/fuzz pins the shipped experiment shapes plus the
+// non-finite edge cases the validator hardening exists for; CI runs a
+// short -fuzz smoke on top.
+func FuzzPoissonTrace(f *testing.F) {
+	f.Add(int64(42), 3600.0, 0.02, 300.0, 2, 20.0, 60.0) // the rack experiment shape
+	f.Add(int64(1), 900.0, 0.5, 60.0, 1, 40.0, 0.0)      // single demand level
+	f.Add(int64(7), 1200.0, 0.01, 240.0, 0, 20.0, 40.0)  // no demands: must be rejected
+	f.Add(int64(9), -1.0, 0.02, 300.0, 2, 20.0, 60.0)    // negative horizon
+	f.Add(int64(3), 3600.0, 0.02, 300.0, 2, 150.0, 60.0) // demand out of range
+	f.Fuzz(func(t *testing.T, seed int64, horizon, rate, meanDur float64, nDemands int, d0, d1 float64) {
+		cfg := PoissonTraceConfig{Seed: seed, Horizon: horizon, Rate: rate, MeanDuration: meanDur}
+		switch {
+		case nDemands <= 0:
+		case nDemands == 1:
+			cfg.Demands = []units.Percent{units.Percent(d0)}
+		default:
+			cfg.Demands = []units.Percent{units.Percent(d0), units.Percent(d1)}
+		}
+		if cfg.Validate() == nil && rate*horizon > 2e5 {
+			return // valid but enormous: don't OOM the fuzzer on job count
+		}
+		jobs, err := PoissonTrace(cfg)
+		if verr := cfg.Validate(); (verr == nil) != (err == nil) {
+			t.Fatalf("Validate (%v) and PoissonTrace (%v) disagree for %+v", verr, err, cfg)
+		}
+		if err != nil {
+			return
+		}
+		inSet := func(d units.Percent) bool {
+			for _, want := range cfg.Demands {
+				if d == want {
+					return true
+				}
+			}
+			return false
+		}
+		for i, j := range jobs {
+			if !(j.Arrival >= 0 && j.Arrival < cfg.Horizon) {
+				t.Fatalf("job %d arrival %g outside [0, %g)", i, j.Arrival, cfg.Horizon)
+			}
+			if i > 0 && j.Arrival < jobs[i-1].Arrival {
+				t.Fatalf("job %d arrival %g before predecessor %g", i, j.Arrival, jobs[i-1].Arrival)
+			}
+			if !(j.Duration > 0) {
+				t.Fatalf("job %d non-positive duration %g", i, j.Duration)
+			}
+			if !inSet(j.Demand) {
+				t.Fatalf("job %d demand %v not drawn from %v", i, j.Demand, cfg.Demands)
+			}
+		}
+		// Same seed, same trace: the determinism the golden tables rest on.
+		again, err := PoissonTrace(cfg)
+		if err != nil || len(again) != len(jobs) {
+			t.Fatalf("replay differs: %d jobs then %d (err %v)", len(jobs), len(again), err)
+		}
+		for i := range jobs {
+			if jobs[i] != again[i] {
+				t.Fatalf("replay differs at job %d: %+v vs %+v", i, jobs[i], again[i])
+			}
+		}
+	})
+}

@@ -2,6 +2,7 @@ package loadgen
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/randx"
 	"repro/internal/units"
@@ -26,16 +27,21 @@ type PoissonTraceConfig struct {
 	Demands      []units.Percent // per-job demand, drawn uniformly
 }
 
-// Validate reports configuration errors.
+// Validate reports configuration errors. Non-finite parameters are
+// rejected explicitly: an infinite rate would stall the arrival loop at
+// zero inter-arrival gaps, and a NaN would slip through any ordered
+// comparison below.
 func (c PoissonTraceConfig) Validate() error {
-	if c.Horizon <= 0 || c.Rate <= 0 || c.MeanDuration <= 0 {
-		return fmt.Errorf("loadgen: poisson trace needs positive horizon/rate/duration, got %+v", c)
+	for _, v := range []float64{c.Horizon, c.Rate, c.MeanDuration} {
+		if !(v > 0) || math.IsInf(v, 1) {
+			return fmt.Errorf("loadgen: poisson trace needs positive finite horizon/rate/duration, got %+v", c)
+		}
 	}
 	if len(c.Demands) == 0 {
 		return fmt.Errorf("loadgen: poisson trace needs at least one demand level")
 	}
 	for _, d := range c.Demands {
-		if d <= 0 || d > 100 {
+		if !(d > 0) || d > 100 {
 			return fmt.Errorf("loadgen: demand %v outside (0,100]", d)
 		}
 	}

@@ -457,6 +457,13 @@ const (
 // QuietHorizonCause is QuietHorizon plus the cause of the bound. The scan
 // is serial in slot index order, so the attributed cause — like the
 // horizon itself — is identical for every worker count.
+//
+// A slot whose controller additionally implements control.BandPromiser —
+// the reactive bang-bang policy — can push its promise past its own next
+// decision instant: the rack verifies the controller's no-action band
+// against the slot's predicted die-temperature trajectory
+// (server.BandDecisionHorizon) and extends the horizon over every decision
+// instant proven to stay in-band.
 func (r *Rack) QuietHorizonCause(now, dt float64) (float64, QuietCause) {
 	h := math.Inf(1)
 	cause := QuietUnbounded
@@ -469,14 +476,58 @@ func (r *Rack) QuietHorizonCause(now, dt float64) (float64, QuietCause) {
 			return now + dt, QuietNoPromiser
 		}
 		if q := hp.QuietUntil(now); q < h {
-			h = q
-			cause = QuietPromise
+			if bp, isBand := st.ctrl.(control.BandPromiser); isBand && q > now {
+				q = bandQuiet(st, bp, now, dt, q)
+			}
+			if q < h {
+				h = q
+				cause = QuietPromise
+			}
 		}
 		if h <= now+dt {
 			return now + dt, QuietPromise
 		}
 	}
 	return h, cause
+}
+
+// quietBandMaxChecks bounds the decision instants one band extension may
+// verify: at the bang-bang 10 s period on the 1 s grid this spans a full
+// hour-long trace, while capping the prediction work a single wake can
+// spend.
+const quietBandMaxChecks = 360
+
+// bandQuiet extends slot st's base quiet promise through its controller's
+// no-action band, returning base untouched whenever the extension is not
+// provably exact: a withdrawn band, a decision lattice that does not sit
+// on the step grid (the controller's catch-up could then diverge from the
+// fixed-dt cadence), or a trajectory the thermal prediction cannot clear.
+// With m instants verified in-band the kernel may sleep to the (m+1)-th.
+func bandQuiet(st *serverState, bp control.BandPromiser, now, dt, base float64) float64 {
+	next, period, lo, hi, ok := bp.QuietBand(now)
+	if !ok || period <= 0 || next <= now {
+		return base
+	}
+	first, ok1 := gridMultiple((next - now) / dt)
+	stride, ok2 := gridMultiple(period / dt)
+	if !ok1 || !ok2 {
+		return base
+	}
+	m := st.srv.BandDecisionHorizon(dt, first, stride, quietBandMaxChecks, lo, hi)
+	if m == 0 {
+		return base
+	}
+	return next + float64(m)*period
+}
+
+// gridMultiple reports whether x is a positive integer within 1e-9
+// relative tolerance, returning it when so.
+func gridMultiple(x float64) (int, bool) {
+	r := math.Round(x)
+	if r < 1 || math.Abs(x-r) > 1e-9*math.Max(1, math.Abs(x)) {
+		return 0, false
+	}
+	return int(r), true
 }
 
 // FansUnsettled reports whether any powered slot's fan bank is still

@@ -1,0 +1,86 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/control"
+	"repro/internal/obs"
+	"repro/internal/rack"
+	"repro/internal/server"
+	"repro/internal/units"
+)
+
+// bangRack builds a rack of bang-bang-controlled servers with sensor noise
+// off: the promiser's 6σ noise allowance then vanishes and the two kernels
+// read identical temperatures at every shared instant, making the
+// equivalence exact rather than tolerance-based. (The shipped configs keep
+// noise on; there the event kernel's skipped ticks shift the noise-draw
+// phase and only the evalctl pin-share acceptance applies.)
+func bangRack(t testing.TB, servers, workers int) *rack.Rack {
+	t.Helper()
+	specs := make([]rack.ServerSpec, servers)
+	for i := range specs {
+		cfg := server.T3Config()
+		cfg.Ambient = units.Celsius(21 + 3*(i%4))
+		cfg.TempNoise = 0
+		if i%2 == 1 {
+			cfg.Mem.NumDIMMs = 24
+		}
+		bb, err := control.NewBangBang(control.DefaultBangBang())
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs[i] = rack.ServerSpec{Config: cfg, Controller: bb}
+	}
+	r, err := rack.New(rack.Config{Servers: specs, Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestBangBangEventMatchesFixed: the tentpole's controller half end to
+// end. Bang-bang promises its decision cadence and the band extension
+// stretches it further, so a rack that PR 7 pinned to fixed-dt
+// (kernel.pin.no-promise on every step) now collapses ≥3× with identical
+// scheduling, fan-change and energy outcomes.
+func TestBangBangEventMatchesFixed(t *testing.T) {
+	rng := rand.New(rand.NewSource(808))
+	jobs := randomTrace(t, rng, 1800, 3, 0.3)
+	build := func() *rack.Rack { return bangRack(t, 3, 1) }
+	cfg := TraceConfig{Dt: 1, Horizon: 1800}
+	fixed, event, ftel, etel := runBoth(t, build, jobs, func() Policy { return NewRoundRobin() }, cfg)
+	assertEquivalent(t, "bangbang", fixed, event, ftel, etel)
+	if ftel.FanChanges == 0 {
+		t.Fatal("trace never moved the fans; the fan-change equivalence is vacuous")
+	}
+	if event.RackSteps*3 > fixed.RackSteps {
+		t.Errorf("bang-bang rack should collapse ≥3×, got %d→%d rack steps", fixed.RackSteps, event.RackSteps)
+	}
+}
+
+// TestBangBangNoPromisePinRetired: with the promiser in place the
+// no-promise pin must vanish entirely on an all-bang-bang rack — wakes at
+// the decision cadence are charged to the controller reason instead.
+func TestBangBangNoPromisePinRetired(t *testing.T) {
+	rng := rand.New(rand.NewSource(809))
+	jobs := randomTrace(t, rng, 1200, 2, 0.3)
+	r := bangRack(t, 2, 1)
+	reg := obs.NewRegistry()
+	res, err := RunTraceCfg(r, jobs, NewRoundRobin(), TraceConfig{
+		Dt: 1, Horizon: 1200, EventStepping: true, Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := reg.Counter("kernel.pin.no-promise").Value(); v != 0 {
+		t.Errorf("kernel.pin.no-promise must be retired on a bang-bang rack, got %d", v)
+	}
+	if v := reg.Counter("kernel.windows.macro").Value(); v == 0 {
+		t.Error("a promising bang-bang rack must open macro windows")
+	}
+	if res.RackSteps*2 > 1200 {
+		t.Errorf("event kernel took %d of 1200 steps — the cadence promise alone should at least halve it", res.RackSteps)
+	}
+}

@@ -71,11 +71,41 @@
 // horizon/dt — ~27× fewer rack advances on the default Poisson trace.
 //
 // Fixed-dt remains mandatory — the kernel pins itself to single-step
-// windows — whenever the backlog is non-empty (head retries observe
-// evolving temperatures), while any fan controller cannot promise a quiet
-// horizon (reactive, temperature-thresholding controllers like BangBang
-// never can), while fans are slewing, or near the thermal-trip threshold.
-// EventStepping=false (the default) is the bit-exact reference path.
+// windows — while any fan controller cannot promise a quiet horizon
+// (control.HorizonPromiser), while fans are slewing, or near the
+// thermal-trip threshold. A non-empty backlog pins the kernel too, with
+// one carve-out: when the policy declares its refusals load-only
+// (LoadOnlyRefuser — refusing depends only on what placements would
+// observe, and placements only change at arrivals and completions) and no
+// wall cap is set (cap admission watches evolving fan/leak transients),
+// the head retry is provably futile between events and the kernel
+// macro-steps completion-to-completion over the blocked head. Round-robin
+// and least-utilized opt in; the thermally-informed policies stay
+// conservative and keep the pin. Reactive temperature-thresholding
+// controllers are no longer an automatic pin either: BangBang promises
+// its own decision cadence (ticks strictly before the next due instant
+// are non-mutating no-ops), and its control.BandPromiser band lets the
+// kernel extend that promise across every future decision instant whose
+// predicted observation provably stays inside [TLow, THigh]
+// (server.BandDecisionHorizon). EventStepping=false (the default) is the
+// bit-exact reference path.
+//
+// # FIFO backfill
+//
+// TraceConfig.Backfill relaxes strict FIFO when the queue head blocks:
+// the remaining queued jobs are tried once each, in arrival order,
+// against the same invalid/overload/health checks and the same pendingDC
+// cap admission the head failed, and placed where accepted
+// (Result.Backfills counts them; sched.backfills mirrors it). The head
+// keeps strict priority — backfilled placements only consume capacity,
+// which can never un-refuse the head, because refusal is monotone in load
+// for every shipped policy — but arrival fairness weakens to
+// head-priority-only: under sustained overload a small job behind a large
+// blocked head may run first indefinitely often. Cap-blocked backfill
+// candidates are skipped without charging a Deferral (that meter stays
+// head-only). Backfill decisions happen at the same decision steps as
+// head retries, so the load-only macro carve-out above applies unchanged
+// and both kernels agree job for job.
 //
 // # Faults and graceful degradation
 //

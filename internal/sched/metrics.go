@@ -84,6 +84,7 @@ type runMetrics struct {
 
 	submitted  *obs.Counter
 	placements *obs.Counter // placement events (a requeued job counts again)
+	backfills  *obs.Counter // placements past a blocked head (subset of placements)
 	deferrals  *obs.Counter
 	completed  *obs.Counter
 	requeued   *obs.Counter
@@ -104,6 +105,7 @@ func newRunMetrics(reg *obs.Registry) runMetrics {
 		winLen:     reg.Histogram("kernel.window.len", windowLenBounds()),
 		submitted:  reg.Counter("sched.jobs.submitted"),
 		placements: reg.Counter("sched.placements"),
+		backfills:  reg.Counter("sched.backfills"),
 		deferrals:  reg.Counter("sched.deferrals"),
 		completed:  reg.Counter("sched.jobs.completed"),
 		requeued:   reg.Counter("sched.kills.requeued"),

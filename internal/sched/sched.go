@@ -69,6 +69,36 @@ type Policy interface {
 // all six fault-aware at once.
 func fits(v ServerView, j Job) bool { return v.Health == rack.Healthy && v.Free >= j.Demand }
 
+// LoadOnlyRefuser is the opt-in Policy attribute behind the event kernel's
+// backlog un-pin: a policy returning true promises that its *refusal*
+// (Place returning -1) depends only on the views' Load/Free/Health fields
+// — never on temperatures, powers or internal clocks — and that a refused
+// Place call mutates no internal state. Loads and health change only at
+// scheduling events (completions, kills, fault edges, arrivals), which are
+// all macro-window wake bounds, so a load-only refusal observed at one
+// decision step provably holds at every skipped step until the next event:
+// the kernel may macro-step completion-to-completion over a non-empty
+// backlog instead of retrying the blocked head every dt. Refusal is
+// monotone in load for every shipped policy (refusal == no view passes
+// fits), so placements can only make a refused head more refused, never
+// less. Policies whose *choice* reads evolving telemetry (coolest-first,
+// leakage/cap/pue-aware) must stay conservative: their refusal is still
+// load-only, but opting in is deliberately limited to policies whose whole
+// decision is — the blind round-robin and least-utilized baselines — so
+// the attribute never has to reason about tie-breaks drifting between
+// kernels.
+type LoadOnlyRefuser interface {
+	RefusalIsLoadOnly() bool
+}
+
+// RefusalIsLoadOnly reports whether p opted into the load-only refusal
+// contract (see LoadOnlyRefuser); policies that do not implement the
+// interface stay conservative.
+func RefusalIsLoadOnly(p Policy) bool {
+	lr, ok := p.(LoadOnlyRefuser)
+	return ok && lr.RefusalIsLoadOnly()
+}
+
 // ---------------------------------------------------------------------------
 // Round-robin
 
@@ -84,6 +114,10 @@ func (p *RoundRobin) Name() string { return "round-robin" }
 
 // Reset implements Policy.
 func (p *RoundRobin) Reset() { p.next = 0 }
+
+// RefusalIsLoadOnly implements LoadOnlyRefuser: the rotation reads only
+// fits (load + health), and a refused Place leaves the cursor untouched.
+func (p *RoundRobin) RefusalIsLoadOnly() bool { return true }
 
 // Place implements Policy: the first server at or after the cursor with
 // enough capacity.
@@ -114,6 +148,10 @@ func (p *LeastUtilized) Name() string { return "least-utilized" }
 
 // Reset implements Policy.
 func (p *LeastUtilized) Reset() {}
+
+// RefusalIsLoadOnly implements LoadOnlyRefuser: both the refusal and the
+// choice read only Load/Free/Health, and the policy is stateless.
+func (p *LeastUtilized) RefusalIsLoadOnly() bool { return true }
 
 // Place implements Policy.
 func (p *LeastUtilized) Place(j Job, views []ServerView) int {
@@ -489,6 +527,11 @@ type Result struct {
 	Deferrals   int     // placements deferred by the wall-power cap
 	RackSteps   int     // rack advances taken: fixed-dt = horizon/dt; event mode = macro windows
 
+	// Backfills counts placements made by the FIFO backfill pass
+	// (TraceConfig.Backfill): jobs placed past a blocked queue head. Each
+	// is also counted in Placed; zero whenever backfill is off.
+	Backfills int
+
 	// Degradation outcome (zero on a fault-free run).
 	Requeued int // job kills that rejoined the backlog head (a job can count twice)
 	Lost     int // jobs abandoned under TraceConfig.DropOnFault
@@ -542,11 +585,28 @@ type TraceConfig struct {
 	// steps as the fixed-dt path, so placements, deferral counts and queue
 	// statistics are identical; energies agree to the macro-stepping drift
 	// tolerance (≤1e-6 relative, see server.Config.MacroDriftTolC). While
-	// the backlog is non-empty, or whenever some fan controller cannot
-	// promise a quiet horizon (control.HorizonPromiser), the kernel pins
-	// itself to fixed-dt stepping. false — the default — is the fixed-dt
-	// reference path, bit-identical to prior behaviour.
+	// the backlog is non-empty — unless the policy promises load-only
+	// refusals (LoadOnlyRefuser) and no wall cap is set, in which case the
+	// kernel macro-steps completion-to-completion over the blocked head —
+	// or whenever some fan controller cannot promise a quiet horizon
+	// (control.HorizonPromiser), the kernel pins itself to fixed-dt
+	// stepping. false — the default — is the fixed-dt reference path,
+	// bit-identical to prior behaviour.
 	EventStepping bool
+
+	// Backfill enables a FIFO backfill pass whenever the queue head blocks
+	// (policy refusal or cap deferral): the remaining queued jobs are tried
+	// once each, in arrival order, against the same invalid/overload/health
+	// checks and the same pendingDC cap admission the head failed, and
+	// placed where accepted. The head keeps strict priority — a backfilled
+	// placement only consumes capacity, which can never un-refuse the head
+	// (refusal is monotone in load for every shipped policy) — but arrival
+	// fairness weakens from strict FIFO to head-priority-only: a small job
+	// behind a large blocked head may run first, indefinitely often under
+	// sustained overload. Cap-blocked backfill candidates are skipped
+	// without counting a Deferral (the deferral meter stays head-only).
+	// Off (the default) preserves strict FIFO and bit-identical results.
+	Backfill bool
 
 	// SampleEvery, in seconds, optionally forces an event-stepping wake at
 	// a fixed telemetry cadence, bounding how coarse the peak/maxima
@@ -652,6 +712,11 @@ func RunTraceCfg(r *rack.Rack, jobs []Job, p Policy, tc TraceConfig) (Result, er
 		start:     r.Now(),
 		steps:     int(math.Ceil(horizon/dt - 1e-9)),
 		m:         newRunMetrics(tc.Metrics),
+		// The backlog un-pin engages only when the head's block is provably
+		// invariant between events: a load-only policy refusal. A wall cap
+		// makes deferrals depend on the evolving wall draw (fan and leakage
+		// transients), so capped runs keep the conservative per-step retry.
+		backlogMacro: tc.WallCapW <= 0 && RefusalIsLoadOnly(p),
 	}
 	e.m.submitted.Add(int64(len(jobs)))
 	if !tc.Faults.Empty() {
@@ -701,6 +766,11 @@ type traceRun struct {
 	nextJob   int
 	start     float64
 	steps     int
+
+	// backlogMacro, fixed at run start, allows the event kernel to grant
+	// macro windows over a non-empty backlog (see LoadOnlyRefuser): the
+	// policy's refusals are load-only and no wall cap is set.
+	backlogMacro bool
 
 	// Pinned fault edges in application order (k ascending, clears before
 	// applies at a shared step), the cursor into them, and the sorted wake
@@ -819,60 +889,134 @@ func (e *traceRun) processStep(k int) error {
 
 	// Place from the head while the policy accepts.
 	for len(e.pending) > 0 {
-		for i := range e.views {
-			e.views[i] = ServerView{
-				Index:      i,
-				Name:       e.r.Name(i),
-				Load:       e.loads[i],
-				Free:       100 - e.loads[i],
-				MaxCPUTemp: e.r.Server(i).MaxCPUTemp(),
-				InletTemp:  e.r.Server(i).InletTemp(),
-				DCPower:    e.r.ServerDCPower(i),
-				WallPower:  e.r.ServerWallPower(i),
-				Health:     e.r.Health(i),
-			}
-		}
+		e.buildViews()
 		j := e.pending[0]
 		slot := e.p.Place(j, e.views)
 		if slot < 0 {
 			break
 		}
-		if slot >= len(e.loads) || e.loads[slot]+j.Demand > 100 {
-			return fmt.Errorf("sched: policy %s placed job %d on invalid/overloaded server %d", e.p.Name(), j.ID, slot)
+		if err := e.checkPlacement(j, slot); err != nil {
+			return err
 		}
-		if h := e.r.Health(slot); h != rack.Healthy {
-			return fmt.Errorf("sched: policy %s placed job %d on %v server %d", e.p.Name(), j.ID, h, slot)
+		if !e.admitCap(j, slot) {
+			// Deferral: the head blocks under the budget and is retried
+			// next step, after completions free power.
+			e.res.Deferrals++
+			e.m.deferrals.Inc()
+			break
 		}
-		if e.tc.WallCapW > 0 {
-			mdc := MarginalDCPower(e.r.Server(slot).Config().Power, e.loads[slot], j.Demand)
-			if slot < len(e.tc.CapMarginal) && e.tc.CapMarginal[slot] != nil {
-				// Conservative admission: charge the settled fan+leak
-				// cost up front. Clamped at zero so the conservative
-				// estimate is never below the fast one.
-				if steady, err := SteadyFanLeakMarginal(e.tc.CapMarginal[slot], e.loads[slot], j.Demand); err == nil && steady > 0 {
-					mdc += steady
-				}
-			}
-			e.pendingDC[slot] += mdc
-			if float64(e.r.WallPowerWithAll(e.pendingDC)) > e.tc.WallCapW {
-				// Deferral: the head blocks under the budget and is
-				// retried next step, after completions free power.
-				e.pendingDC[slot] -= mdc
-				e.res.Deferrals++
-				e.m.deferrals.Inc()
-				break
-			}
-		}
-		e.loads[slot] += j.Demand
-		e.running = append(e.running, active{end: now + j.Duration, slot: slot, demand: j.Demand, job: j, start: elapsed})
-		// Clamp at zero: admission rounds an arrival down to its step's
-		// tick (anticipation < dt), which is not a queueing delay.
-		if wait := elapsed - j.Arrival; wait > 0 {
-			e.totalWait += wait
-		}
-		e.res.Placed++
-		e.m.placements.Inc()
+		e.place(j, slot, now, elapsed)
 		e.pending = e.pending[1:]
+	}
+	// The head blocked (or the queue drained). One FIFO backfill pass lets
+	// later jobs place past a blocked head when enabled.
+	if e.tc.Backfill && len(e.pending) > 1 {
+		if err := e.backfill(now, elapsed); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// buildViews refreshes the policy's per-slot telemetry snapshot from the
+// current dispatcher loads and rack state — once per placement attempt, so
+// every decision sees the loads of same-step placements already committed.
+func (e *traceRun) buildViews() {
+	for i := range e.views {
+		e.views[i] = ServerView{
+			Index:      i,
+			Name:       e.r.Name(i),
+			Load:       e.loads[i],
+			Free:       100 - e.loads[i],
+			MaxCPUTemp: e.r.Server(i).MaxCPUTemp(),
+			InletTemp:  e.r.Server(i).InletTemp(),
+			DCPower:    e.r.ServerDCPower(i),
+			WallPower:  e.r.ServerWallPower(i),
+			Health:     e.r.Health(i),
+		}
+	}
+}
+
+// checkPlacement validates a policy's slot choice — out-of-range or
+// overloaded slots and unhealthy servers are hard policy bugs, for the
+// head and backfill paths alike.
+func (e *traceRun) checkPlacement(j Job, slot int) error {
+	if slot >= len(e.loads) || e.loads[slot]+j.Demand > 100 {
+		return fmt.Errorf("sched: policy %s placed job %d on invalid/overloaded server %d", e.p.Name(), j.ID, slot)
+	}
+	if h := e.r.Health(slot); h != rack.Healthy {
+		return fmt.Errorf("sched: policy %s placed job %d on %v server %d", e.p.Name(), j.ID, h, slot)
+	}
+	return nil
+}
+
+// admitCap runs the wall-cap admission for placing j on slot, charging the
+// job's DC increment into pendingDC when admitted so later same-step
+// placements see it. A false return leaves pendingDC unchanged; with no
+// cap configured every placement is admitted.
+func (e *traceRun) admitCap(j Job, slot int) bool {
+	if e.tc.WallCapW <= 0 {
+		return true
+	}
+	mdc := MarginalDCPower(e.r.Server(slot).Config().Power, e.loads[slot], j.Demand)
+	if slot < len(e.tc.CapMarginal) && e.tc.CapMarginal[slot] != nil {
+		// Conservative admission: charge the settled fan+leak cost up
+		// front. Clamped at zero so the conservative estimate is never
+		// below the fast one.
+		if steady, err := SteadyFanLeakMarginal(e.tc.CapMarginal[slot], e.loads[slot], j.Demand); err == nil && steady > 0 {
+			mdc += steady
+		}
+	}
+	e.pendingDC[slot] += mdc
+	if float64(e.r.WallPowerWithAll(e.pendingDC)) > e.tc.WallCapW {
+		e.pendingDC[slot] -= mdc
+		return false
+	}
+	return true
+}
+
+// place commits job j to slot at decision instant (now absolute, elapsed
+// trace-relative): loads, the running set, the wait meter and the
+// placement counters.
+func (e *traceRun) place(j Job, slot int, now, elapsed float64) {
+	e.loads[slot] += j.Demand
+	e.running = append(e.running, active{end: now + j.Duration, slot: slot, demand: j.Demand, job: j, start: elapsed})
+	// Clamp at zero: admission rounds an arrival down to its step's
+	// tick (anticipation < dt), which is not a queueing delay.
+	if wait := elapsed - j.Arrival; wait > 0 {
+		e.totalWait += wait
+	}
+	e.res.Placed++
+	e.m.placements.Inc()
+}
+
+// backfill is the TraceConfig.Backfill pass: every job queued behind the
+// blocked head is tried once, in arrival order, against the same
+// validation and pendingDC cap admission the head failed; accepted jobs
+// leave the queue and start immediately. Refused or cap-blocked candidates
+// are skipped — without touching the head-only Deferrals meter — and the
+// head keeps strict priority because backfilled placements only consume
+// capacity (see the field's FIFO-fairness caveat).
+func (e *traceRun) backfill(now, elapsed float64) error {
+	for idx := 1; idx < len(e.pending); {
+		e.buildViews()
+		j := e.pending[idx]
+		slot := e.p.Place(j, e.views)
+		if slot < 0 {
+			idx++
+			continue
+		}
+		if err := e.checkPlacement(j, slot); err != nil {
+			return err
+		}
+		if !e.admitCap(j, slot) {
+			idx++
+			continue
+		}
+		e.place(j, slot, now, elapsed)
+		e.res.Backfills++
+		e.m.backfills.Inc()
+		e.pending = append(e.pending[:idx], e.pending[idx+1:]...)
 	}
 	return nil
 }
@@ -913,10 +1057,13 @@ func (e *traceRun) runEvents() error {
 		now := e.start + float64(k)*e.dt
 		e.r.TickControllers(now)
 		window, reason := 1, pinBacklog
-		// A non-empty backlog pins the kernel to fixed-dt: the head is
-		// retried — against freshly evolved telemetry views — every step,
-		// exactly like the reference path.
-		if len(e.pending) == 0 {
+		// A non-empty backlog pins the kernel to fixed-dt — the head is
+		// retried, against freshly evolved telemetry views, every step,
+		// exactly like the reference path — unless the head's refusal is
+		// provably load-only (LoadOnlyRefuser, no wall cap): loads and
+		// health change only at wake events, so the refusal holds at every
+		// skipped step and the kernel macro-steps completion-to-completion.
+		if len(e.pending) == 0 || e.backlogMacro {
 			window, reason = e.window(k, now, sampleSteps)
 		}
 		e.r.Advance(e.dt, window)
@@ -935,11 +1082,16 @@ func (e *traceRun) runEvents() error {
 // controller horizon, sample grid — deterministic for every worker count
 // because every bound is computed from serial state.
 func (e *traceRun) window(k int, now float64, sampleSteps int) (int, pinReason) {
-	if len(e.actions) > 0 && e.r.TripRisk() {
+	if (len(e.actions) > 0 || len(e.pending) > 0) && e.r.TripRisk() {
 		// Fault runs pin to single steps while any live server sits inside
 		// the trip-guard band: a natural trip latching mid-window would
 		// defer its job kills to the window's end, diverging from the
-		// fixed-dt reference that observes the trip on its exact step.
+		// fixed-dt reference that observes the trip on its exact step. A
+		// backlog-crossing window (LoadOnlyRefuser) takes the same pin even
+		// on fault-free runs — a natural trip un-healths a slot, which is
+		// exactly the state a load-only refusal is conditioned on — while
+		// the empty-backlog path keeps PR 5's fault-runs-only condition
+		// bit-identically.
 		return 1, pinTripGuard
 	}
 	next, cause := e.steps, pinHorizonEnd

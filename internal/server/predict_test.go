@@ -1,0 +1,147 @@
+package server
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/units"
+)
+
+// maxSensor reads the observation-side temperature the bang-bang
+// controller would see: the max over the CPU temperature sensors.
+func maxSensor(s *Server) float64 {
+	m := math.Inf(-1)
+	for _, v := range s.CPUTempSensorsReuse() {
+		if f := float64(v); f > m {
+			m = f
+		}
+	}
+	return m
+}
+
+// TestBandDecisionHorizonSound is the promiser soundness property: every
+// decision instant the horizon vouches for must, on a fixed-dt twin,
+// observe a max CPU temperature strictly inside the promised band — the
+// instants a bang-bang controller provably skips. Random warm loads, load
+// steps, bands and lattices; noise off so the sensor readings are the die
+// trajectory itself.
+func TestBandDecisionHorizonSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(31337))
+	totalVerified := 0
+	for trial := 0; trial < 40; trial++ {
+		mutate := func(c *Config) { c.TempNoise = 0 }
+		pred, ref := macroPair(t, mutate)
+		warmLoad := units.Percent(rng.Intn(101))
+		warm := 200 + rng.Intn(400)
+		for _, s := range []*Server{pred, ref} {
+			s.SetLoad(warmLoad)
+			for k := 0; k < warm; k++ {
+				s.Step(1)
+			}
+		}
+		// A load step right before the query makes the trajectory move, so
+		// the promise has something real to bound.
+		newLoad := units.Percent(rng.Intn(101))
+		pred.SetLoad(newLoad)
+		ref.SetLoad(newLoad)
+
+		// Band around the current observation, sometimes one-sided.
+		now := maxSensor(pred)
+		lo := units.Celsius(now - 2 - 10*rng.Float64())
+		hi := units.Celsius(now + 2 + 10*rng.Float64())
+		if rng.Intn(4) == 0 {
+			lo = units.Celsius(math.Inf(-1))
+		}
+		if rng.Intn(4) == 0 {
+			hi = units.Celsius(math.Inf(1))
+		}
+		first := 1 + rng.Intn(15)
+		stride := 1 + rng.Intn(15)
+
+		m := pred.BandDecisionHorizon(1, first, stride, 50, lo, hi)
+		totalVerified += m
+		// Replay the instants on the fixed-dt twin.
+		step := 0
+		for j := 0; j < m; j++ {
+			target := first + j*stride
+			for ; step < target; step++ {
+				ref.Step(1)
+			}
+			got := maxSensor(ref)
+			if got < float64(lo) || got > float64(hi) {
+				t.Fatalf("trial %d: promised instant %d (step %d) observes %.4f outside band [%v, %v] (m=%d, loads %v→%v)",
+					trial, j, target, got, lo, hi, m, warmLoad, newLoad)
+			}
+		}
+		// The query must be read-only: the predicting server, stepped the
+		// same way afterwards, must match its twin exactly.
+		for k := 0; k < step; k++ {
+			pred.Step(1)
+		}
+		if d := math.Abs(float64(pred.MaxCPUTemp() - ref.MaxCPUTemp())); d != 0 {
+			t.Fatalf("trial %d: BandDecisionHorizon perturbed the live state by %g °C", trial, d)
+		}
+	}
+	if totalVerified == 0 {
+		t.Fatal("no instant was ever verified across all trials; the property is vacuous")
+	}
+}
+
+// TestBandDecisionHorizonRefusals pins the no-promise cases: bad lattice
+// parameters, an empty band after the conservative shrink, and a server
+// that is not macro-eligible all return 0.
+func TestBandDecisionHorizonRefusals(t *testing.T) {
+	srv, _ := macroPair(t, func(c *Config) { c.TempNoise = 0 })
+	srv.SetLoad(50)
+	for k := 0; k < 300; k++ {
+		srv.Step(1)
+	}
+	wide := units.Celsius(math.Inf(1))
+	if m := srv.BandDecisionHorizon(0, 1, 1, 10, 0, wide); m != 0 {
+		t.Errorf("dt=0 must refuse, got %d", m)
+	}
+	if m := srv.BandDecisionHorizon(1, 0, 1, 10, 0, wide); m != 0 {
+		t.Errorf("first=0 must refuse, got %d", m)
+	}
+	if m := srv.BandDecisionHorizon(1, 1, 1, 10, 60, 60.01); m != 0 {
+		t.Errorf("a band thinner than the margins must refuse, got %d", m)
+	}
+	// Slewing fans break macro eligibility, and therefore the promise.
+	srv.Fans().SetAll(srv.Fans().Target() + 600)
+	if m := srv.BandDecisionHorizon(1, 1, 1, 10, 0, wide); m != 0 {
+		t.Errorf("slewing fans must refuse, got %d", m)
+	}
+}
+
+// TestBandDecisionHorizonNoise: with sensor noise configured the die band
+// shrinks by the 6σ allowance — a band narrower than that is withdrawn
+// even though the noiseless trajectory would sit comfortably inside it.
+func TestBandDecisionHorizonNoise(t *testing.T) {
+	srv, _ := macroPair(t, func(c *Config) { c.TempNoise = 1.0 })
+	srv.SetLoad(50)
+	for k := 0; k < 600; k++ {
+		srv.Step(1)
+	}
+	die := float64(srv.MaxCPUTemp())
+	off := srv.Config().HotSpotOffset
+	// ±5 °C around the observation: wide against the trajectory, narrow
+	// against the 6σ=6 °C noise allowance on each side.
+	lo := units.Celsius(die + off - 5)
+	hi := units.Celsius(die + off + 5)
+	if m := srv.BandDecisionHorizon(1, 10, 10, 10, lo, hi); m != 0 {
+		t.Errorf("6σ allowance must swallow a ±5 °C band at σ=1, got %d", m)
+	}
+	quiet, _ := macroPair(t, func(c *Config) { c.TempNoise = 0 })
+	quiet.SetLoad(50)
+	for k := 0; k < 600; k++ {
+		quiet.Step(1)
+	}
+	die = float64(quiet.MaxCPUTemp())
+	off = quiet.Config().HotSpotOffset
+	lo = units.Celsius(die + off - 5)
+	hi = units.Celsius(die + off + 5)
+	if m := quiet.BandDecisionHorizon(1, 10, 10, 10, lo, hi); m == 0 {
+		t.Error("the same band with zero noise must verify at steady state")
+	}
+}

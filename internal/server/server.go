@@ -69,6 +69,11 @@ type Server struct {
 	macroSlopes []float64
 	macroSums   []float64
 
+	// Band-prediction scratch (BandDecisionHorizon), reused across calls.
+	predTemps  []float64
+	predPowers []float64
+	predSlopes []float64
+
 	macroStats MacroStats // lifetime macro-vs-plain attribution (macro.go)
 }
 
