@@ -20,6 +20,7 @@ import (
 	"repro/internal/power"
 	"repro/internal/rack"
 	"repro/internal/reliability"
+	"repro/internal/room"
 	"repro/internal/thermal"
 	"repro/internal/units"
 	"repro/internal/workload"
@@ -873,6 +874,113 @@ func BenchmarkLoadGenPWM(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		gen.Load(float64(i) * 0.5)
+	}
+}
+
+// --------------------------------------------------------------------------
+// Room-scale simulation (internal/room)
+
+// roomOf builds a racks×servers room — the rackOf substrate replicated
+// behind the shared default CRAC bank with the neighbor recirculation
+// coupling — at a fixed 70% load. Serial workers isolate per-server step
+// cost; the room's own overhead (recirc re-anchor, shared-bank COP, the
+// cross-rack reductions) is what BenchmarkRoomStep charges on top of
+// BenchmarkRackStep.
+func roomOf(b *testing.B, racks, servers, workers int) *room.Room {
+	b.Helper()
+	fac := cooling.DefaultFacility(cooling.DefaultCRAC().ReferenceC)
+	specs := make([]room.RackSpec, racks)
+	for r := range specs {
+		cfgs := experiments.RackServerConfigs(T3Config(), servers)
+		srv := make([]rack.ServerSpec, servers)
+		for i := range srv {
+			srv[i] = rack.ServerSpec{Config: cfgs[i]}
+		}
+		specs[r] = room.RackSpec{
+			Name:   fmt.Sprintf("rack%02d", r),
+			Config: rack.Config{Servers: srv},
+		}
+	}
+	rm, err := room.New(room.Config{
+		Racks:    specs,
+		Workers:  workers,
+		Recirc:   room.NeighborMatrix(racks),
+		Facility: &fac,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for r := 0; r < racks; r++ {
+		for i := 0; i < servers; i++ {
+			rm.Rack(r).SetLoad(i, 70)
+		}
+	}
+	return rm
+}
+
+// BenchmarkRoomStep measures one 1-second step of a whole room across room
+// sizes, 16 servers per rack. Per-server cost is ns/op ÷ servers; the
+// acceptance gate holds it within 1.3× of BenchmarkRackStep's per-server
+// cost from 1 to 16 racks — the room layer (recirculation, shared CRAC,
+// serial reductions) must stay a thin wrapper around rack stepping.
+func BenchmarkRoomStep(b *testing.B) {
+	for _, n := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("racks=%d", n), func(b *testing.B) {
+			rm := roomOf(b, n, 16, 1) // serial: isolates per-server cost from pool scheduling
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rm.Step(1)
+			}
+			b.ReportMetric(float64(n), "racks")
+			b.ReportMetric(float64(n*16), "servers")
+		})
+	}
+}
+
+// BenchmarkRoomStepParallel is BenchmarkRoomStep/racks=16 with the
+// per-rack fan-out enabled — the wall-clock win on multicore hosts.
+func BenchmarkRoomStepParallel(b *testing.B) {
+	rm := roomOf(b, 16, 16, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rm.Step(1)
+	}
+}
+
+// BenchmarkRoomTrace regenerates the round-robin cell of the room
+// policy-comparison experiment at datacenter scale — 16 racks × 64 servers
+// on the event kernel — and reports the headline energies plus simPerWall,
+// simulated seconds per wall-clock second (settle + measured trace over
+// elapsed time). The acceptance gate is simPerWall > 1: a 1024-server room
+// must simulate faster than real time, LUT builds included.
+func BenchmarkRoomTrace(b *testing.B) {
+	ev := experiments.DefaultRoomEval()
+	ev.Racks = 16
+	ev.Servers = 64
+	ev.Rate *= 32 // hold per-server offered load at the 4×8 default
+	ev.Policy = "rr"
+	ev.EventStepping = true
+	var rows []experiments.RoomPolicyResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.RoomPolicyComparison(T3Config(), ev)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	r := rows[0]
+	steps := 0
+	for _, st := range r.Sched.Kernel {
+		steps += st.Advances
+	}
+	b.ReportMetric(float64(r.Room.Servers), "servers")
+	b.ReportMetric(r.WallWh(), "wallWh")
+	b.ReportMetric(r.FacilityWh(), "facilityWh")
+	b.ReportMetric(float64(steps), "rackSteps")
+	simSeconds := (ev.Stabilize + ev.Horizon) * float64(b.N)
+	if wall := b.Elapsed().Seconds(); wall > 0 {
+		b.ReportMetric(simSeconds/wall, "simPerWall")
 	}
 }
 

@@ -19,6 +19,10 @@
 //	evalctl -facility -setpoints 14,21,28
 //	evalctl -faults         # fault-scenario × policy degradation catalogue
 //	evalctl -faults -drop   # abandon killed jobs instead of requeueing
+//	evalctl -room           # room-scale two-level placement comparison
+//	evalctl -room -racks 8 -servers 16 -eventstep
+//	evalctl -room -recirc w.txt         # recirculation matrix from a file
+//	evalctl -room -norecirc -nofacility # independent racks (PR 8 physics)
 package main
 
 import (
@@ -32,6 +36,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/plot"
 	"repro/internal/power"
+	"repro/internal/room"
 	"repro/internal/server"
 	"repro/internal/units"
 	"repro/internal/workload"
@@ -63,6 +68,12 @@ func main() {
 	seed := flag.Int64("seed", 42, "seed for the stochastic workloads")
 	csv := flag.Bool("csv", false, "CSV output for -fig3")
 	rackCmp := flag.Bool("rack", false, "run the rack-scale placement-policy comparison")
+	roomCmp := flag.Bool("room", false, "run the room-scale two-level placement comparison (N racks behind one CRAC bank)")
+	racks := flag.Int("racks", 0, "room size in racks for -room (0 = default)")
+	recircFile := flag.String("recirc", "", "for -room: load the recirculation matrix from a file (rows of weights; '#' comments)")
+	noRecirc := flag.Bool("norecirc", false, "for -room: zero recirculation matrix (uncoupled racks)")
+	noFacility := flag.Bool("nofacility", false, "for -room: drop the shared CRAC bank (cooling exactly zero, PUE exactly 1)")
+	econ := flag.Bool("econ", false, "for -room: fit the water-side economizer to the shared bank")
 	facilityCmp := flag.Bool("facility", false, "run the policy × cold-aisle-setpoint facility sweep")
 	faultCmp := flag.Bool("faults", false, "run the fault-scenario × policy degradation catalogue")
 	dropOnFault := flag.Bool("drop", false, "for -faults: abandon killed jobs instead of requeueing them")
@@ -71,8 +82,9 @@ func main() {
 	horizon := flag.Float64("horizon", 0, "measured window in seconds for -rack/-facility (0 = default)")
 	capW := flag.Float64("cap", 0, "wall-power budget in W (-rack: 0 = auto, negative = uncapped runs only; -facility: 0 = uncapped)")
 	policyFlag := flag.String("policy", "",
-		"for -rack: restrict the comparison to one placement policy by name "+
-			"(round-robin, least-utilized, coolest-first, leakage-aware, cap-aware); useful with "+
+		"for -rack/-room: restrict the comparison to one placement policy by name "+
+			"(-rack: round-robin, least-utilized, coolest-first, leakage-aware, cap-aware; "+
+			"-room: rr, least-loaded, coolest, min-cost, recirc-aware, recirc-pue); useful with "+
 			"-metrics, whose registry otherwise aggregates every policy's run into one dump")
 	ideal := flag.Bool("ideal", false, "lossless delivery chain for -rack/-facility: no PSU/PDU, wall == DC")
 	lutCache := flag.String("lutcache", "", "directory for the cross-process LUT disk cache")
@@ -219,6 +231,79 @@ func main() {
 		return
 	}
 
+	if *roomCmp {
+		ev := experiments.DefaultRoomEval()
+		ev.TraceSeed = *seed
+		if *racks > 0 {
+			ev.Racks = *racks
+		}
+		if *servers > 0 {
+			ev.Servers = *servers
+		}
+		if *horizon > 0 {
+			ev.Horizon = *horizon
+		}
+		ev.LUTCacheDir = *lutCache
+		ev.EventStepping = *eventStep
+		ev.FanControl = *fanCtl
+		ev.Metrics = reg
+		ev.Policy = *policyFlag
+		ev.NoFacility = *noFacility
+		ev.Economizer = *econ
+		if *rate > 0 {
+			ev.Rate = *rate
+		}
+		if *noRecirc {
+			ev.Recirc = room.NewMatrix(ev.Racks)
+		}
+		if *recircFile != "" {
+			data, err := os.ReadFile(*recircFile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "evalctl:", err)
+				os.Exit(1)
+			}
+			m, err := room.ParseMatrix(data)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "evalctl:", err)
+				os.Exit(1)
+			}
+			ev.Recirc = m
+		}
+		rows, err := experiments.RoomPolicyComparison(cfg, ev)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "evalctl:", err)
+			os.Exit(1)
+		}
+		coupling := "neighbor spill-over matrix"
+		if ev.Recirc != nil {
+			if ev.Recirc.IsZero() {
+				coupling = "uncoupled (zero matrix)"
+			} else {
+				coupling = fmt.Sprintf("custom %d×%d matrix", ev.Recirc.Size(), ev.Recirc.Size())
+			}
+		}
+		bank := "shared CRAC/chiller bank"
+		if ev.NoFacility {
+			bank = "no shared facility"
+		} else if ev.Economizer {
+			bank += " + economizer"
+		}
+		fmt.Printf("Room policy comparison: %d racks × %d servers (ambients %s °C), %s,\n"+
+			"recirculation: %s, %.0f min Poisson trace (seed %d)\n\n",
+			ev.Racks, ev.Servers, ambientList(cfg, ev.Servers), bank, coupling, ev.Horizon/60, ev.TraceSeed)
+		if err := experiments.FormatRoomTable(os.Stdout, rows); err != nil {
+			fmt.Fprintln(os.Stderr, "evalctl:", err)
+			os.Exit(1)
+		}
+		fmt.Println("\nall policy combos serve the identical job trace; Facility(Wh) is wall energy")
+		fmt.Println("plus the shared bank's cooling bill — the recirculation-aware choosers avoid")
+		fmt.Println("racks whose exhaust lands back on cold aisles, trimming both terms")
+		if *metricsFlag {
+			printMetrics(os.Stdout, reg)
+		}
+		return
+	}
+
 	if *rackCmp {
 		ev := experiments.DefaultRackEval()
 		ev.TraceSeed = *seed
@@ -307,7 +392,7 @@ func main() {
 	}
 
 	if *metricsFlag {
-		fmt.Fprintln(os.Stderr, "evalctl: -metrics instruments the rack experiments; combine it with -rack, -facility or -faults")
+		fmt.Fprintln(os.Stderr, "evalctl: -metrics instruments the rack and room experiments; combine it with -rack, -facility, -faults or -room")
 	}
 
 	if *fig3 {

@@ -162,6 +162,49 @@ func (m ChillerModel) Power(loadW float64, supply units.Celsius) float64 {
 	return loadW / m.COP(loadW, supply)
 }
 
+// EconomizerModel is the water-side economizer option: when the outdoor
+// air is cold enough, the chilled-water loop bypasses the compressor and
+// rejects heat through a dry cooler — "free cooling" that costs only pumps
+// and heat-exchanger fans. The engagement test is a hard threshold on the
+// chiller's outdoor temperature: real plants stage the change-over, but a
+// step keeps the model's energy accounting exactly piecewise and the
+// engaged/bypassed halves individually testable.
+type EconomizerModel struct {
+	// OutdoorBelowC engages the economizer when the chiller's condenser-side
+	// outdoor temperature is at or below this threshold. A useful threshold
+	// sits below the CRAC supply setpoint (the dry cooler needs approach
+	// headroom to reject into).
+	OutdoorBelowC units.Celsius
+	// FreeCoeff is the free-cooling transport cost: pump + dry-cooler power
+	// per Watt of heat rejected while engaged (dimensionless, e.g. 0.03 =
+	// 3%). It replaces the chiller's compressor term entirely; the CRAC
+	// blower is still paid — air must move regardless of who chills the
+	// water.
+	FreeCoeff float64
+}
+
+// DefaultEconomizer returns a water-side economizer engaging at 14 °C
+// outdoor — 4 °C of approach below the default 18 °C supply — with a 3%
+// transport cost, roughly an order of magnitude below the compressor's
+// 1/COP at the default operating point.
+func DefaultEconomizer() EconomizerModel {
+	return EconomizerModel{OutdoorBelowC: 14, FreeCoeff: 0.03}
+}
+
+// Validate reports parameterization errors.
+func (e EconomizerModel) Validate() error {
+	if e.FreeCoeff < 0 {
+		return fmt.Errorf("cooling: economizer free-cooling coefficient must be >= 0, got %g", e.FreeCoeff)
+	}
+	return nil
+}
+
+// Engaged reports whether the economizer is in free-cooling mode at the
+// given outdoor temperature.
+func (e EconomizerModel) Engaged(outdoor units.Celsius) bool {
+	return outdoor <= e.OutdoorBelowC
+}
+
 // Facility is the assembled cooling loop: one CRAC on the air side feeding
 // one chiller on the water side. Attached to a rack it consumes the rack's
 // per-step wall heat (every wall Watt becomes room heat) and emits the
@@ -169,6 +212,13 @@ func (m ChillerModel) Power(loadW float64, supply units.Celsius) float64 {
 type Facility struct {
 	CRAC    CRACModel
 	Chiller ChillerModel
+	// Econ, when non-nil, is the water-side economizer: while the chiller's
+	// outdoor temperature sits at or below the engagement threshold, the
+	// compressor term of CoolingPower is replaced by the free-cooling
+	// transport cost (FreeCoeff per Watt of heat, blower included). nil — the
+	// default — keeps the compression-only loop and every pre-existing
+	// facility metric bit-identical.
+	Econ *EconomizerModel
 }
 
 // DefaultFacility returns the default CRAC/chiller pair with the cold
@@ -179,12 +229,25 @@ func DefaultFacility(supplyC units.Celsius) Facility {
 	return Facility{CRAC: crac, Chiller: DefaultChiller()}
 }
 
-// Validate reports parameterization errors in either stage.
+// Validate reports parameterization errors in any stage.
 func (f Facility) Validate() error {
 	if err := f.CRAC.Validate(); err != nil {
 		return err
 	}
-	return f.Chiller.Validate()
+	if err := f.Chiller.Validate(); err != nil {
+		return err
+	}
+	if f.Econ != nil {
+		return f.Econ.Validate()
+	}
+	return nil
+}
+
+// EconomizerEngaged reports whether the facility is currently in
+// free-cooling mode: an economizer is fitted and the chiller's outdoor
+// temperature sits at or below its engagement threshold.
+func (f Facility) EconomizerEngaged() bool {
+	return f.Econ != nil && f.Econ.Engaged(f.Chiller.OutdoorC)
 }
 
 // AmbientDelta is the shift the facility's setpoint applies to every
@@ -192,13 +255,19 @@ func (f Facility) Validate() error {
 func (f Facility) AmbientDelta() units.Celsius { return f.CRAC.AmbientDelta() }
 
 // Split attributes the cooling power for wallW of IT heat to its stages:
-// the CRAC blower moving the air, and the chiller removing both the server
-// heat and the blower's own dissipation at the setpoint-dependent COP.
+// the CRAC blower moving the air, and the water side removing both the
+// server heat and the blower's own dissipation — the chiller's compressor
+// at the setpoint-dependent COP, or the economizer's free-cooling
+// transport cost while engaged (cold outdoor air does the thermodynamic
+// work).
 func (f Facility) Split(wallW float64) (blowerW, chillerW float64) {
 	if wallW <= 0 {
 		return 0, 0
 	}
 	blowerW = f.CRAC.BlowerPower(wallW)
+	if f.EconomizerEngaged() {
+		return blowerW, f.Econ.FreeCoeff * (wallW + blowerW)
+	}
 	chillerW = f.Chiller.Power(wallW+blowerW, f.CRAC.SupplyC)
 	return blowerW, chillerW
 }

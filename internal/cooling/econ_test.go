@@ -1,0 +1,102 @@
+package cooling
+
+import (
+	"math"
+	"testing"
+)
+
+// TestEconomizerEngagement: the hard outdoor threshold, at and around the
+// boundary, and the nil-econ default.
+func TestEconomizerEngagement(t *testing.T) {
+	econ := DefaultEconomizer()
+	if !econ.Engaged(econ.OutdoorBelowC) {
+		t.Error("threshold is inclusive: engaged at exactly OutdoorBelowC")
+	}
+	if econ.Engaged(econ.OutdoorBelowC + 0.1) {
+		t.Error("must bypass just above the threshold")
+	}
+	fac := DefaultFacility(18)
+	if fac.EconomizerEngaged() {
+		t.Error("facility without an economizer must never engage one")
+	}
+	fac.Econ = &econ
+	fac.Chiller.OutdoorC = econ.OutdoorBelowC - 4
+	if !fac.EconomizerEngaged() {
+		t.Error("cold outdoor with a fitted economizer must engage")
+	}
+	fac.Chiller.OutdoorC = 30
+	if fac.EconomizerEngaged() {
+		t.Error("warm outdoor must bypass")
+	}
+}
+
+// TestEconomizerFreeCooling: engaged, the water side costs exactly
+// FreeCoeff per Watt of (heat + blower), replacing the compressor term —
+// an order of magnitude cheaper than compression at the default operating
+// point — while the blower is unchanged.
+func TestEconomizerFreeCooling(t *testing.T) {
+	base := DefaultFacility(18)
+	econ := DefaultEconomizer()
+	free := base
+	free.Econ = &econ
+	free.Chiller.OutdoorC = 10 // engaged
+
+	const wallW = 12000.0
+	blowerBase, chillerBase := base.Split(wallW)
+	blowerFree, chillerFree := free.Split(wallW)
+	if blowerFree != blowerBase {
+		t.Errorf("blower must not depend on the water side: %g vs %g", blowerFree, blowerBase)
+	}
+	if want := econ.FreeCoeff * (wallW + blowerFree); chillerFree != want {
+		t.Errorf("free-cooling water side %g, want FreeCoeff·(wall+blower) = %g", chillerFree, want)
+	}
+	if chillerFree >= chillerBase/3 {
+		t.Errorf("free cooling (%g W) should dramatically undercut compression (%g W)", chillerFree, chillerBase)
+	}
+	if free.CoolingPower(0) != 0 {
+		t.Error("zero heat stays exactly free with an economizer fitted")
+	}
+	// The derate surface composes: a derated engaged plant still pays more.
+	if d := free.CoolingPowerDerated(wallW, 0.5); math.Abs(d-2*free.CoolingPower(wallW)) > 1e-9 {
+		t.Errorf("derated free cooling %g, want doubled %g", d, 2*free.CoolingPower(wallW))
+	}
+}
+
+// TestEconomizerBypassBitIdentical: above the threshold — and for a nil
+// Econ — every facility number is bit-identical to the pre-economizer
+// loop, the compatibility contract the field's documentation promises.
+func TestEconomizerBypassBitIdentical(t *testing.T) {
+	base := DefaultFacility(18)
+	econ := DefaultEconomizer()
+	warm := base
+	warm.Econ = &econ // default chiller outdoor is 30 °C: bypassed
+	for _, wallW := range []float64{0, 500, 4000, 12000, 40000} {
+		bb, bc := base.Split(wallW)
+		wb, wc := warm.Split(wallW)
+		if bb != wb || bc != wc {
+			t.Errorf("wall %g: bypassed economizer changed the split: (%g,%g) vs (%g,%g)", wallW, wb, wc, bb, bc)
+		}
+		if base.CoolingPower(wallW) != warm.CoolingPower(wallW) {
+			t.Errorf("wall %g: bypassed economizer changed cooling power", wallW)
+		}
+	}
+}
+
+// TestEconomizerValidation: a negative transport cost is rejected, through
+// both the model and the facility surface.
+func TestEconomizerValidation(t *testing.T) {
+	bad := EconomizerModel{OutdoorBelowC: 14, FreeCoeff: -0.01}
+	if err := bad.Validate(); err == nil {
+		t.Error("negative free-cooling coefficient must be rejected")
+	}
+	fac := DefaultFacility(18)
+	fac.Econ = &bad
+	if err := fac.Validate(); err == nil {
+		t.Error("facility must surface the economizer's validation error")
+	}
+	good := DefaultEconomizer()
+	good.FreeCoeff = 0 // free transport is legal (idealized dry cooler)
+	if err := good.Validate(); err != nil {
+		t.Errorf("zero transport cost is legal, got %v", err)
+	}
+}

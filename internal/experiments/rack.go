@@ -157,6 +157,19 @@ func RackServerConfigs(base server.Config, n int) []server.Config {
 // facility cooling loop — attached. The rack steps serially: within the
 // comparison, parallelism lives at the policy level (see RackEval.Workers).
 func rackFor(cfgs []server.Config, tables []*lut.Table, ev RackEval, fac *cooling.Facility) (*rack.Rack, error) {
+	rc, err := rackConfigFor(cfgs, tables, ev, fac)
+	if err != nil {
+		return nil, err
+	}
+	return rack.New(rc)
+}
+
+// rackConfigFor builds the rack configuration rackFor instantiates —
+// per-slot specs with fresh fan controllers and the experiment's delivery
+// chain — without constructing the rack, so the room experiment can hand
+// the same configs to room.New (which owns the facility and forces the
+// inner Workers to 1).
+func rackConfigFor(cfgs []server.Config, tables []*lut.Table, ev RackEval, fac *cooling.Facility) (rack.Config, error) {
 	specs := make([]rack.ServerSpec, len(cfgs))
 	for i, cfg := range cfgs {
 		var ctl control.Controller
@@ -164,17 +177,17 @@ func rackFor(cfgs []server.Config, tables []*lut.Table, ev RackEval, fac *coolin
 		case "", "lut":
 			lc, err := control.NewLUT(tables[i], control.DefaultLUT())
 			if err != nil {
-				return nil, err
+				return rack.Config{}, err
 			}
 			ctl = lc
 		case "bang", "bangbang":
 			bb, err := control.NewBangBang(control.DefaultBangBang())
 			if err != nil {
-				return nil, err
+				return rack.Config{}, err
 			}
 			ctl = bb
 		default:
-			return nil, fmt.Errorf("experiments: unknown fan control %q (want lut or bang)", ev.FanControl)
+			return rack.Config{}, fmt.Errorf("experiments: unknown fan control %q (want lut or bang)", ev.FanControl)
 		}
 		specs[i] = rack.ServerSpec{
 			Name:       fmt.Sprintf("srv%02d-amb%g", i, float64(cfg.Ambient)),
@@ -182,10 +195,10 @@ func rackFor(cfgs []server.Config, tables []*lut.Table, ev RackEval, fac *coolin
 			Controller: ctl,
 		}
 	}
-	return rack.New(rack.Config{
+	return rack.Config{
 		Servers: specs, Workers: 1, PSU: ev.PSU, PDU: ev.PDU, Facility: fac,
 		ReliabilitySampleEvery: ev.ReliabilitySampleEvery,
-	})
+	}, nil
 }
 
 // buildRackTables builds one LUT per distinct server configuration

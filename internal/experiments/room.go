@@ -1,0 +1,401 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/cooling"
+	"repro/internal/loadgen"
+	"repro/internal/lut"
+	"repro/internal/obs"
+	"repro/internal/par"
+	"repro/internal/plot"
+	"repro/internal/power"
+	"repro/internal/room"
+	"repro/internal/sched"
+	"repro/internal/server"
+	"repro/internal/units"
+)
+
+// RoomEval parameterizes the room-scale policy comparison: N heterogeneous
+// racks behind one shared CRAC/chiller bank, thermally coupled by a
+// recirculation matrix, driven by one Poisson trace per two-level policy.
+type RoomEval struct {
+	Racks   int     // racks in the room
+	Servers int     // servers per rack
+	Dt      float64 // simulation step, seconds
+	Horizon float64 // measured window, seconds
+	// Stabilize is the idle settling window before the measured trace.
+	Stabilize float64
+
+	TraceSeed    int64
+	Rate         float64         // job arrivals per second, room-wide
+	MeanDuration float64         // mean job service time, seconds
+	Demands      []units.Percent // per-job demand levels
+
+	// Workers bounds the experiment's fan-outs (per-policy cells and LUT
+	// builds). Room stepping inside each cell is serial: the concurrent
+	// cells already saturate the pool. Results are identical for every
+	// value.
+	Workers int
+
+	// EventStepping selects the room's event-driven kernel for every run
+	// (see room.TraceConfig.EventStepping); false is the fixed-dt
+	// reference.
+	EventStepping bool
+
+	// Recirc, when non-nil, overrides the recirculation coupling; nil picks
+	// room.NeighborMatrix(Racks). Pass room.NewMatrix(Racks) (all-zero) for
+	// an uncoupled room.
+	Recirc *room.Matrix
+
+	// NoFacility drops the shared CRAC bank: cooling exactly zero, PUE
+	// exactly 1 — and the recirc-pue combo falls back to leakage-aware
+	// slots (a facility-aware cost model without a facility is undefined).
+	NoFacility bool
+
+	// Economizer attaches cooling.DefaultEconomizer to the shared bank:
+	// with the default models the outdoor air sits above the engagement
+	// setpoint, so the chiller still runs — set the chiller's OutdoorC
+	// below the setpoint (via Recirc-style overrides in code) to see free
+	// cooling. Ignored under NoFacility.
+	Economizer bool
+
+	LUTCacheDir string
+	FanControl  string
+
+	// Policy, when non-empty, restricts the comparison to the single named
+	// policy combo (see RoomPolicies' labels).
+	Policy string
+
+	// Metrics, when non-nil, is the run-metrics registry every measured
+	// trace instruments (room.TraceConfig.Metrics), shared across cells —
+	// commutative updates only, so the dump is byte-identical for every
+	// Workers value.
+	Metrics *obs.Registry
+}
+
+// DefaultRoomEval returns a 4-rack × 8-server room under a 30-minute trace
+// with ~30% mean offered load — the rack comparison's contention level,
+// scaled to room size.
+func DefaultRoomEval() RoomEval {
+	return RoomEval{
+		Racks:        4,
+		Servers:      8,
+		Dt:           1,
+		Horizon:      1800,
+		Stabilize:    300,
+		TraceSeed:    42,
+		Rate:         0.08,
+		MeanDuration: 300,
+		Demands:      []units.Percent{20, 40, 60},
+	}
+}
+
+// rackEval is the per-rack view of the room eval, consumed by the shared
+// rack-building helpers (table builds, controller wiring). The delivery
+// chain stays ideal at room scale — PSU/PDU modelling is a rack-scope
+// feature.
+func (ev RoomEval) rackEval() RackEval {
+	return RackEval{
+		Servers: ev.Servers, Dt: ev.Dt, Horizon: ev.Horizon, Stabilize: ev.Stabilize,
+		Workers: ev.Workers, LUTCacheDir: ev.LUTCacheDir, FanControl: ev.FanControl,
+		EventStepping: ev.EventStepping,
+	}
+}
+
+// facility assembles the shared CRAC bank: the default CRAC/chiller pair
+// at the reference supply setpoint (ambient delta zero, so the reference
+// LUTs stay calibrated), optionally with the economizer attached.
+func (ev RoomEval) facility() *cooling.Facility {
+	if ev.NoFacility {
+		return nil
+	}
+	fac := cooling.DefaultFacility(cooling.DefaultCRAC().ReferenceC)
+	if ev.Economizer {
+		econ := cooling.DefaultEconomizer()
+		fac.Econ = &econ
+	}
+	return &fac
+}
+
+// recirc returns the room coupling: the configured matrix, or the default
+// neighbor spill-over.
+func (ev RoomEval) recirc() *room.Matrix {
+	if ev.Recirc != nil {
+		return ev.Recirc
+	}
+	return room.NeighborMatrix(ev.Racks)
+}
+
+// roomServerConfigs builds every rack's heterogeneous slot configurations:
+// the same cold/hot-aisle gradient and DIMM mix per rack, sensor noise
+// seeds distinct across the whole room. Racks are physics-identical slot
+// for slot, so one LUT grid serves every rack.
+func roomServerConfigs(base server.Config, ev RoomEval) [][]server.Config {
+	out := make([][]server.Config, ev.Racks)
+	for r := range out {
+		b := base
+		b.NoiseSeed = base.NoiseSeed + int64(100000*(r+1))
+		out[r] = RackServerConfigs(b, ev.Servers)
+	}
+	return out
+}
+
+// roomFor assembles a fresh room over the per-rack configs: each rack gets
+// its own fan controllers from the shared tables; the room owns the
+// facility and the recirculation matrix. The room steps serially within a
+// comparison cell (parallelism lives at the cell level).
+func roomFor(cfgs [][]server.Config, tables []*lut.Table, ev RoomEval) (*room.Room, error) {
+	rev := ev.rackEval()
+	specs := make([]room.RackSpec, len(cfgs))
+	for r, rackCfgs := range cfgs {
+		rc, err := rackConfigFor(rackCfgs, tables, rev, nil)
+		if err != nil {
+			return nil, err
+		}
+		specs[r] = room.RackSpec{Name: fmt.Sprintf("rack%02d", r), Config: rc}
+	}
+	return room.New(room.Config{
+		Racks:    specs,
+		Workers:  1,
+		Recirc:   ev.recirc(),
+		Facility: ev.facility(),
+	})
+}
+
+// roomPolicyCell is one comparison cell: a label and a builder returning a
+// fresh two-level policy (choosers and slot policies are stateful, so
+// every concurrent run constructs its own instances over the shared
+// read-only tables).
+type roomPolicyCell struct {
+	label string
+	build func() (*room.Policy, error)
+}
+
+// RoomPolicyLabels returns the comparison's policy-combo labels in table
+// order.
+func RoomPolicyLabels() []string {
+	return []string{"rr", "least-loaded", "coolest", "min-cost", "recirc-aware", "recirc-pue"}
+}
+
+// roomPolicyCells builds the six chooser × slot-policy combos: the blind
+// baselines (round-robin, least-loaded), the reactive thermal pair
+// (coolest rack + coolest slot), and the proactive cost-model ladder
+// (min-cost, recirculation-aware, recirculation + facility aware).
+func roomPolicyCells(cfgs [][]server.Config, tables []*lut.Table, ev RoomEval) []roomPolicyCell {
+	n := ev.Racks
+	perRack := make([][]*lut.Table, n)
+	for r := range perRack {
+		perRack[r] = tables
+	}
+	models := make([]power.ServerModel, len(cfgs[0]))
+	for i, cfg := range cfgs[0] {
+		models[i] = cfg.Power
+	}
+	fac := ev.facility()
+
+	leakSlots := func() ([]sched.Policy, error) {
+		slots := make([]sched.Policy, n)
+		for r := range slots {
+			la, err := sched.NewLeakageAwareFromTables(tables)
+			if err != nil {
+				return nil, err
+			}
+			slots[r] = la
+		}
+		return slots, nil
+	}
+	pueSlots := func() ([]sched.Policy, error) {
+		if fac == nil {
+			return leakSlots()
+		}
+		slots := make([]sched.Policy, n)
+		for r := range slots {
+			pa, err := sched.NewPUEAwareFromTables(tables, models, nil, *fac)
+			if err != nil {
+				return nil, err
+			}
+			slots[r] = pa
+		}
+		return slots, nil
+	}
+	simpleSlots := func(mk func() sched.Policy) []sched.Policy {
+		slots := make([]sched.Policy, n)
+		for r := range slots {
+			slots[r] = mk()
+		}
+		return slots
+	}
+
+	return []roomPolicyCell{
+		{"rr", func() (*room.Policy, error) {
+			return room.NewPolicy(room.NewRoundRobinRacks(),
+				simpleSlots(func() sched.Policy { return sched.NewRoundRobin() }))
+		}},
+		{"least-loaded", func() (*room.Policy, error) {
+			return room.NewPolicy(room.NewLeastLoadedRack(),
+				simpleSlots(func() sched.Policy { return sched.NewLeastUtilized() }))
+		}},
+		{"coolest", func() (*room.Policy, error) {
+			return room.NewPolicy(room.NewCoolestRack(),
+				simpleSlots(func() sched.Policy { return sched.NewCoolestFirst() }))
+		}},
+		{"min-cost", func() (*room.Policy, error) {
+			ch, err := room.NewMinCostRack(perRack)
+			if err != nil {
+				return nil, err
+			}
+			slots, err := leakSlots()
+			if err != nil {
+				return nil, err
+			}
+			return room.NewPolicy(ch, slots)
+		}},
+		{"recirc-aware", func() (*room.Policy, error) {
+			ch, err := room.NewRecircAware(perRack, 0)
+			if err != nil {
+				return nil, err
+			}
+			slots, err := leakSlots()
+			if err != nil {
+				return nil, err
+			}
+			return room.NewPolicy(ch, slots)
+		}},
+		{"recirc-pue", func() (*room.Policy, error) {
+			ch, err := room.NewRecircAware(perRack, 0)
+			if err != nil {
+				return nil, err
+			}
+			slots, err := pueSlots()
+			if err != nil {
+				return nil, err
+			}
+			return room.NewPolicy(ch, slots)
+		}},
+	}
+}
+
+// RoomPolicyResult is one row of the room comparison table.
+type RoomPolicyResult struct {
+	Policy string
+	Sched  room.Result
+	Room   room.Telemetry
+}
+
+// WallWh returns the room wall energy in watt-hours.
+func (r RoomPolicyResult) WallWh() float64 { return r.Room.WallEnergyKWh * 1000 }
+
+// CoolingWh returns the shared bank's cooling energy in watt-hours.
+func (r RoomPolicyResult) CoolingWh() float64 { return r.Room.CoolingEnergyKWh * 1000 }
+
+// FacilityWh returns the total facility energy in watt-hours — the number
+// the room-scope policies minimize.
+func (r RoomPolicyResult) FacilityWh() float64 { return r.Room.FacilityEnergyKWh * 1000 }
+
+// RoomPolicyComparison runs the same Poisson job trace across all six
+// two-level policy combos on identical fresh rooms and returns one result
+// row per combo. One LUT grid serves every rack of every cell (racks are
+// physics-identical slot for slot); cells fan out over the worker pool,
+// each writing only its own slot, so rows are byte-identical for every
+// worker count.
+func RoomPolicyComparison(base server.Config, ev RoomEval) ([]RoomPolicyResult, error) {
+	if ev.Racks <= 0 || ev.Servers <= 0 || ev.Dt <= 0 || ev.Horizon <= 0 {
+		return nil, fmt.Errorf("experiments: room eval needs positive racks/servers/dt/horizon, got %+v", ev)
+	}
+	cfgs := roomServerConfigs(base, ev)
+	tables, err := buildRackTables(cfgs[0], ev.rackEval())
+	if err != nil {
+		return nil, err
+	}
+	cells := roomPolicyCells(cfgs, tables, ev)
+	if ev.Policy != "" {
+		var kept []roomPolicyCell
+		for _, c := range cells {
+			if c.label == ev.Policy {
+				kept = append(kept, c)
+			}
+		}
+		if len(kept) == 0 {
+			return nil, fmt.Errorf("experiments: unknown room policy %q (want one of %v)", ev.Policy, RoomPolicyLabels())
+		}
+		cells = kept
+	}
+	specs, err := loadgen.PoissonTrace(loadgen.PoissonTraceConfig{
+		Seed:         ev.TraceSeed,
+		Horizon:      ev.Horizon,
+		Rate:         ev.Rate,
+		MeanDuration: ev.MeanDuration,
+		Demands:      ev.Demands,
+	})
+	if err != nil {
+		return nil, err
+	}
+	jobs := sched.JobsFromSpecs(specs)
+
+	results := make([]RoomPolicyResult, len(cells))
+	errs := make([]error, len(cells))
+	par.ForEach(len(cells), ev.Workers, func(i int) {
+		results[i], errs[i] = runRoomPolicy(cells[i], cfgs, tables, jobs, ev)
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("experiments: room policy %s: %w", cells[i].label, err)
+		}
+	}
+	return results, nil
+}
+
+// runRoomPolicy is one cell's full run: fresh room, idle stabilization,
+// accounting reset, then the measured trace window.
+func runRoomPolicy(cell roomPolicyCell, cfgs [][]server.Config, tables []*lut.Table, jobs []sched.Job, ev RoomEval) (RoomPolicyResult, error) {
+	rm, err := roomFor(cfgs, tables, ev)
+	if err != nil {
+		return RoomPolicyResult{}, err
+	}
+	pol, err := cell.build()
+	if err != nil {
+		return RoomPolicyResult{}, err
+	}
+	if err := room.Settle(rm, ev.Dt, ev.Stabilize, ev.EventStepping); err != nil {
+		return RoomPolicyResult{}, err
+	}
+	rm.ResetAccounting()
+	sres, err := room.RunTrace(rm, jobs, pol, room.TraceConfig{
+		Dt: ev.Dt, Horizon: ev.Horizon, EventStepping: ev.EventStepping, Metrics: ev.Metrics,
+	})
+	if err != nil {
+		return RoomPolicyResult{}, err
+	}
+	return RoomPolicyResult{Policy: cell.label, Sched: sres, Room: rm.Telemetry()}, nil
+}
+
+// FormatRoomTable renders the room comparison: wall energy, the shared
+// bank's cooling bill, facility total, PUE, the recirculation high-water
+// and the thermal/scheduling context per combo.
+func FormatRoomTable(w io.Writer, rows []RoomPolicyResult) error {
+	headers := []string{
+		"Policy", "Wh(AC)", "Cool(Wh)", "Facility(Wh)", "PUE",
+		"PeakFac(W)", "MaxInlet(°C)", "Recirc(°C)",
+		"Placed", "Done", "Wait(s)", "MaxQ",
+	}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Policy,
+			fmt.Sprintf("%.2f", r.WallWh()),
+			fmt.Sprintf("%.2f", r.CoolingWh()),
+			fmt.Sprintf("%.2f", r.FacilityWh()),
+			fmt.Sprintf("%.4f", r.Room.PUE),
+			fmt.Sprintf("%.0f", r.Room.PeakFacilityPowerW),
+			fmt.Sprintf("%.1f", r.Room.MaxInletC),
+			fmt.Sprintf("%.2f", r.Room.MaxRecircOffsetC),
+			fmt.Sprintf("%d/%d", r.Sched.Placed, r.Sched.Submitted),
+			fmt.Sprintf("%d", r.Sched.Completed),
+			fmt.Sprintf("%.1f", r.Sched.MeanWaitSec),
+			fmt.Sprintf("%d", r.Sched.MaxQueueLen),
+		})
+	}
+	return plot.Table(w, headers, cells)
+}

@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/room"
+	"repro/internal/server"
+)
+
+// smallRoomEval shrinks the room comparison for fast deterministic tests.
+func smallRoomEval() RoomEval {
+	ev := DefaultRoomEval()
+	ev.Racks = 3
+	ev.Servers = 2
+	ev.Horizon = 400
+	ev.Stabilize = 60
+	ev.Rate = 0.05
+	ev.MeanDuration = 120
+	return ev
+}
+
+// TestRoomPolicyComparisonDeterministicAcrossWorkers is the golden-table
+// contract at room scale: the serial reference and any parallel worker
+// count must produce structurally identical rows, a byte-identical
+// rendered table, and byte-identical metrics dumps. Under -race this
+// exercises the concurrent per-policy cells.
+func TestRoomPolicyComparisonDeterministicAcrossWorkers(t *testing.T) {
+	base := server.T3Config()
+	run := func(workers int) ([]RoomPolicyResult, string) {
+		ev := smallRoomEval()
+		ev.Workers = workers
+		ev.Metrics = obs.NewRegistry()
+		rows, err := RoomPolicyComparison(base, ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Registry pointers differ by construction; rows must not.
+		for i := range rows {
+			rows[i].Sched.Metrics = nil
+		}
+		var dump bytes.Buffer
+		if err := ev.Metrics.WriteText(&dump); err != nil {
+			t.Fatal(err)
+		}
+		return rows, dump.String()
+	}
+	serial, sdump := run(1)
+	parallel, pdump := run(8)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("parallel rows differ from serial:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+	if sdump != pdump {
+		t.Fatalf("metrics dumps differ:\nserial:\n%s\nparallel:\n%s", sdump, pdump)
+	}
+	var a, b bytes.Buffer
+	if err := FormatRoomTable(&a, serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := FormatRoomTable(&b, parallel); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("rendered tables differ:\nserial:\n%s\nparallel:\n%s", a.String(), b.String())
+	}
+	for _, col := range []string{"Facility(Wh)", "PUE", "Recirc(°C)", "rr", "recirc-aware", "recirc-pue"} {
+		if !strings.Contains(a.String(), col) {
+			t.Fatalf("table missing %q:\n%s", col, a.String())
+		}
+	}
+	if got, want := len(serial), len(RoomPolicyLabels()); got != want {
+		t.Fatalf("got %d rows, want %d", got, want)
+	}
+	for i, label := range RoomPolicyLabels() {
+		if serial[i].Policy != label {
+			t.Errorf("row %d is %q, want %q (table order)", i, serial[i].Policy, label)
+		}
+		r := serial[i]
+		if r.Sched.Placed == 0 || r.Room.WallEnergyKWh <= 0 {
+			t.Errorf("%s: degenerate run %+v", label, r.Sched)
+		}
+		if r.Room.CoolingEnergyKWh <= 0 || r.Room.PUE <= 1 {
+			t.Errorf("%s: shared bank should cost energy: PUE %g", label, r.Room.PUE)
+		}
+		if r.Room.MaxRecircOffsetC <= 0 {
+			t.Errorf("%s: coupled room should see recirculation offsets", label)
+		}
+		if r.Room.Racks != 3 || r.Room.Servers != 6 {
+			t.Errorf("%s: wrong room shape %d×%d", label, r.Room.Racks, r.Room.Servers)
+		}
+	}
+}
+
+// TestRoomPolicyComparisonEventStepping: the event kernel must preserve
+// every scheduling outcome of the fixed-dt comparison.
+func TestRoomPolicyComparisonEventStepping(t *testing.T) {
+	base := server.T3Config()
+	ev := smallRoomEval()
+	ev.Policy = "rr"
+	fixed, err := RoomPolicyComparison(base, ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev.EventStepping = true
+	event, err := RoomPolicyComparison(base, ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, e := fixed[0].Sched, event[0].Sched
+	if f.Placed != e.Placed || f.Completed != e.Completed || f.MaxQueueLen != e.MaxQueueLen {
+		t.Errorf("event kernel changed scheduling: fixed %+v event %+v", f, e)
+	}
+	var fAdv, eAdv int
+	for _, st := range f.Kernel {
+		fAdv += st.Advances
+	}
+	for _, st := range e.Kernel {
+		eAdv += st.Advances
+	}
+	if eAdv >= fAdv {
+		t.Errorf("event kernel took %d advances, fixed %d — no macro windows", eAdv, fAdv)
+	}
+}
+
+// TestRoomPolicyComparisonVariants covers the configuration surface: the
+// policy filter, the uncoupled/no-facility degenerate room, the economizer
+// flag, and validation errors.
+func TestRoomPolicyComparisonVariants(t *testing.T) {
+	base := server.T3Config()
+
+	t.Run("policy-filter", func(t *testing.T) {
+		ev := smallRoomEval()
+		ev.Policy = "coolest"
+		rows, err := RoomPolicyComparison(base, ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != 1 || rows[0].Policy != "coolest" {
+			t.Fatalf("filter returned %+v", rows)
+		}
+	})
+
+	t.Run("unknown-policy", func(t *testing.T) {
+		ev := smallRoomEval()
+		ev.Policy = "warmest"
+		if _, err := RoomPolicyComparison(base, ev); err == nil || !strings.Contains(err.Error(), "unknown room policy") {
+			t.Fatalf("want unknown-policy error, got %v", err)
+		}
+	})
+
+	t.Run("invalid-eval", func(t *testing.T) {
+		ev := smallRoomEval()
+		ev.Racks = 0
+		if _, err := RoomPolicyComparison(base, ev); err == nil {
+			t.Fatal("zero racks must be rejected")
+		}
+	})
+
+	t.Run("uncoupled-no-facility", func(t *testing.T) {
+		ev := smallRoomEval()
+		ev.Policy = "rr"
+		ev.NoFacility = true
+		ev.Recirc = room.NewMatrix(ev.Racks)
+		rows, err := RoomPolicyComparison(base, ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rows[0].Room
+		if r.CoolingEnergyKWh != 0 || r.PUE != 1 || r.MaxRecircOffsetC != 0 {
+			t.Fatalf("uncoupled no-facility room must be exactly free to cool: %+v", r)
+		}
+	})
+
+	t.Run("economizer", func(t *testing.T) {
+		// The default chiller sits at 30 °C outdoor — above the engagement
+		// setpoint — so the flag alone must not change a single number.
+		ev := smallRoomEval()
+		ev.Policy = "rr"
+		warm, err := RoomPolicyComparison(base, ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev.Economizer = true
+		econ, err := RoomPolicyComparison(base, ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(warm, econ) {
+			t.Fatalf("bypassed economizer changed the comparison:\nwithout: %+v\nwith:    %+v", warm, econ)
+		}
+	})
+}

@@ -662,6 +662,34 @@ func (r *Rack) WallPowerWithAll(extraDC []units.Watts) units.Watts {
 	return units.Watts(r.pduIn(acInW))
 }
 
+// WallEnergyJoules returns the integrated wall-side (AC) energy meter in
+// Joules since construction or the last ResetAccounting — the raw meter
+// behind Telemetry.WallEnergyKWh. The room layer reads it at segment
+// boundaries to derive each rack's mean wall draw across a macro window
+// (meter delta over span), which is what the shared CRAC bank's energy
+// accounting integrates.
+func (r *Rack) WallEnergyJoules() float64 { return r.wallEnergyJ }
+
+// DCEnergyJoules returns the integrated DC energy meter in Joules since
+// construction or the last ResetAccounting (Σ server energy as charged by
+// the rack's own per-step/per-window integration).
+func (r *Rack) DCEnergyJoules() float64 { return r.dcEnergyJ }
+
+// AddAmbientOffset shifts every server's ambient offset by delta,
+// composing additively with any offsets already applied (fault heat soaks
+// use the same mechanism). The room layer applies heat-recirculation inlet
+// deltas through it, serially between steps — never concurrently with
+// Step/Advance. A zero delta touches nothing, keeping an uncoupled room
+// bit-identical to independently stepped racks.
+func (r *Rack) AddAmbientOffset(delta units.Celsius) {
+	if delta == 0 {
+		return
+	}
+	for _, st := range r.servers {
+		st.srv.SetAmbientOffset(st.srv.AmbientOffset() + delta)
+	}
+}
+
 // ResetAccounting zeroes every server's energy/peak meters and the rack
 // aggregates — the start of a measured experiment window.
 func (r *Rack) ResetAccounting() {

@@ -1,0 +1,58 @@
+// Package room scales the simulator from one rack to a machine room: N
+// rack.Rack instances stepped in lockstep behind a shared CRAC/chiller
+// bank, thermally coupled through a heat-recirculation matrix, and fed by
+// a room-level dispatcher that picks a rack before delegating the slot
+// choice to that rack's sched.Policy.
+//
+// # Two-level determinism contract
+//
+// The room fans out over racks exactly the way a rack fans out over
+// servers, one more level of the repo-wide contract:
+//
+//   - Fan-out job i writes only rack i's state. Rooms force every rack's
+//     internal Workers to 1, so the inner per-server loop runs serially on
+//     the job's goroutine — parallelism lives at exactly one level and the
+//     goroutine count stays bounded by the room's Workers.
+//   - Every cross-rack reduction — room energy integration, peak wall and
+//     facility power, worst inlet/DIMM/CPU temperatures, PUE, and the
+//     recirculation offsets themselves — runs serially in rack-index order
+//     after the barrier.
+//
+// Together these make every room metric, telemetry dump and obs counter
+// byte-identical for any Workers value, which TestRoomDeterminism pins
+// under -race.
+//
+// # Heat recirculation and re-anchoring
+//
+// The row-major Matrix W couples exhausts to inlets: rack i's exhaust
+// temperature rise ΔT_i (its wall draw times Config.ExhaustRiseCPerKW)
+// raises rack j's inlet by W[i][j]·ΔT_i. Offsets are recomputed serially
+// after every barrier — each step on the fixed-dt path, each segment
+// boundary under event stepping — and applied as deltas through
+// rack.AddAmbientOffset, composing with fault heat soaks. Within a macro
+// window the offsets are held constant and re-anchored at the window
+// boundary: the coupling drifts by at most the offset change across the
+// window, which the same MacroDriftTolC contract that bounds the rack
+// kernel's closed-form drift absorbs (TestRoomEventEquivalence pins the
+// 1e-6 relative energy tolerance). A zero matrix applies no offset at all,
+// leaving every rack bit-identical to independent stepping.
+//
+// Energy is conserved by construction: the shared facility removes exactly
+// the heat the racks reject (Σ rack wall watts — the recirculated fraction
+// redistributes heat between inlets; it does not create any), so the
+// room's independently integrated heat meter equals the sum of the rack
+// wall meters to float reordering (≤1e-9 relative, TestRoomHeatConservation).
+//
+// # Event kernel, one level up
+//
+// RunTrace's event mode bounds a global segment by the next scheduling
+// event (arrival, completion, fault edge, sample tick, horizon end —
+// computed with the same float-exact step arithmetic as internal/sched, so
+// both kernels agree on every decision step). Within a segment each rack
+// advances independently: a rack whose controllers promise quiet through
+// the segment crosses it in closed-form macro windows (rack.Advance),
+// while a pinned rack single-steps — so one noisy rack no longer drags
+// the whole room to fixed-dt. Every advance is charged to a macro window
+// or exactly one pin reason; Σ pins == advances − macro windows holds per
+// rack and room-wide (TestRoomPinIdentity).
+package room

@@ -1,0 +1,178 @@
+package room
+
+import (
+	"testing"
+
+	"repro/internal/lut"
+	"repro/internal/sched"
+	"repro/internal/units"
+)
+
+// view builds a minimal healthy RackView with n identical free slots.
+func view(idx int, free units.Percent, n int) RackView {
+	v := RackView{Index: idx, Servers: n, Healthy: n, MaxFree: free, Free: free * units.Percent(n)}
+	for i := 0; i < n; i++ {
+		v.Slots = append(v.Slots, sched.ServerView{Index: i, Free: free, Load: 100 - free})
+		v.Load += 100 - free
+	}
+	return v
+}
+
+func TestRoundRobinRacksRotation(t *testing.T) {
+	p := NewRoundRobinRacks()
+	racks := []RackView{view(0, 80, 2), view(1, 80, 2), view(2, 80, 2)}
+	j := sched.Job{Demand: 20}
+	// The cursor moves only on Committed: a refused Choose must not
+	// desynchronize the rotation.
+	if got := p.Choose(j, racks); got != 0 {
+		t.Fatalf("first choice %d, want 0", got)
+	}
+	if got := p.Choose(j, racks); got != 0 {
+		t.Fatalf("uncommitted re-choice %d, want 0 (cursor must not move)", got)
+	}
+	p.Committed(0)
+	if got := p.Choose(j, racks); got != 1 {
+		t.Fatalf("after commit, choice %d, want 1", got)
+	}
+	p.Committed(1)
+	p.Committed(2)
+	if got := p.Choose(j, racks); got != 0 {
+		t.Fatalf("rotation must wrap, got %d", got)
+	}
+	// Blocked racks are skipped; all blocked means refusal.
+	racks[0].Blocked = true
+	if got := p.Choose(j, racks); got != 1 {
+		t.Fatalf("blocked rack not skipped: %d", got)
+	}
+	for i := range racks {
+		racks[i].Blocked = true
+	}
+	if got := p.Choose(j, racks); got != -1 {
+		t.Fatalf("all-blocked must refuse, got %d", got)
+	}
+	p.Reset()
+	if p.next != 0 {
+		t.Fatal("Reset must rewind the cursor")
+	}
+}
+
+func TestLeastLoadedAndCoolestChoosers(t *testing.T) {
+	a, b, c := view(0, 40, 2), view(1, 90, 2), view(2, 70, 2)
+	a.MaxInletC, b.MaxInletC, c.MaxInletC = 24, 31, 22
+	racks := []RackView{a, b, c}
+	j := sched.Job{Demand: 20}
+	if got := NewLeastLoadedRack().Choose(j, racks); got != 1 {
+		t.Errorf("least-loaded chose %d, want 1 (lightest)", got)
+	}
+	if got := NewCoolestRack().Choose(j, racks); got != 2 {
+		t.Errorf("coolest chose %d, want 2 (coldest inlet)", got)
+	}
+	// An oversized job no rack fits is refused by both.
+	big := sched.Job{Demand: 95}
+	if got := NewLeastLoadedRack().Choose(big, racks); got != -1 {
+		t.Errorf("least-loaded must refuse the oversized job, got %d", got)
+	}
+	// Unhealthy racks don't fit.
+	racks[1].Healthy = 0
+	if got := NewLeastLoadedRack().Choose(j, racks); got != 2 {
+		t.Errorf("dead rack not skipped: %d", got)
+	}
+}
+
+// costTables builds per-rack single-slot LUTs with the given marginal
+// slopes (steeper slope = pricier rack).
+func costTables(slopes ...float64) [][]*lut.Table {
+	out := make([][]*lut.Table, len(slopes))
+	for r, s := range slopes {
+		out[r] = []*lut.Table{{Entries: []lut.Entry{
+			{Util: 0, RPM: 1800, PredictedTemp: 45, FanLeakPower: 20},
+			{Util: 100, RPM: 3600, PredictedTemp: 68, FanLeakPower: units.Watts(20 + s)},
+		}}}
+	}
+	return out
+}
+
+func TestMinCostRackPricing(t *testing.T) {
+	p, err := NewMinCostRack(costTables(30, 10, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	racks := []RackView{view(0, 100, 1), view(1, 100, 1), view(2, 100, 1)}
+	if got := p.Choose(sched.Job{Demand: 20}, racks); got != 1 {
+		t.Errorf("min-cost chose %d, want 1 (flattest marginal)", got)
+	}
+	if _, err := NewMinCostRack(nil); err == nil {
+		t.Error("empty tables must be rejected")
+	}
+	if _, err := NewMinCostRack([][]*lut.Table{{}}); err == nil {
+		t.Error("rack with no tables must be rejected")
+	}
+}
+
+func TestRecircAwarePricing(t *testing.T) {
+	// Equal slot costs: the recirculation signals alone must break the tie.
+	p, err := NewRecircAware(costTables(20, 20, 20), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	racks := []RackView{view(0, 100, 1), view(1, 100, 1), view(2, 100, 1)}
+	racks[0].RecircRowSum = 0.3 // its exhaust lands on others: amplified
+	racks[1].RecircOffsetC = 2  // already sitting in hot exhaust: penalized
+	if got := p.Choose(sched.Job{Demand: 20}, racks); got != 2 {
+		t.Errorf("recirc-aware chose %d, want 2 (no recirculation exposure)", got)
+	}
+	// Zero/negative penalty picks the documented default.
+	d, err := NewRecircAware(costTables(20), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.offsetW != DefaultRecircOffsetWPerC {
+		t.Errorf("offsetW %g, want default %g", d.offsetW, DefaultRecircOffsetWPerC)
+	}
+	if _, err := NewRecircAware(nil, 1); err == nil {
+		t.Error("empty tables must be rejected")
+	}
+}
+
+func TestPolicyLoadOnly(t *testing.T) {
+	lutTabs := costTables(20, 20)
+	mc, err := NewMinCostRack(lutTabs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name    string
+		chooser RackChooser
+		slot    func() sched.Policy
+		want    bool
+	}{
+		{"rr-rr", NewRoundRobinRacks(), func() sched.Policy { return sched.NewRoundRobin() }, true},
+		{"least-least", NewLeastLoadedRack(), func() sched.Policy { return sched.NewLeastUtilized() }, true},
+		{"coolest-chooser", NewCoolestRack(), func() sched.Policy { return sched.NewRoundRobin() }, false},
+		{"thermal-slots", NewRoundRobinRacks(), func() sched.Policy { return sched.NewCoolestFirst() }, false},
+		{"min-cost", mc, func() sched.Policy { return sched.NewRoundRobin() }, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pol, err := NewPolicy(tc.chooser, []sched.Policy{tc.slot(), tc.slot()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := pol.loadOnly(); got != tc.want {
+				t.Errorf("loadOnly() = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestNewPolicyValidation(t *testing.T) {
+	if _, err := NewPolicy(nil, []sched.Policy{sched.NewRoundRobin()}); err == nil {
+		t.Error("nil chooser must be rejected")
+	}
+	if _, err := NewPolicy(NewRoundRobinRacks(), nil); err == nil {
+		t.Error("no slot policies must be rejected")
+	}
+	if _, err := NewPolicy(NewRoundRobinRacks(), []sched.Policy{sched.NewRoundRobin(), nil}); err == nil {
+		t.Error("nil slot policy must be rejected")
+	}
+}

@@ -1,0 +1,156 @@
+package room
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Matrix is the room's heat-recirculation coupling, row-major: entry
+// W[i][j] is the fraction of rack i's exhaust temperature rise that
+// reappears at rack j's inlet. Rows describe where a rack's exhaust goes;
+// a row summing to at most 1 means a rack cannot deposit more heat on the
+// cold aisles than it exhausted — the containment constraint Validate
+// enforces. The diagonal is legal (self-recirculation around a rack's own
+// aisle end).
+type Matrix struct {
+	W [][]float64
+}
+
+// NewMatrix builds an n×n zero matrix.
+func NewMatrix(n int) *Matrix {
+	w := make([][]float64, n)
+	for i := range w {
+		w[i] = make([]float64, n)
+	}
+	return &Matrix{W: w}
+}
+
+// NeighborMatrix returns the default room coupling for n racks in one row:
+// 12% of a rack's exhaust rise reaches each adjacent rack's inlet and 4%
+// each rack two positions away — short-circuited hot air spilling over
+// containment, decaying with distance. Row sums stay ≤ 0.32.
+func NeighborMatrix(n int) *Matrix {
+	m := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			switch d := abs(i - j); d {
+			case 1:
+				m.W[i][j] = 0.12
+			case 2:
+				m.W[i][j] = 0.04
+			}
+		}
+	}
+	return m
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Size returns the matrix dimension (the number of racks it couples).
+func (m *Matrix) Size() int {
+	if m == nil {
+		return 0
+	}
+	return len(m.W)
+}
+
+// Validate checks the coupling is physical: square, every entry finite and
+// non-negative, every row summing to at most 1 (within 1e-9 slack for
+// parsed decimal rows).
+func (m *Matrix) Validate() error {
+	if m == nil || len(m.W) == 0 {
+		return fmt.Errorf("room: recirculation matrix is empty")
+	}
+	n := len(m.W)
+	for i, row := range m.W {
+		if len(row) != n {
+			return fmt.Errorf("room: recirculation row %d has %d entries, want %d (square matrix)", i, len(row), n)
+		}
+		sum := 0.0
+		for j, w := range row {
+			if math.IsNaN(w) || math.IsInf(w, 0) {
+				return fmt.Errorf("room: recirculation entry [%d][%d] is not finite: %g", i, j, w)
+			}
+			if w < 0 {
+				return fmt.Errorf("room: recirculation entry [%d][%d] is negative: %g", i, j, w)
+			}
+			sum += w
+		}
+		if sum > 1+1e-9 {
+			return fmt.Errorf("room: recirculation row %d sums to %g, want <= 1 (a rack cannot deposit more heat than it exhausts)", i, sum)
+		}
+	}
+	return nil
+}
+
+// RowSum returns Σ_j W[i][j]: the total fraction of rack i's exhaust rise
+// that lands back on cold aisles — the recirculation-aware placement
+// signal (heat placed on a high-row-sum rack is paid more than once).
+func (m *Matrix) RowSum(i int) float64 {
+	if m == nil {
+		return 0
+	}
+	sum := 0.0
+	for _, w := range m.W[i] {
+		sum += w
+	}
+	return sum
+}
+
+// IsZero reports whether every entry is exactly zero — the uncoupled room
+// whose racks must stay bit-identical to independent stepping.
+func (m *Matrix) IsZero() bool {
+	if m == nil {
+		return true
+	}
+	for _, row := range m.W {
+		for _, w := range row {
+			if w != 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ParseMatrix loads a recirculation matrix from its text form: one row per
+// line, entries separated by whitespace or commas, '#' starting a comment,
+// blank lines skipped. The matrix must be square and pass Validate —
+// non-finite entries, negative weights, rows summing past 1 and dimension
+// mismatches are all rejected. This is the untrusted-input surface
+// (evalctl file loading) and the FuzzParseMatrix target.
+func ParseMatrix(data []byte) (*Matrix, error) {
+	var rows [][]float64
+	for ln, line := range strings.Split(string(data), "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.FieldsFunc(line, func(r rune) bool {
+			return r == ' ' || r == '\t' || r == '\r' || r == ','
+		})
+		if len(fields) == 0 {
+			continue
+		}
+		row := make([]float64, 0, len(fields))
+		for _, f := range fields {
+			w, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("room: recirculation line %d: bad entry %q: %w", ln+1, f, err)
+			}
+			row = append(row, w)
+		}
+		rows = append(rows, row)
+	}
+	m := &Matrix{W: rows}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

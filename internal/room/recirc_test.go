@@ -1,0 +1,178 @@
+package room
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestNeighborMatrix(t *testing.T) {
+	m := NeighborMatrix(5)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Size() != 5 {
+		t.Fatalf("size %d, want 5", m.Size())
+	}
+	if m.IsZero() {
+		t.Fatal("neighbor matrix must couple")
+	}
+	for i := 0; i < 5; i++ {
+		if s := m.RowSum(i); s > 0.32+1e-12 {
+			t.Errorf("row %d sums to %g, want ≤ 0.32", i, s)
+		}
+	}
+	// Symmetric decay: adjacent 0.12, two away 0.04, self and distant 0.
+	if m.W[2][1] != 0.12 || m.W[2][3] != 0.12 || m.W[2][0] != 0.04 || m.W[2][4] != 0.04 || m.W[2][2] != 0 {
+		t.Errorf("unexpected middle row %v", m.W[2])
+	}
+	if m.W[0][3] != 0 {
+		t.Errorf("three-away coupling should be zero, got %g", m.W[0][3])
+	}
+}
+
+func TestMatrixZeroAndNil(t *testing.T) {
+	var nilM *Matrix
+	if !nilM.IsZero() || nilM.Size() != 0 || nilM.RowSum(0) != 0 {
+		t.Error("nil matrix must read as empty and zero")
+	}
+	if err := nilM.Validate(); err == nil {
+		t.Error("nil matrix must fail validation (it has no dimension)")
+	}
+	z := NewMatrix(3)
+	if !z.IsZero() {
+		t.Error("fresh matrix must be zero")
+	}
+	if err := z.Validate(); err != nil {
+		t.Errorf("zero matrix is valid, got %v", err)
+	}
+	z.W[1][2] = 0.5
+	if z.IsZero() {
+		t.Error("matrix with an entry is not zero")
+	}
+	if got := z.RowSum(1); got != 0.5 {
+		t.Errorf("row sum %g, want 0.5", got)
+	}
+}
+
+func TestMatrixValidateRejects(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		m    *Matrix
+		want string
+	}{
+		{"empty", &Matrix{}, "empty"},
+		{"ragged", &Matrix{W: [][]float64{{0, 0}, {0}}}, "square"},
+		{"nan", &Matrix{W: [][]float64{{math.NaN()}}}, "not finite"},
+		{"inf", &Matrix{W: [][]float64{{math.Inf(1)}}}, "not finite"},
+		{"negative", &Matrix{W: [][]float64{{-0.1}}}, "negative"},
+		{"row-over-1", &Matrix{W: [][]float64{{0.6, 0.6}, {0, 0}}}, "sums to"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.m.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("want error containing %q, got %v", tc.want, err)
+			}
+		})
+	}
+	// 1e-9 slack: a parsed decimal row summing to exactly 1 must pass.
+	exact := &Matrix{W: [][]float64{{0.1, 0.2, 0.7}, {0, 0, 0}, {1, 0, 0}}}
+	if err := exact.Validate(); err != nil {
+		t.Errorf("row summing to 1 is legal, got %v", err)
+	}
+}
+
+func TestParseMatrix(t *testing.T) {
+	text := `# room coupling, 3 racks
+0.0, 0.12 0.04   # rack 0 row
+
+0.12	0 0.12
+0.04 0.12, 0.0
+`
+	m, err := ParseMatrix([]byte(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Size() != 3 {
+		t.Fatalf("parsed %d rows, want 3", m.Size())
+	}
+	if m.W[0][1] != 0.12 || m.W[1][0] != 0.12 || m.W[2][0] != 0.04 || m.W[1][1] != 0 {
+		t.Errorf("parsed entries wrong: %v", m.W)
+	}
+}
+
+func TestParseMatrixRejects(t *testing.T) {
+	for _, tc := range []struct {
+		name, in, want string
+	}{
+		{"garbage", "0 x\n0 0", "bad entry"},
+		{"empty", "# only comments\n", "empty"},
+		{"nan", "nan nan\n0 0", "not finite"},
+		{"inf", "0 +Inf\n0 0", "not finite"},
+		{"negative", "0 -0.2\n0 0", "negative"},
+		{"row-sum", "0.9 0.9\n0 0", "sums to"},
+		{"ragged", "0 0\n0\n", "square"},
+		{"non-square", "0 0 0\n0 0 0\n", "square"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseMatrix([]byte(tc.in))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("want error containing %q, got %v", tc.want, err)
+			}
+		})
+	}
+}
+
+// FuzzParseMatrix is the untrusted-input fuzz surface (evalctl file
+// loading): whatever the bytes, ParseMatrix must never panic, and anything
+// it accepts must re-validate clean, be square, and survive a serialize →
+// reparse round trip with identical entries.
+func FuzzParseMatrix(f *testing.F) {
+	f.Add([]byte("0 0.12\n0.12 0\n"))
+	f.Add([]byte("# comment\n0.5,0.5\n1.0 0.0\n"))
+	f.Add([]byte("nan inf\n-1 2\n"))
+	f.Add([]byte("0 x\n"))
+	f.Add([]byte("1e-3\t0.999\n0 0\n"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ParseMatrix(data)
+		if err != nil {
+			return
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("accepted matrix fails validation: %v", err)
+		}
+		n := m.Size()
+		if n == 0 {
+			t.Fatal("accepted matrix has no rows")
+		}
+		var sb strings.Builder
+		for i, row := range m.W {
+			if len(row) != n {
+				t.Fatalf("accepted row %d has %d entries, want %d", i, len(row), n)
+			}
+			if s := m.RowSum(i); s > 1+1e-9 {
+				t.Fatalf("accepted row %d sums to %g", i, s)
+			}
+			for j, w := range row {
+				if j > 0 {
+					sb.WriteByte(' ')
+				}
+				sb.WriteString(strconv.FormatFloat(w, 'g', -1, 64))
+			}
+			sb.WriteByte('\n')
+		}
+		m2, err := ParseMatrix([]byte(sb.String()))
+		if err != nil {
+			t.Fatalf("round trip rejected: %v\n%s", err, sb.String())
+		}
+		for i := range m.W {
+			for j := range m.W[i] {
+				if m.W[i][j] != m2.W[i][j] {
+					t.Fatalf("round trip changed [%d][%d]: %g -> %g", i, j, m.W[i][j], m2.W[i][j])
+				}
+			}
+		}
+	})
+}

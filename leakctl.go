@@ -46,6 +46,7 @@ import (
 	"repro/internal/power"
 	"repro/internal/rack"
 	"repro/internal/reliability"
+	"repro/internal/room"
 	"repro/internal/sched"
 	"repro/internal/server"
 	"repro/internal/thermal"
@@ -517,6 +518,106 @@ func RackFaultComparison(base ServerConfig, fe FaultEval) ([]RackFaultResult, er
 // FormatRackFaultTable renders the scenario×policy degradation table.
 func FormatRackFaultTable(w io.Writer, rows []RackFaultResult) error {
 	return experiments.FormatRackFaultTable(w, rows)
+}
+
+// Room scale: N racks behind one shared CRAC bank, thermally coupled by
+// heat recirculation, placed by a two-level policy (rack chooser + slot
+// policy).
+type (
+	// Room is N racks stepped in lockstep behind a shared cooling loop
+	// with row-major heat-recirculation coupling between them.
+	Room = room.Room
+	// RoomConfig parameterizes a Room: racks, the recirculation matrix,
+	// the exhaust-rise coefficient and the shared facility.
+	RoomConfig = room.Config
+	// RoomRackSpec configures one rack of a room.
+	RoomRackSpec = room.RackSpec
+	// RecircMatrix is the row-major heat-recirculation coupling: entry
+	// [i][j] is the fraction of rack i's exhaust rise reappearing at rack
+	// j's inlet.
+	RecircMatrix = room.Matrix
+	// RoomTelemetry is the room-level aggregate view: rack telemetry
+	// summed plus the shared-facility and recirculation meters.
+	RoomTelemetry = room.Telemetry
+	// RoomTraceConfig parameterizes a room trace run (per-rack fault
+	// schedules, event-driven kernel, metrics).
+	RoomTraceConfig = room.TraceConfig
+	// RoomSchedResult summarizes the scheduling outcome of a room trace.
+	RoomSchedResult = room.Result
+	// RoomPolicy is the two-level placement policy: a RackChooser picks
+	// the rack, that rack's PlacementPolicy picks the slot.
+	RoomPolicy = room.Policy
+	// RackChooser decides which rack a job goes to.
+	RackChooser = room.RackChooser
+	// RackView is a chooser's snapshot of one rack at a placement
+	// instant.
+	RackView = room.RackView
+	// EconomizerModel is the water-side economizer option for the shared
+	// bank: free cooling below the outdoor engagement threshold.
+	EconomizerModel = cooling.EconomizerModel
+	// RoomEval parameterizes the room-scale policy comparison.
+	RoomEval = experiments.RoomEval
+	// RoomPolicyResult is one row of the room comparison table.
+	RoomPolicyResult = experiments.RoomPolicyResult
+)
+
+// NewRoom builds a room from its spec, constructing every rack.
+func NewRoom(cfg RoomConfig) (*Room, error) { return room.New(cfg) }
+
+// NewRecircMatrix builds an n×n zero recirculation matrix (uncoupled).
+func NewRecircMatrix(n int) *RecircMatrix { return room.NewMatrix(n) }
+
+// NeighborRecircMatrix returns the default coupling for n racks in one
+// row: 12% of a rack's exhaust rise reaches each adjacent inlet, 4% two
+// positions away.
+func NeighborRecircMatrix(n int) *RecircMatrix { return room.NeighborMatrix(n) }
+
+// ParseRecircMatrix loads a recirculation matrix from its text form (one
+// row per line, '#' comments) and validates it.
+func ParseRecircMatrix(data []byte) (*RecircMatrix, error) { return room.ParseMatrix(data) }
+
+// DefaultEconomizer returns the default water-side economizer (14 °C
+// engagement, 3% free-cooling transport cost).
+func DefaultEconomizer() EconomizerModel { return cooling.DefaultEconomizer() }
+
+// RunRoomTrace drives a room through a job trace under a two-level
+// policy; see RunJobTraceCfg for the rack-scale equivalent.
+func RunRoomTrace(rm *Room, jobs []Job, pol *RoomPolicy, tc RoomTraceConfig) (RoomSchedResult, error) {
+	return room.RunTrace(rm, jobs, pol, tc)
+}
+
+// NewRoomPolicy pairs a rack chooser with one slot policy per rack.
+func NewRoomPolicy(chooser RackChooser, slots []PlacementPolicy) (*RoomPolicy, error) {
+	return room.NewPolicy(chooser, slots)
+}
+
+// NewRoundRobinRacksChooser returns the rotating rack chooser.
+func NewRoundRobinRacksChooser() RackChooser { return room.NewRoundRobinRacks() }
+
+// NewLeastLoadedRackChooser returns the load-balancing rack chooser.
+func NewLeastLoadedRackChooser() RackChooser { return room.NewLeastLoadedRack() }
+
+// NewCoolestRackChooser returns the reactive thermal rack chooser (lowest
+// hottest inlet, recirculation offsets included).
+func NewCoolestRackChooser() RackChooser { return room.NewCoolestRack() }
+
+// DefaultRoomEval returns the standard 4-rack × 8-server room comparison
+// setup.
+func DefaultRoomEval() RoomEval { return experiments.DefaultRoomEval() }
+
+// RoomPolicyLabels returns the room comparison's policy-combo labels in
+// table order.
+func RoomPolicyLabels() []string { return experiments.RoomPolicyLabels() }
+
+// RoomPolicyComparison runs one Poisson trace across all six two-level
+// policy combos on identical fresh rooms behind the shared CRAC bank.
+func RoomPolicyComparison(base ServerConfig, ev RoomEval) ([]RoomPolicyResult, error) {
+	return experiments.RoomPolicyComparison(base, ev)
+}
+
+// FormatRoomTable renders the room policy comparison table.
+func FormatRoomTable(w io.Writer, rows []RoomPolicyResult) error {
+	return experiments.FormatRoomTable(w, rows)
 }
 
 // Extensions beyond the paper (DESIGN.md §6).
