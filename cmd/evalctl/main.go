@@ -23,12 +23,20 @@
 //	evalctl -room -racks 8 -servers 16 -eventstep
 //	evalctl -room -recirc w.txt         # recirculation matrix from a file
 //	evalctl -room -norecirc -nofacility # independent racks (PR 8 physics)
+//
+// Long runs can be checkpointed and resumed (single-policy rack runs):
+//
+//	evalctl -rack -policy round-robin -checkpoint run.snap   # periodic snapshots + SIGINT capture
+//	evalctl -rack -policy round-robin -resume run.snap       # continue an interrupted run
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
@@ -37,10 +45,78 @@ import (
 	"repro/internal/plot"
 	"repro/internal/power"
 	"repro/internal/room"
+	"repro/internal/sched"
 	"repro/internal/server"
+	"repro/internal/snap"
 	"repro/internal/units"
 	"repro/internal/workload"
 )
+
+// runRackCheckpointed executes the crash-safe single-policy rack run: an
+// optional resume from a snapshot file, periodic checkpoints at the
+// -ckevery cadence (each an atomic file replace, so a crash mid-write
+// keeps the previous one), and a SIGINT handler that stops the run at its
+// next decision-step boundary, writes the interrupt-instant checkpoint,
+// and prints the resume command. Resuming then continuing to the horizon
+// is byte-identical to the run that was never interrupted.
+func runRackCheckpointed(cfg server.Config, ev experiments.RackEval, ckptFile string, ckptEvery float64, resumeFile string, capW float64, reg *obs.Registry, metrics bool) {
+	if capW < 0 {
+		capW = 0 // the AC table's "uncapped only" spelling: one uncapped run
+	}
+	ev.WallCapW = capW
+	if resumeFile != "" {
+		var ck sched.Checkpoint
+		if err := snap.DecodeFile(resumeFile, &ck); err != nil {
+			fmt.Fprintln(os.Stderr, "evalctl:", err)
+			os.Exit(1)
+		}
+		ev.Resume = &ck
+		// stderr, so a resumed run's stdout stays byte-identical to the
+		// uninterrupted run's — the property the CI smoke diffs on.
+		fmt.Fprintf(os.Stderr, "resuming %s from %s: step %d/%d (t=%.0f s)\n",
+			ev.Policy, resumeFile, ck.K, ck.Steps, float64(ck.K)*ck.Dt)
+	}
+	if ckptFile != "" {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		ev.Ctx = ctx
+		ev.CheckpointEvery = ckptEvery
+		ev.CheckpointSink = func(ck sched.Checkpoint) error {
+			if err := snap.EncodeFile(ckptFile, ck); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "checkpoint: step %d/%d -> %s\n", ck.K, ck.Steps, ckptFile)
+			return nil
+		}
+	}
+	rows, err := experiments.RackPolicyComparison(cfg, ev)
+	if err != nil {
+		var c *sched.Cancelled
+		if errors.As(err, &c) && ckptFile != "" {
+			if werr := snap.EncodeFile(ckptFile, c.Checkpoint); werr != nil {
+				fmt.Fprintln(os.Stderr, "evalctl: writing interrupt checkpoint:", werr)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "\nevalctl: interrupted at step %d/%d; checkpoint written to %s\n",
+				c.Checkpoint.K, c.Checkpoint.Steps, ckptFile)
+			fmt.Fprintf(os.Stderr, "resume with: evalctl -rack -policy %s -resume %s (plus this run's other flags)\n",
+				ev.Policy, ckptFile)
+			os.Exit(130)
+		}
+		fmt.Fprintln(os.Stderr, "evalctl:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("Rack policy run (%s): %d servers (ambients %s °C), "+
+		"%.0f min Poisson trace (seed %d)\n\n",
+		ev.Policy, ev.Servers, ambientList(cfg, ev.Servers), ev.Horizon/60, ev.TraceSeed)
+	if err := experiments.FormatRackTable(os.Stdout, rows); err != nil {
+		fmt.Fprintln(os.Stderr, "evalctl:", err)
+		os.Exit(1)
+	}
+	if metrics {
+		printMetrics(os.Stdout, reg)
+	}
+}
 
 // ambientList renders the distinct rack ambients in slot order, derived
 // from the experiment's actual server configurations so the banner cannot
@@ -105,10 +181,24 @@ func main() {
 	debugAddr := flag.String("debugaddr", "",
 		"host:port serving /metrics (Prometheus text format of the live run-metrics registry) and "+
 			"/debug/pprof for the duration of the run, e.g. localhost:6060")
+	ckptFile := flag.String("checkpoint", "",
+		"for -rack with -policy: write periodic run checkpoints to this file (atomic replace, see "+
+			"-ckevery) and, on SIGINT, capture the interrupt-instant checkpoint there before exiting; "+
+			"resume later with -resume")
+	ckptEvery := flag.Float64("ckevery", 60,
+		"simulated seconds between periodic checkpoints for -checkpoint")
+	resumeFile := flag.String("resume", "",
+		"for -rack with -policy: resume the run from a checkpoint file written by -checkpoint "+
+			"(the eval flags must match the interrupted run's)")
 	flag.Parse()
 
 	cfg := server.T3Config()
 	ec := experiments.DefaultEval()
+
+	if (*ckptFile != "" || *resumeFile != "") && (!*rackCmp || *policyFlag == "") {
+		fmt.Fprintln(os.Stderr, "evalctl: -checkpoint/-resume capture exactly one run; combine them with -rack and a single -policy")
+		os.Exit(1)
+	}
 
 	// One registry is shared by every run of the selected experiment; the
 	// HTTP surface serves it live while the runs are still in flight.
@@ -327,6 +417,10 @@ func main() {
 			ev.PSU, ev.PDU = &psu, &pdu
 		}
 		ev.Policy = *policyFlag
+		if *ckptFile != "" || *resumeFile != "" {
+			runRackCheckpointed(cfg, ev, *ckptFile, *ckptEvery, *resumeFile, *capW, reg, *metricsFlag)
+			return
+		}
 		if *capW < 0 {
 			// Uncapped runs only: the capped half deliberately keeps the
 			// backlog pin (cap admission watches evolving transients), so

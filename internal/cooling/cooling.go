@@ -2,9 +2,29 @@ package cooling
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/units"
 )
+
+// field pairs a parameter name with its value for the finiteness sweep.
+type field struct {
+	name string
+	v    float64
+}
+
+// finiteFields rejects the first NaN or ±Inf parameter. Range checks
+// alone cannot do this: NaN compares false against every bound, so a NaN
+// field passes `< 0`-style validation and then poisons every power figure
+// computed from the model.
+func finiteFields(model string, fields ...field) error {
+	for _, f := range fields {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("cooling: %s %s must be finite, got %g", model, f.name, f.v)
+		}
+	}
+	return nil
+}
 
 // CRACModel is the computer-room air conditioner: the air-side half of the
 // facility loop. It blows supply air at the cold-aisle setpoint, collects
@@ -38,8 +58,20 @@ func DefaultCRAC() CRACModel {
 	return CRACModel{SupplyC: 18, ReferenceC: 18, BlowerCoeff: 0.05, CapacityW: 40000, AirRiseC: 12}
 }
 
-// Validate reports parameterization errors.
+// Validate reports parameterization errors. Every field is additionally
+// required to be finite: NaN compares false against any bound, so without
+// the explicit checks a NaN coefficient would sail through the range
+// tests and poison every downstream power figure.
 func (c CRACModel) Validate() error {
+	if err := finiteFields("CRAC",
+		field{"supply setpoint", float64(c.SupplyC)},
+		field{"reference supply", float64(c.ReferenceC)},
+		field{"blower coefficient", c.BlowerCoeff},
+		field{"capacity", c.CapacityW},
+		field{"air rise", float64(c.AirRiseC)},
+	); err != nil {
+		return err
+	}
 	if c.BlowerCoeff < 0 {
 		return fmt.Errorf("cooling: CRAC blower coefficient must be >= 0, got %g", c.BlowerCoeff)
 	}
@@ -119,8 +151,22 @@ func DefaultChiller() ChillerModel {
 	}
 }
 
-// Validate reports parameterization errors.
+// Validate reports parameterization errors; every field must be finite
+// (see finiteFields).
 func (m ChillerModel) Validate() error {
+	if err := finiteFields("chiller",
+		field{"COP0", m.COP0},
+		field{"supply reference", float64(m.SupplyRefC)},
+		field{"supply gain", m.SupplyGain},
+		field{"outdoor temperature", float64(m.OutdoorC)},
+		field{"outdoor reference", float64(m.OutdoorRefC)},
+		field{"outdoor penalty", m.OutdoorPenalty},
+		field{"part-load droop", m.PartLoadDroop},
+		field{"part-load knee", m.PartLoadKneeW},
+		field{"MinCOP", m.MinCOP},
+	); err != nil {
+		return err
+	}
 	if m.COP0 <= 0 {
 		return fmt.Errorf("cooling: chiller COP0 must be positive, got %g", m.COP0)
 	}
@@ -191,8 +237,15 @@ func DefaultEconomizer() EconomizerModel {
 	return EconomizerModel{OutdoorBelowC: 14, FreeCoeff: 0.03}
 }
 
-// Validate reports parameterization errors.
+// Validate reports parameterization errors; both fields must be finite
+// (see finiteFields).
 func (e EconomizerModel) Validate() error {
+	if err := finiteFields("economizer",
+		field{"engagement threshold", float64(e.OutdoorBelowC)},
+		field{"free-cooling coefficient", e.FreeCoeff},
+	); err != nil {
+		return err
+	}
 	if e.FreeCoeff < 0 {
 		return fmt.Errorf("cooling: economizer free-cooling coefficient must be >= 0, got %g", e.FreeCoeff)
 	}

@@ -3,6 +3,8 @@ package cooling
 import (
 	"math"
 	"testing"
+
+	"repro/internal/units"
 )
 
 // TestZeroHeatIsExactlyFree pins the identity half of the facility
@@ -134,5 +136,57 @@ func TestValidation(t *testing.T) {
 	bad.Chiller.PartLoadDroop = 1
 	if bad.Validate() == nil {
 		t.Fatal("full part-load droop must be rejected")
+	}
+}
+
+// TestValidationRejectsNonFinite sweeps NaN and ±Inf through every model
+// field: NaN compares false against any bound, so without explicit
+// finiteness checks each of these would pass the range tests and poison
+// the power accounting.
+func TestValidationRejectsNonFinite(t *testing.T) {
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		crac := []func(*CRACModel){
+			func(c *CRACModel) { c.SupplyC = units.Celsius(v) },
+			func(c *CRACModel) { c.ReferenceC = units.Celsius(v) },
+			func(c *CRACModel) { c.BlowerCoeff = v },
+			func(c *CRACModel) { c.CapacityW = v },
+			func(c *CRACModel) { c.AirRiseC = units.Celsius(v) },
+		}
+		for i, mut := range crac {
+			c := DefaultCRAC()
+			mut(&c)
+			if c.Validate() == nil {
+				t.Errorf("CRAC field %d = %g accepted", i, v)
+			}
+		}
+		chiller := []func(*ChillerModel){
+			func(m *ChillerModel) { m.COP0 = v },
+			func(m *ChillerModel) { m.SupplyRefC = units.Celsius(v) },
+			func(m *ChillerModel) { m.SupplyGain = v },
+			func(m *ChillerModel) { m.OutdoorC = units.Celsius(v) },
+			func(m *ChillerModel) { m.OutdoorRefC = units.Celsius(v) },
+			func(m *ChillerModel) { m.OutdoorPenalty = v },
+			func(m *ChillerModel) { m.PartLoadDroop = v },
+			func(m *ChillerModel) { m.PartLoadKneeW = v },
+			func(m *ChillerModel) { m.MinCOP = v },
+		}
+		for i, mut := range chiller {
+			m := DefaultChiller()
+			mut(&m)
+			if m.Validate() == nil {
+				t.Errorf("chiller field %d = %g accepted", i, v)
+			}
+		}
+		econ := []func(*EconomizerModel){
+			func(e *EconomizerModel) { e.OutdoorBelowC = units.Celsius(v) },
+			func(e *EconomizerModel) { e.FreeCoeff = v },
+		}
+		for i, mut := range econ {
+			e := DefaultEconomizer()
+			mut(&e)
+			if e.Validate() == nil {
+				t.Errorf("economizer field %d = %g accepted", i, v)
+			}
+		}
 	}
 }

@@ -1,0 +1,32 @@
+package cpu
+
+import "fmt"
+
+// State is the serializable mutable state of a Complex: per-core
+// utilization plus the uniform-load fast-path flags. The electrical
+// constants and topology are construction parameters and stay outside the
+// snapshot.
+type State struct {
+	Util       []float64
+	Uniform    bool
+	UniformVal float64
+}
+
+// State captures the complex for a checkpoint.
+func (c *Complex) State() State {
+	st := State{Util: make([]float64, len(c.util)), Uniform: c.uniform, UniformVal: c.uniformVal}
+	copy(st.Util, c.util)
+	return st
+}
+
+// SetState restores a captured State into a complex built from the same
+// topology.
+func (c *Complex) SetState(st State) error {
+	if len(st.Util) != len(c.util) {
+		return fmt.Errorf("cpu: state has %d cores, complex has %d", len(st.Util), len(c.util))
+	}
+	copy(c.util, st.Util)
+	c.uniform = st.Uniform
+	c.uniformVal = st.UniformVal
+	return nil
+}

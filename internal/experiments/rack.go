@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -97,6 +98,28 @@ type RackEval struct {
 	// default — keeps sampling off and every metric bit-identical to the
 	// pre-roll-up experiment.
 	ReliabilitySampleEvery float64
+
+	// Ctx, when non-nil, makes every run in the comparison cooperatively
+	// cancellable (sched.TraceConfig.Ctx): each checks it at its decision-
+	// step boundaries and a cancelled run surfaces a *sched.Cancelled —
+	// carrying a resumable checkpoint — through the comparison's error.
+	Ctx context.Context
+
+	// CheckpointEvery and CheckpointSink enable periodic checkpoints of the
+	// measured trace (sched.TraceConfig.CheckpointEvery/CheckpointSink).
+	// Because a checkpoint captures exactly one run, both require Policy to
+	// name a single placement policy; a full five-policy comparison has no
+	// well-defined "the run" to snapshot.
+	CheckpointEvery float64
+	CheckpointSink  func(sched.Checkpoint) error
+
+	// Resume, when non-nil, resumes the single-policy run from a prior
+	// checkpoint instead of starting fresh: the stabilization window and
+	// accounting reset are skipped (their effect is part of the captured
+	// state) and the run continues through sched.ResumeTraceCfg. Requires
+	// Policy, and the eval must otherwise match the checkpoint's
+	// configuration (the resume cross-checks enforce it).
+	Resume *sched.Checkpoint
 
 	// Metrics, when non-nil, is the run-metrics registry every measured
 	// trace of the experiment instruments (sched.TraceConfig.Metrics). One
@@ -276,6 +299,9 @@ func prepareRackEval(base server.Config, ev RackEval) (*rackSetup, error) {
 	if ev.Servers <= 0 || ev.Dt <= 0 || ev.Horizon <= 0 {
 		return nil, fmt.Errorf("experiments: rack eval needs positive servers/dt/horizon, got %+v", ev)
 	}
+	if (ev.CheckpointSink != nil || ev.CheckpointEvery != 0 || ev.Resume != nil) && ev.Policy == "" {
+		return nil, fmt.Errorf("experiments: checkpoint/resume needs Policy to name a single placement policy")
+	}
 	cfgs := RackServerConfigs(base, ev.Servers)
 	tables, err := buildRackTables(cfgs, ev)
 	if err != nil {
@@ -391,22 +417,34 @@ func RackACComparison(base server.Config, ev RackEval) (*RackACResult, error) {
 }
 
 // runRackPolicy is one policy's full run: fresh rack, idle stabilization,
-// accounting reset, then the measured trace window under the cap.
+// accounting reset, then the measured trace window under the cap. With
+// ev.Resume set, stabilization and the reset are skipped — their effect
+// is already inside the checkpointed state — and the trace continues from
+// the checkpoint's cursor instead.
 func (s *rackSetup) runRackPolicy(p sched.Policy, ev RackEval, capW float64) (RackPolicyResult, error) {
 	r, err := rackFor(s.cfgs, s.tables, ev, nil)
 	if err != nil {
 		return RackPolicyResult{}, err
 	}
-	if err := sched.Settle(r, ev.Dt, ev.Stabilize, ev.EventStepping); err != nil {
-		return RackPolicyResult{}, err
-	}
-	r.ResetAccounting()
-	sres, err := sched.RunTraceCfg(r, s.jobs, p, sched.TraceConfig{
+	tc := sched.TraceConfig{
 		Dt: ev.Dt, Horizon: ev.Horizon, WallCapW: capW, EventStepping: ev.EventStepping,
 		Backfill: ev.Backfill, Metrics: ev.Metrics,
-	})
+		Ctx: ev.Ctx, CheckpointEvery: ev.CheckpointEvery, CheckpointSink: ev.CheckpointSink,
+	}
+	var sres sched.Result
+	if ev.Resume != nil {
+		sres, err = sched.ResumeTraceCfg(r, s.jobs, p, tc, *ev.Resume)
+	} else {
+		if err := sched.Settle(r, ev.Dt, ev.Stabilize, ev.EventStepping); err != nil {
+			return RackPolicyResult{}, err
+		}
+		r.ResetAccounting()
+		sres, err = sched.RunTraceCfg(r, s.jobs, p, tc)
+	}
 	if err != nil {
-		return RackPolicyResult{}, err
+		// Partial results ride along with cancellation: the caller can show
+		// what the run had accumulated before writing the checkpoint out.
+		return RackPolicyResult{Policy: p.Name(), CapW: capW, Sched: sres, Rack: r.Telemetry()}, err
 	}
 	return RackPolicyResult{Policy: p.Name(), CapW: capW, Sched: sres, Rack: r.Telemetry()}, nil
 }

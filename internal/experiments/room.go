@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -73,6 +74,12 @@ type RoomEval struct {
 	// commutative updates only, so the dump is byte-identical for every
 	// Workers value.
 	Metrics *obs.Registry
+
+	// Ctx, when non-nil, makes every cell's run cooperatively cancellable
+	// (room.TraceConfig.Ctx): runs stop at their next decision-step
+	// boundary and the comparison surfaces an error wrapping ctx.Err().
+	// Room runs have no resume cursor — cancellation bounds wall-clock.
+	Ctx context.Context
 }
 
 // DefaultRoomEval returns a 4-rack × 8-server room under a 30-minute trace
@@ -364,6 +371,7 @@ func runRoomPolicy(cell roomPolicyCell, cfgs [][]server.Config, tables []*lut.Ta
 	rm.ResetAccounting()
 	sres, err := room.RunTrace(rm, jobs, pol, room.TraceConfig{
 		Dt: ev.Dt, Horizon: ev.Horizon, EventStepping: ev.EventStepping, Metrics: ev.Metrics,
+		Ctx: ev.Ctx,
 	})
 	if err != nil {
 		return RoomPolicyResult{}, err

@@ -1,0 +1,53 @@
+package fans
+
+import (
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// State is the serializable mutable state of a Bank. Settled is stored, not
+// derived: Spindown leaves a bank unsettled even when a fan happens to sit
+// at its target, and the macro-stepping eligibility gate reads exactly this
+// latch. The MeanRPM/Power memos are derived caches and are invalidated on
+// restore.
+type State struct {
+	Actual  []units.RPM
+	Target  []units.RPM
+	Stuck   []bool
+	Settled bool
+}
+
+// State captures the bank for a checkpoint.
+func (b *Bank) State() State {
+	st := State{
+		Actual:  make([]units.RPM, len(b.fans)),
+		Target:  make([]units.RPM, len(b.fans)),
+		Stuck:   make([]bool, len(b.fans)),
+		Settled: b.settled,
+	}
+	for i, f := range b.fans {
+		st.Actual[i] = f.actual
+		st.Target[i] = f.target
+		st.Stuck[i] = f.stuck
+	}
+	return st
+}
+
+// SetState restores a captured State into a bank built from the same
+// configuration.
+func (b *Bank) SetState(st State) error {
+	if len(st.Actual) != len(b.fans) || len(st.Target) != len(b.fans) || len(st.Stuck) != len(b.fans) {
+		return fmt.Errorf("fans: state has %d/%d/%d fans, bank has %d",
+			len(st.Actual), len(st.Target), len(st.Stuck), len(b.fans))
+	}
+	for i, f := range b.fans {
+		f.actual = st.Actual[i]
+		f.target = st.Target[i]
+		f.stuck = st.Stuck[i]
+	}
+	b.settled = st.Settled
+	b.meanValid = false
+	b.powerValid = false
+	return nil
+}

@@ -268,6 +268,17 @@ func (b *Bank) MaxTemp() units.Celsius {
 // NumDIMMs returns the DIMM count.
 func (b *Bank) NumDIMMs() int { return len(b.temps) }
 
+// TempSum returns the plain sum of all DIMM temperatures. A NaN or Inf
+// DIMM poisons the sum, whereas MaxTemp's comparisons would skip it —
+// the divergence guard reads this, not the max.
+func (b *Bank) TempSum() float64 {
+	var s float64
+	for _, v := range b.temps {
+		s += v
+	}
+	return s
+}
+
 // Settle snaps all DIMMs to equilibrium for the given conditions.
 func (b *Bank) Settle(ambient units.Celsius, u units.Percent, r units.RPM) {
 	for i := range b.temps {

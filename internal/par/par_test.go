@@ -42,6 +42,65 @@ func TestForEachBoundsConcurrency(t *testing.T) {
 	}
 }
 
+// TestForEachPanicContainment exercises the per-job recover path under
+// every worker shape (run with -race in CI): one deliberately panicking job
+// must not stop the others, all slots must still run, and the repanic must
+// arrive as a *JobPanic carrying the offending slot.
+func TestForEachPanicContainment(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		const n, bad = 64, 17
+		seen := make([]int32, n)
+		var got *JobPanic
+		func() {
+			defer func() {
+				v := recover()
+				if v == nil {
+					t.Fatalf("workers=%d: expected repanic", workers)
+				}
+				p, ok := v.(*JobPanic)
+				if !ok {
+					t.Fatalf("workers=%d: repanicked with %T, want *JobPanic", workers, v)
+				}
+				got = p
+			}()
+			ForEach(n, workers, func(i int) {
+				atomic.AddInt32(&seen[i], 1)
+				if i == bad {
+					panic("boom")
+				}
+			})
+		}()
+		if got.Slot != bad || got.Value != "boom" {
+			t.Fatalf("workers=%d: JobPanic{Slot:%d, Value:%v}, want slot %d value boom",
+				workers, got.Slot, got.Value, bad)
+		}
+		if len(got.Stack) == 0 {
+			t.Fatalf("workers=%d: JobPanic carries no stack", workers)
+		}
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("workers=%d: slot %d ran %d times after panic in slot %d", workers, i, c, bad)
+			}
+		}
+	}
+}
+
+// TestForEachFirstPanicWinsSerial pins the serial-path determinism: with
+// several panicking slots and workers=1, the lowest slot is reported.
+func TestForEachFirstPanicWinsSerial(t *testing.T) {
+	defer func() {
+		p, ok := recover().(*JobPanic)
+		if !ok || p.Slot != 3 {
+			t.Fatalf("recovered %v, want *JobPanic with slot 3", p)
+		}
+	}()
+	ForEach(10, 1, func(i int) {
+		if i >= 3 {
+			panic(i)
+		}
+	})
+}
+
 func TestWorkers(t *testing.T) {
 	if got := Workers(0, 100); got != runtime.GOMAXPROCS(0) {
 		t.Fatalf("Workers(0, 100) = %d, want GOMAXPROCS", got)

@@ -675,6 +675,20 @@ func (r *Rack) WallEnergyJoules() float64 { return r.wallEnergyJ }
 // the rack's own per-step/per-window integration).
 func (r *Rack) DCEnergyJoules() float64 { return r.dcEnergyJ }
 
+// StateSum folds the rack's continuous state into one plain sum: the
+// instantaneous power aggregates plus every server's StateSum. Any NaN or
+// Inf anywhere in the thermal, fan, or power state poisons the result, so
+// a single finiteness check on it is a complete divergence probe — O(total
+// nodes), far cheaper than a step. The sched kernels' divergence guard
+// calls this after every advance.
+func (r *Rack) StateSum() float64 {
+	s := r.lastDCW + r.lastWallW + r.lastCoolW
+	for _, st := range r.servers {
+		s += st.srv.StateSum()
+	}
+	return s
+}
+
 // AddAmbientOffset shifts every server's ambient offset by delta,
 // composing additively with any offsets already applied (fault heat soaks
 // use the same mechanism). The room layer applies heat-recirculation inlet

@@ -15,12 +15,57 @@ import (
 
 // Source is a deterministic random source for workload synthesis.
 type Source struct {
-	rng *rand.Rand
+	rng  *rand.Rand
+	src  *countingSrc
+	seed int64
+}
+
+// countingSrc wraps the stdlib generator and counts every draw taken from
+// it. math/rand's derived distributions consume the raw stream exclusively
+// through Int63/Uint64 (each advancing the generator by exactly one internal
+// step), so (seed, draws) fully determines the generator state: Restore
+// re-seeds and discards the counted number of draws to land bit-identically
+// where the snapshot was taken. Implementing rand.Source64 is load-bearing —
+// without Uint64 the wrapped rand.Rand would synthesize 64-bit draws from
+// two Int63 calls and the sequence would diverge from an unwrapped Source.
+type countingSrc struct {
+	src   rand.Source64
+	draws uint64
+}
+
+func (c *countingSrc) Int63() int64 { c.draws++; return c.src.Int63() }
+
+func (c *countingSrc) Uint64() uint64 { c.draws++; return c.src.Uint64() }
+
+func (c *countingSrc) Seed(seed int64) { c.src.Seed(seed); c.draws = 0 }
+
+// State is the serializable state of a Source: the construction seed and
+// the number of raw draws consumed since seeding.
+type State struct {
+	Seed  int64
+	Draws uint64
 }
 
 // New returns a Source seeded with seed.
 func New(seed int64) *Source {
-	return &Source{rng: rand.New(rand.NewSource(seed))}
+	src := &countingSrc{src: rand.NewSource(seed).(rand.Source64)}
+	return &Source{rng: rand.New(src), src: src, seed: seed}
+}
+
+// State captures the Source for a checkpoint.
+func (s *Source) State() State { return State{Seed: s.seed, Draws: s.src.draws} }
+
+// Restore rewinds the Source to a captured State by re-seeding and
+// fast-forwarding the recorded number of draws, after which the draw
+// sequence continues bit-identically to the snapshotted generator.
+func (s *Source) Restore(st State) {
+	raw := rand.NewSource(st.Seed).(rand.Source64)
+	for i := uint64(0); i < st.Draws; i++ {
+		raw.Uint64()
+	}
+	s.src = &countingSrc{src: raw, draws: st.Draws}
+	s.rng = rand.New(s.src)
+	s.seed = st.Seed
 }
 
 // Exponential draws from an exponential distribution with the given mean.

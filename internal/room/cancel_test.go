@@ -1,0 +1,82 @@
+package room
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestRoomCancellation: a cancelled context stops the run at the next
+// decision-step boundary, returning the partial Result accumulated so far
+// and an error wrapping context.Canceled — on both kernels.
+func TestRoomCancellation(t *testing.T) {
+	const racks, servers, horizon = 2, 2, 300.0
+	jobs := randomJobs(t, 11, 250, servers*racks, 0.5)
+	for _, event := range []bool{false, true} {
+		rm := testRoom(t, racks, servers, 1, NeighborMatrix(racks), nil, true)
+		full, err := RunTrace(rm, jobs, rrPolicy(t, racks), TraceConfig{
+			Dt: 1, Horizon: horizon, EventStepping: event, SampleEvery: 15,
+		})
+		if err != nil {
+			t.Fatalf("event=%v: reference run: %v", event, err)
+		}
+
+		// Already-cancelled context: the run must stop before step 0.
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		rm2 := testRoom(t, racks, servers, 1, NeighborMatrix(racks), nil, true)
+		partial, err := RunTrace(rm2, jobs, rrPolicy(t, racks), TraceConfig{
+			Dt: 1, Horizon: horizon, EventStepping: event, SampleEvery: 15, Ctx: ctx,
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("event=%v: got %v, want context.Canceled", event, err)
+		}
+		if partial.GridSteps != 0 {
+			t.Fatalf("event=%v: pre-cancelled run advanced %d steps", event, partial.GridSteps)
+		}
+		if partial.Submitted != len(jobs) {
+			t.Fatalf("event=%v: partial result lost the submission count", event)
+		}
+
+		// Deadline mid-run: the partial result stops strictly short of the
+		// full run but stays internally coherent.
+		ctx2, cancel2 := context.WithCancel(context.Background())
+		rm3 := testRoom(t, racks, servers, 1, NeighborMatrix(racks), nil, true)
+		done := make(chan struct{})
+		go func() {
+			// Real wall-clock races are fine here: any cancellation point
+			// (including none, if the run wins) must leave a coherent result.
+			time.Sleep(time.Millisecond)
+			cancel2()
+			close(done)
+		}()
+		res, err := RunTrace(rm3, jobs, rrPolicy(t, racks), TraceConfig{
+			Dt: 1, Horizon: horizon, EventStepping: event, SampleEvery: 15, Ctx: ctx2,
+		})
+		<-done
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Fatalf("event=%v: unexpected error: %v", event, err)
+		}
+		if res.GridSteps < 0 || res.GridSteps > full.GridSteps {
+			t.Fatalf("event=%v: cancelled run crossed %d grid steps, full run %d",
+				event, res.GridSteps, full.GridSteps)
+		}
+		cancel2()
+	}
+}
+
+// TestRoomNilCtxUnchanged: a nil context keeps RunTrace byte-identical to
+// the pre-cancellation behaviour — the zero-value TraceConfig still runs
+// to the horizon.
+func TestRoomNilCtxUnchanged(t *testing.T) {
+	jobs := randomJobs(t, 11, 100, 4, 0.5)
+	rm := testRoom(t, 2, 2, 1, nil, nil, true)
+	res, err := RunTrace(rm, jobs, rrPolicy(t, 2), TraceConfig{Dt: 1, Horizon: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GridSteps != 120 {
+		t.Fatalf("nil-ctx run crossed %d steps, want 120", res.GridSteps)
+	}
+}

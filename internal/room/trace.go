@@ -1,6 +1,7 @@
 package room
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -21,6 +22,15 @@ import (
 type TraceConfig struct {
 	Dt      float64 // simulation step, seconds
 	Horizon float64 // trace window, seconds
+
+	// Ctx, when non-nil, makes the run cooperatively cancellable: it is
+	// checked at every decision-step boundary (each grid step on the fixed
+	// path, each global segment on the event path — never mid-fan-out), and
+	// a cancelled run stops there, returning the partial Result accumulated
+	// so far together with an error wrapping ctx.Err(). Room runs have no
+	// resume cursor (that is a rack-scope feature, see sched.ResumeTraceCfg);
+	// cancellation is for bounding wall-clock, not for checkpointing.
+	Ctx context.Context
 
 	// EventStepping selects the room's event-driven kernel: the global
 	// segment between scheduling events is computed once — arrivals,
@@ -257,6 +267,9 @@ type roomRun struct {
 // Room.Step), every rack charged one fixed-dt pin.
 func (e *roomRun) runFixed() error {
 	for k := 0; k < e.steps; k++ {
+		if err := e.cancelled(k); err != nil {
+			return err
+		}
 		if err := e.processStep(k); err != nil {
 			return err
 		}
@@ -291,6 +304,9 @@ func (e *roomRun) runEvents() error {
 		}
 	}
 	for k := 0; k < e.steps; {
+		if err := e.cancelled(k); err != nil {
+			return err
+		}
 		if err := e.processStep(k); err != nil {
 			return err
 		}
@@ -311,6 +327,20 @@ func (e *roomRun) runEvents() error {
 		e.m.segments.Inc()
 		e.m.gridSteps.Add(int64(seg))
 		k += seg
+	}
+	return nil
+}
+
+// cancelled implements the cooperative-cancellation check both kernels
+// run at the top of every decision-step boundary. No fan-out is in flight
+// there, so stopping leaves the room at a consistent instant and the
+// partial Result internally coherent.
+func (e *roomRun) cancelled(k int) error {
+	if e.tc.Ctx == nil {
+		return nil
+	}
+	if err := e.tc.Ctx.Err(); err != nil {
+		return fmt.Errorf("room: run cancelled at step %d/%d: %w", k, e.steps, err)
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -637,6 +638,30 @@ type TraceConfig struct {
 	// jobs restarted from scratch).
 	DropOnFault bool
 
+	// Ctx, when non-nil, is the run's cooperative cancellation: it is
+	// checked at every decision-step boundary (fixed kernel: every grid
+	// step; event kernel: every macro-window boundary), never mid-advance.
+	// A cancelled run stops at the boundary and returns the partial Result
+	// together with a *Cancelled error whose Checkpoint resumes the run
+	// (ResumeTraceCfg) byte-identically to the uninterrupted one. nil — the
+	// default — never cancels and adds no per-step cost.
+	Ctx context.Context
+
+	// CheckpointEvery, in seconds of simulated time, is the periodic
+	// checkpoint cadence: at the first decision-step boundary at or past
+	// each multiple, the run's full state is captured and handed to
+	// CheckpointSink. Setting either checkpoint field requires the other;
+	// CheckpointEvery must be positive and finite. Zero with a nil sink —
+	// the default — disables periodic checkpointing entirely.
+	CheckpointEvery float64
+
+	// CheckpointSink receives each periodic checkpoint. A sink error
+	// aborts the run and is returned verbatim — which doubles as a precise
+	// interrupt-at-T mechanism for tests. The sink runs serially on the
+	// run's goroutine; what it does with the Checkpoint (snap.EncodeFile,
+	// usually) is its own business.
+	CheckpointSink func(Checkpoint) error
+
 	// Metrics, when non-nil, receives the run's observability counters:
 	// per-advance kernel accounting (steps, macro windows, window-length
 	// histogram, the pin-reason breakdown) during the run, scheduling
@@ -690,14 +715,35 @@ func RunTrace(r *rack.Rack, jobs []Job, p Policy, dt, horizon float64) (Result, 
 // advances the rack across the quiet gaps in closed-form macro windows
 // (see TraceConfig.EventStepping).
 func RunTraceCfg(r *rack.Rack, jobs []Job, p Policy, tc TraceConfig) (Result, error) {
-	dt, horizon := tc.Dt, tc.Horizon
-	if dt <= 0 || horizon <= 0 {
-		return Result{}, fmt.Errorf("sched: dt and horizon must be positive")
-	}
-	if !sort.SliceIsSorted(jobs, func(a, b int) bool { return jobs[a].Arrival < jobs[b].Arrival }) {
-		return Result{}, fmt.Errorf("sched: jobs must be sorted by arrival time")
+	e, err := newTraceRun(r, jobs, p, tc)
+	if err != nil {
+		return Result{}, err
 	}
 	p.Reset()
+	e.m.submitted.Add(int64(len(jobs)))
+	return e.run()
+}
+
+// newTraceRun validates the configuration and builds the run state shared
+// by RunTraceCfg and ResumeTraceCfg — everything up to, but excluding, the
+// fresh-run-only initialization (policy reset, submitted count) a resume
+// must skip.
+func newTraceRun(r *rack.Rack, jobs []Job, p Policy, tc TraceConfig) (*traceRun, error) {
+	dt, horizon := tc.Dt, tc.Horizon
+	if dt <= 0 || horizon <= 0 {
+		return nil, fmt.Errorf("sched: dt and horizon must be positive")
+	}
+	if tc.CheckpointSink != nil || tc.CheckpointEvery != 0 {
+		if !(tc.CheckpointEvery > 0) || math.IsInf(tc.CheckpointEvery, 0) {
+			return nil, fmt.Errorf("sched: CheckpointEvery must be positive and finite, got %g", tc.CheckpointEvery)
+		}
+		if tc.CheckpointSink == nil {
+			return nil, fmt.Errorf("sched: CheckpointEvery set without a CheckpointSink")
+		}
+	}
+	if !sort.SliceIsSorted(jobs, func(a, b int) bool { return jobs[a].Arrival < jobs[b].Arrival }) {
+		return nil, fmt.Errorf("sched: jobs must be sorted by arrival time")
+	}
 
 	e := &traceRun{
 		r:         r,
@@ -711,6 +757,8 @@ func RunTraceCfg(r *rack.Rack, jobs []Job, p Policy, tc TraceConfig) (Result, er
 		pendingDC: make([]units.Watts, r.NumServers()),
 		start:     r.Now(),
 		steps:     int(math.Ceil(horizon/dt - 1e-9)),
+		nextCkpt:  tc.CheckpointEvery,
+		hooks:     tc.Ctx != nil || tc.CheckpointSink != nil,
 		m:         newRunMetrics(tc.Metrics),
 		// The backlog un-pin engages only when the head's block is provably
 		// invariant between events: a load-only policy refusal. A wall cap
@@ -718,15 +766,21 @@ func RunTraceCfg(r *rack.Rack, jobs []Job, p Policy, tc TraceConfig) (Result, er
 		// transients), so capped runs keep the conservative per-step retry.
 		backlogMacro: tc.WallCapW <= 0 && RefusalIsLoadOnly(p),
 	}
-	e.m.submitted.Add(int64(len(jobs)))
 	if !tc.Faults.Empty() {
 		if err := tc.Faults.Validate(r.NumServers(), r.Server(0).Fans().NumFans()); err != nil {
-			return Result{}, fmt.Errorf("sched: fault schedule: %w", err)
+			return nil, fmt.Errorf("sched: fault schedule: %w", err)
 		}
 		e.buildFaultActions()
 	}
+	return e, nil
+}
+
+// run executes the configured kernel and folds the post-run accounting —
+// shared by the fresh-start and resume entry points. On a cancellation or
+// divergence error the partial Result is still returned alongside it.
+func (e *traceRun) run() (Result, error) {
 	var err error
-	if tc.EventStepping {
+	if e.tc.EventStepping {
 		err = e.runEvents()
 	} else {
 		err = e.runFixed()
@@ -734,11 +788,11 @@ func RunTraceCfg(r *rack.Rack, jobs []Job, p Policy, tc TraceConfig) (Result, er
 	if e.res.Placed > 0 {
 		e.res.MeanWaitSec = e.totalWait / float64(e.res.Placed)
 	}
-	if tc.Metrics != nil {
+	if e.tc.Metrics != nil {
 		// Serial post-run fold of the physics-layer counters; the per-step
 		// kernel and scheduling counts were charged as they happened.
-		r.MetricsInto(tc.Metrics)
-		e.res.Metrics = tc.Metrics
+		e.r.MetricsInto(e.tc.Metrics)
+		e.res.Metrics = e.tc.Metrics
 	}
 	return e.res, err
 }
@@ -767,6 +821,14 @@ type traceRun struct {
 	start     float64
 	steps     int
 
+	// Run control: k0 is the first grid step to process (non-zero only on
+	// resume), nextCkpt the next periodic-checkpoint instant in elapsed
+	// seconds, hooks whether boundary() needs to run at all — one branch
+	// per decision step when disabled.
+	k0       int
+	nextCkpt float64
+	hooks    bool
+
 	// backlogMacro, fixed at run start, allows the event kernel to grant
 	// macro windows over a non-empty backlog (see LoadOnlyRefuser): the
 	// policy's refusals are load-only and no wall cap is set.
@@ -787,7 +849,12 @@ type traceRun struct {
 // events and advances the rack by one dt, bit-identical to the original
 // runner.
 func (e *traceRun) runFixed() error {
-	for k := 0; k < e.steps; k++ {
+	for k := e.k0; k < e.steps; k++ {
+		if e.hooks {
+			if err := e.boundary(k); err != nil {
+				return err
+			}
+		}
 		if err := e.processStep(k); err != nil {
 			return err
 		}
@@ -795,6 +862,9 @@ func (e *traceRun) runFixed() error {
 		e.r.Step(e.dt)
 		e.res.RackSteps++
 		e.m.advance(1, pinFixedDt)
+		if err := e.checkFinite(k + 1); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -1043,7 +1113,12 @@ func (e *traceRun) runEvents() error {
 			sampleSteps = 1
 		}
 	}
-	for k := 0; k < e.steps; {
+	for k := e.k0; k < e.steps; {
+		if e.hooks {
+			if err := e.boundary(k); err != nil {
+				return err
+			}
+		}
 		if err := e.processStep(k); err != nil {
 			return err
 		}
@@ -1070,6 +1145,9 @@ func (e *traceRun) runEvents() error {
 		e.res.RackSteps++
 		e.m.advance(window, reason)
 		k += window
+		if err := e.checkFinite(k); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -337,6 +337,18 @@ func (s *Server) MaxCPUTemp() units.Celsius {
 	return m
 }
 
+// StateSum folds the server's continuous state — every thermal node,
+// every DIMM temperature, the ambient, and the mean fan speed — into one
+// plain sum. Max-style telemetry roll-ups skip NaN in their comparisons
+// and the leakage curve clamps temperature, so a NaN born in the thermal
+// network never reaches the power aggregates; this sum is the one number
+// a non-finite value cannot hide from. The run-level divergence guard
+// reads it after every advance.
+func (s *Server) StateSum() float64 {
+	return s.net.TempSum() + s.mem.TempSum() +
+		float64(s.cfg.Ambient) + float64(s.fans.MeanRPM())
+}
+
 // InletTemp returns the true CPU inlet air temperature: the configured
 // ambient plus the DIMM preheat at the current utilization and fan speed.
 // Rack-level telemetry aggregates this across heterogeneous servers.

@@ -1,0 +1,45 @@
+// Package snap is the on-disk container for run checkpoints: a fixed
+// magic-plus-version header framing a gob payload, with a decoder hardened
+// against malformed input (checkpoint files are external data — they must
+// error, never panic).
+//
+// # Format
+//
+// A snapshot file is
+//
+//	bytes 0..7   magic "REPROSNP"
+//	bytes 8..11  format version, big-endian uint32
+//	bytes 12..   encoding/gob stream of one payload value
+//
+// gob is the payload codec because it round-trips float64 values bit-
+// exactly — including the ±Inf sentinels live controller state carries
+// (control.State quiet-until) and any NaN a diagnostic snapshot captures —
+// with no textual re-parse to lose ulps over. Payload DTOs deliberately
+// contain no maps: gob serializes map iteration order, which would make
+// otherwise-identical snapshots byte-unequal (see obs.State's name-sorted
+// slices).
+//
+// # Versioning and compatibility
+//
+// The header version covers the container framing AND the payload schema:
+// any change to the DTO graph a checkpoint embeds (sched.Checkpoint,
+// rack.State, server.State, ...) that gob cannot absorb transparently —
+// removing or re-typing a field, changing a field's meaning — must bump
+// Version. Purely additive DTO fields MAY keep the version (gob decodes
+// missing fields to zero values), but only when the zero value reproduces
+// the pre-field behaviour exactly; when in doubt, bump. Decode rejects any
+// version other than the one it was built with: snapshots are short-lived
+// operational artifacts (crash recovery, migration across a restart), not
+// archival data, and refusing to guess beats resuming from misread state.
+//
+// # Checkpoint instants
+//
+// A checkpoint is only captured at a decision-step boundary — the top of
+// the run loop, before the step's scheduling decisions, where no fan-out
+// is in flight and every macro window has fully landed. In the event
+// kernel those are exactly the macro-window boundaries: the kernel never
+// stops mid-window, so a snapshot never has to represent a half-advanced
+// closed-form segment. Resuming from such a boundary is byte-identical to
+// the uninterrupted run (see sched.ResumeTraceCfg and the resume
+// equivalence suite).
+package snap

@@ -1,0 +1,98 @@
+package snap
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+type payload struct {
+	A int
+	B []float64
+	C string
+}
+
+func TestRoundTrip(t *testing.T) {
+	in := payload{A: 7, B: []float64{1.5, math.Inf(1), math.NaN(), -0.0}, C: "x"}
+	var buf bytes.Buffer
+	if err := Encode(&buf, in); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	var out payload
+	if err := Decode(bytes.NewReader(buf.Bytes()), &out); err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if out.A != in.A || out.C != in.C || len(out.B) != len(in.B) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", out, in)
+	}
+	for i := range in.B {
+		if math.Float64bits(out.B[i]) != math.Float64bits(in.B[i]) {
+			t.Fatalf("B[%d]: bits %x != %x (gob must round-trip floats bit-exactly)",
+				i, math.Float64bits(out.B[i]), math.Float64bits(in.B[i]))
+		}
+	}
+}
+
+func TestFileRoundTripAtomic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.snap")
+	if err := EncodeFile(path, payload{A: 1}); err != nil {
+		t.Fatalf("EncodeFile: %v", err)
+	}
+	// Overwrite: the previous file must be replaced wholesale.
+	if err := EncodeFile(path, payload{A: 2}); err != nil {
+		t.Fatalf("EncodeFile overwrite: %v", err)
+	}
+	var out payload
+	if err := DecodeFile(path, &out); err != nil {
+		t.Fatalf("DecodeFile: %v", err)
+	}
+	if out.A != 2 {
+		t.Fatalf("got A=%d, want the overwritten value 2", out.A)
+	}
+	ents, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("temporary file %s left behind", e.Name())
+		}
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	var good bytes.Buffer
+	if err := Encode(&good, payload{A: 3}); err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":            nil,
+		"short header":     good.Bytes()[:5],
+		"bad magic":        append([]byte("NOTASNAP"), good.Bytes()[8:]...),
+		"future version":   append(append([]byte{}, good.Bytes()[:8]...), 0, 0, 0, 99),
+		"truncated gob":    good.Bytes()[:headerLen+3],
+		"garbage payload":  append(append([]byte{}, good.Bytes()[:headerLen]...), 0xff, 0xfe, 0xfd),
+		"header only":      good.Bytes()[:headerLen],
+		"trailing garbage": {'R', 'E', 'P', 'R', 'O', 'S', 'N', 'P', 0, 0, 0, 1, 0x04, 0x01, 0x02},
+	}
+	for name, data := range cases {
+		var out payload
+		if err := Decode(bytes.NewReader(data), &out); err == nil {
+			t.Errorf("%s: Decode accepted malformed input", name)
+		}
+	}
+}
+
+func TestDecodeTypeMismatchErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, payload{A: 3, C: "s"}); err != nil {
+		t.Fatal(err)
+	}
+	var wrong struct{ A []string }
+	if err := Decode(bytes.NewReader(buf.Bytes()), &wrong); err == nil {
+		t.Fatal("Decode into a mismatched type succeeded")
+	}
+}

@@ -268,6 +268,18 @@ func (n *Network) SetTemp(id NodeID, temp float64) error {
 // NumNodes returns the number of capacitive nodes.
 func (n *Network) NumNodes() int { return len(n.nodes) }
 
+// TempSum returns the plain sum of every node temperature. Unlike the
+// max-style roll-ups, whose `>` comparisons silently skip NaN, a sum is
+// poisoned by any non-finite node — which is exactly what the run-level
+// divergence guard needs: one O(nodes) read that cannot hide a NaN.
+func (n *Network) TempSum() float64 {
+	var s float64
+	for i := range n.nodes {
+		s += n.nodes[i].temp
+	}
+	return s
+}
+
 // derivative computes dT/dt for every node.
 func (n *Network) derivative(_ float64, y []float64, dydt []float64) {
 	for i := range dydt {
